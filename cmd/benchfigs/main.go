@@ -1,0 +1,53 @@
+// Command benchfigs regenerates every table and figure of the paper's
+// evaluation section from the calibrated platform models.
+//
+// Usage:
+//
+//	benchfigs -all
+//	benchfigs -fig 3        # Fig. 3: MPI-IO Test grid on Minerva
+//	benchfigs -fig 4        # Fig. 4: NAS BT classes C and D on Sierra
+//	benchfigs -fig 5        # Fig. 5: FLASH-IO weak scaling on Sierra
+//	benchfigs -table 1      # Table I: platform inventories
+//	benchfigs -table 2      # Table II: UNIX tools over a 4 GB file
+//	benchfigs -summary      # headline claims derived from the models
+//	benchfigs -ablation     # design-choice sweeps (cache, MDS, FUSE, variants)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ldplfs/internal/bench"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (3, 4 or 5)")
+	table := flag.Int("table", 0, "table to regenerate (1 or 2)")
+	summary := flag.Bool("summary", false, "print the derived headline claims")
+	ablation := flag.Bool("ablation", false, "print the design-choice ablation studies")
+	all := flag.Bool("all", false, "regenerate everything in paper order")
+	flag.Parse()
+
+	switch {
+	case *all:
+		fmt.Print(bench.All())
+	case *fig == 3:
+		fmt.Print(bench.Fig3())
+	case *fig == 4:
+		fmt.Print(bench.Fig4())
+	case *fig == 5:
+		fmt.Print(bench.Fig5())
+	case *table == 1:
+		fmt.Print(bench.TableI())
+	case *table == 2:
+		fmt.Print(bench.TableII())
+	case *summary:
+		fmt.Print(bench.Summary())
+	case *ablation:
+		fmt.Print(bench.Ablations())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,105 @@
+// Command ldrun runs the bundled "unmodified" UNIX tools (cp, cat, grep,
+// md5sum, ls) against a real directory tree, optionally with LDPLFS
+// preloaded — the executable equivalent of
+//
+//	LD_PRELOAD=libldplfs.so LDPLFS_MNT=/mnt/plfs=/backend cp ...
+//
+// Without -preload the tools see raw container directories; with it they
+// see PLFS containers as single files and can read and write them. The
+// tree lives under -root on the host file system.
+//
+//	ldrun -root /tmp/store -preload -mnt /mnt/plfs=/backend md5sum /mnt/plfs/data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ldplfs/internal/core"
+	"ldplfs/internal/posix"
+	"ldplfs/internal/unixtools"
+)
+
+func main() {
+	root := flag.String("root", ".", "host directory backing the tree")
+	preload := flag.Bool("preload", false, "preload LDPLFS into the symbol table")
+	mnt := flag.String("mnt", "/mnt/plfs=/backend", "mount spec (point=backend[,point=backend])")
+	pid := flag.Uint("pid", uint(os.Getpid()), "writer id passed to PLFS")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ldrun [flags] {cp SRC DST | cat FILE | grep PAT FILE | md5sum FILE | ls DIR}")
+		os.Exit(2)
+	}
+
+	osfs, err := posix.NewOSFS(*root)
+	if err != nil {
+		log.Fatalf("ldrun: root %s: %v", *root, err)
+	}
+	d := posix.NewDispatch(osfs)
+
+	if *preload {
+		mounts, err := core.ParseMounts(*mnt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := core.Preload(d, core.Config{Mounts: mounts, Pid: uint32(*pid)}); err != nil {
+			log.Fatalf("ldrun: preload: %v", err)
+		}
+	}
+
+	switch args[0] {
+	case "cp":
+		if len(args) != 3 {
+			log.Fatal("ldrun: cp SRC DST")
+		}
+		n, err := unixtools.Cp(d, args[1], args[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("copied %d bytes\n", n)
+	case "cat":
+		if len(args) != 2 {
+			log.Fatal("ldrun: cat FILE")
+		}
+		if _, err := unixtools.Cat(d, args[1], os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	case "grep":
+		if len(args) != 3 {
+			log.Fatal("ldrun: grep PATTERN FILE")
+		}
+		matches, err := unixtools.Grep(d, args[1], args[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, m := range matches {
+			fmt.Printf("%d:%s\n", m.LineNo, m.Line)
+		}
+	case "md5sum":
+		if len(args) != 2 {
+			log.Fatal("ldrun: md5sum FILE")
+		}
+		sum, err := unixtools.Md5sum(d, args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s  %s\n", sum, args[1])
+	case "ls":
+		if len(args) != 2 {
+			log.Fatal("ldrun: ls DIR")
+		}
+		names, err := unixtools.Ls(d, args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	default:
+		log.Fatalf("ldrun: unknown tool %q", args[0])
+	}
+}

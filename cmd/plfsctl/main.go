@@ -1,0 +1,126 @@
+// Command plfsctl inspects and manipulates PLFS containers on a real
+// directory tree (the backend, as plfs_map/plfs_flatten_index do for real
+// PLFS).
+//
+//	plfsctl -root /tmp/store info /backend/data        # container summary
+//	plfsctl -root /tmp/store index /backend/data       # dump merged index
+//	plfsctl -root /tmp/store flatten /backend/data /backend/data.flat
+//	plfsctl -root /tmp/store compact /backend/data  # merge index droppings
+//	plfsctl -root /tmp/store rm /backend/data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ldplfs/internal/plfs"
+	idx "ldplfs/internal/plfs/index"
+	"ldplfs/internal/posix"
+)
+
+func main() {
+	root := flag.String("root", ".", "host directory backing the tree")
+	hostdirs := flag.Int("hostdirs", 32, "hostdir buckets (must match the writer's setting)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: plfsctl [flags] {info|index|flatten|compact|rm} CONTAINER [DST]")
+		os.Exit(2)
+	}
+
+	osfs, err := posix.NewOSFS(*root)
+	if err != nil {
+		log.Fatalf("plfsctl: root %s: %v", *root, err)
+	}
+	p := plfs.New(osfs, plfs.Options{NumHostdirs: *hostdirs})
+	path := args[1]
+
+	switch args[0] {
+	case "info":
+		if !p.IsContainer(path) {
+			log.Fatalf("plfsctl: %s is not a PLFS container", path)
+		}
+		st, err := p.Stat(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("container:    %s\n", path)
+		fmt.Printf("logical size: %d bytes\n", st.Size)
+		entries, droppings, err := loadIndex(p, osfs, path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		global := idx.Build(entries)
+		fmt.Printf("droppings:    %d index, %d entries, %d resolved extents\n",
+			droppings, len(entries), global.NumExtents())
+	case "index":
+		entries, _, err := loadIndex(p, osfs, path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		global := idx.Build(entries)
+		fmt.Printf("%-12s %-10s %-12s %-6s\n", "logical", "length", "physical", "pid")
+		for _, x := range global.Extents() {
+			fmt.Printf("%-12d %-10d %-12d %-6d\n", x.LogicalOffset, x.Length, x.PhysicalOffset, x.Pid)
+		}
+	case "flatten":
+		if len(args) != 3 {
+			log.Fatal("plfsctl: flatten CONTAINER DST")
+		}
+		if err := p.Flatten(path, args[2]); err != nil {
+			log.Fatal(err)
+		}
+		st, _ := osfs.Stat(args[2])
+		fmt.Printf("flattened %s -> %s (%d bytes)\n", path, args[2], st.Size)
+	case "compact":
+		before, err := p.IndexDroppings(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.CompactIndex(path); err != nil {
+			log.Fatal(err)
+		}
+		after, _ := p.IndexDroppings(path)
+		fmt.Printf("compacted %s: %d -> %d index droppings\n", path, before, after)
+	case "rm":
+		if err := p.Unlink(path); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("removed %s\n", path)
+	default:
+		log.Fatalf("plfsctl: unknown command %q", args[0])
+	}
+}
+
+// loadIndex reads every index dropping in the container.
+func loadIndex(p *plfs.FS, fs posix.FS, path string) ([]idx.Entry, int, error) {
+	var entries []idx.Entry
+	droppings := 0
+	dirs, err := fs.Readdir(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, d := range dirs {
+		if !d.IsDir || len(d.Name) < 8 || d.Name[:8] != "hostdir." {
+			continue
+		}
+		hostdir := path + "/" + d.Name
+		files, err := fs.Readdir(hostdir)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, fe := range files {
+			if len(fe.Name) >= 15 && fe.Name[:15] == "dropping.index." {
+				es, err := idx.ReadDropping(fs, hostdir+"/"+fe.Name)
+				if err != nil {
+					return nil, 0, err
+				}
+				entries = append(entries, es...)
+				droppings++
+			}
+		}
+	}
+	return entries, droppings, nil
+}

@@ -1,0 +1,13 @@
+// Package ldplfs is a from-scratch Go reproduction of "LDPLFS: Improving
+// I/O Performance Without Application Modification" (Wright et al., IPDPS
+// Workshops 2012): a dynamically loadable shim that retargets POSIX file
+// operations onto the Parallel Log-structured File System, plus every
+// substrate the paper's evaluation depends on — PLFS itself, a POSIX VFS
+// layer with an interposable symbol table, an in-process MPI runtime, the
+// ROMIO MPI-IO stack, a FUSE-path emulator, the three benchmark kernels,
+// and queueing models of the Minerva (GPFS) and Sierra (Lustre) platforms
+// that regenerate every table and figure.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured results.
+package ldplfs

@@ -1,0 +1,72 @@
+// Scaling study: sweep the paper's workloads across methods and scales on
+// the Sierra model, locate the PLFS/MPI-IO crossover, and show why the
+// paper warns that PLFS "can actually harm performance at scale".
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+
+	"ldplfs/internal/fsim"
+)
+
+func main() {
+	sierra := fsim.Sierra()
+
+	fmt.Println("FLASH-IO weak scaling on the Sierra/Lustre model (MB/s):")
+	fmt.Printf("%8s %10s %10s %10s %12s\n", "cores", "MPI-IO", "LDPLFS", "ratio", "verdict")
+	series := sierra.FlashSeries(fsim.Fig5Cores)
+	peakIdx := 0
+	for i, v := range series[fsim.LDPLFS] {
+		if v > series[fsim.LDPLFS][peakIdx] {
+			peakIdx = i
+		}
+	}
+	crossover := -1
+	for i, c := range fsim.Fig5Cores {
+		mpiio := series[fsim.MPIIO][i]
+		ldplfs := series[fsim.LDPLFS][i]
+		verdict := "PLFS wins"
+		if ldplfs < mpiio {
+			verdict = "PLFS HURTS"
+			// The interesting crossover is the post-peak one, where scale
+			// (not startup overheads) turns PLFS against the application.
+			if crossover < 0 && i > peakIdx {
+				crossover = c
+			}
+		}
+		fmt.Printf("%8d %10.0f %10.0f %9.1fx %12s\n", c, mpiio, ldplfs, ldplfs/mpiio, verdict)
+	}
+	if crossover > 0 {
+		fmt.Printf("\ncrossover: beyond ~%d cores the per-process file explosion\n", crossover)
+		fmt.Println("saturates the Lustre MDS and per-stream management; plain MPI-IO wins.")
+	}
+
+	fmt.Println("\nBT class D strong scaling (the write-size cache cliff):")
+	fmt.Printf("%8s %14s %10s %10s\n", "cores", "write/proc", "MPI-IO", "LDPLFS")
+	bt := sierra.BTSeries(fsim.BTClassD, fsim.Fig4bCores)
+	for i, c := range fsim.Fig4bCores {
+		perProc := fsim.BTClassD.TotalBytes / int64(fsim.BTClassD.Steps) / int64(c)
+		cached := ""
+		if perProc <= sierra.CacheThreshold {
+			cached = " (cache-absorbed)"
+		}
+		fmt.Printf("%8d %11.1f MB %10.0f %10.0f%s\n",
+			c, float64(perProc)/1e6, bt[fsim.MPIIO][i], bt[fsim.LDPLFS][i], cached)
+	}
+
+	fmt.Println("\nAdvice derived from the model:")
+	for _, probe := range []struct {
+		cores int
+		job   string
+	}{{192, "FLASH-IO checkpoint"}, {3072, "FLASH-IO checkpoint"}} {
+		f := sierra.FlashBandwidth(fsim.DefaultFlash(probe.cores, fsim.LDPLFS))
+		m := sierra.FlashBandwidth(fsim.DefaultFlash(probe.cores, fsim.MPIIO))
+		rec := "enable LDPLFS"
+		if f < m {
+			rec = "leave PLFS off"
+		}
+		fmt.Printf("  %s at %d cores: %s (%.0f vs %.0f MB/s)\n", probe.job, probe.cores, rec, f, m)
+	}
+}

@@ -1,0 +1,73 @@
+// Tracing under LDPLFS: the paper's footnote notes that other preload
+// libraries (tracing tools) can be stacked with LDPLFS in LD_PRELOAD.
+// This example loads an I/O recorder *below* the shim, runs the same
+// checkpoint twice — once rerouted to PLFS, once plain — and prints what
+// the storage system actually saw, making the paper's mechanisms
+// (per-process droppings, metadata storms) directly observable.
+//
+//	go run ./examples/tracing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ldplfs/internal/core"
+	"ldplfs/internal/iotrace"
+	"ldplfs/internal/mpi"
+	"ldplfs/internal/mpiio"
+	"ldplfs/internal/posix"
+	"ldplfs/internal/workload"
+)
+
+func runTraced(usePLFS bool) iotrace.Summary {
+	mem := posix.NewMemFS()
+	for _, d := range []string{"/scratch", "/backend"} {
+		mem.Mkdir(d, 0o755)
+	}
+	rec := iotrace.Wrap(mem) // the "tracer" preload, below everything
+
+	cfg := workload.FlashIOConfig{NXB: 6, NBlocks: 4, NVars: 8, Hints: mpiio.DefaultHints()}
+	err := mpi.Run(8, 4, func(r *mpi.Rank) {
+		// Every rank's process: tracer first, then (optionally) LDPLFS —
+		// two entries in LD_PRELOAD, innermost loaded first.
+		d := posix.NewDispatch(rec)
+		base := "/scratch/run"
+		if usePLFS {
+			if _, err := core.Preload(d, core.Config{
+				Mounts: []core.Mount{{Point: "/mnt/plfs", Backend: "/backend"}},
+				Pid:    uint32(r.Rank()),
+			}); err != nil {
+				panic(err)
+			}
+			base = "/mnt/plfs/run"
+		}
+		if _, err := workload.RunFlashIO(r, mpiio.NewUFS(d), base, cfg); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return iotrace.Summarize(rec.Events())
+}
+
+func main() {
+	plain := runTraced(false)
+	plfs := runTraced(true)
+
+	fmt.Println("What the storage backend saw for one FLASH-IO checkpoint (8 ranks, 3 files):")
+	fmt.Printf("%-28s %12s %12s\n", "", "plain MPI-IO", "via LDPLFS")
+	row := func(name string, a, b any) { fmt.Printf("%-28s %12v %12v\n", name, a, b) }
+	row("file creates", plain.FileCreates, plfs.FileCreates)
+	row("  of which droppings", 0, plfs.DroppingFiles)
+	row("directory creates", plain.DirCreates, plfs.DirCreates)
+	row("distinct files written", plain.WriteStreams, plfs.WriteStreams)
+	row("write calls", plain.WriteCalls, plfs.WriteCalls)
+	row("median write size (bytes)", plain.MedianWrite, plfs.MedianWrite)
+	row("metadata ops", plain.MetaOps, plfs.MetaOps)
+
+	fmt.Println()
+	fmt.Println("The per-process dropping explosion on the right is exactly the load that")
+	fmt.Println("melts the Lustre MDS in Figure 5 — here measured, not modelled.")
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ldplfs/internal/fsim"
+)
+
+// Ablations renders the design-choice studies DESIGN.md calls out: each
+// sweeps one mechanism the reproduction's conclusions rest on, showing
+// the headline result is driven by that mechanism and not an accident of
+// calibration.
+func Ablations() string {
+	var sb strings.Builder
+	sb.WriteString("ABLATION STUDIES\n")
+	sb.WriteString(ablateCacheThreshold())
+	sb.WriteString(ablateMDSLoad())
+	sb.WriteString(ablateFUSESegment())
+	sb.WriteString(ablateVariants())
+	return sb.String()
+}
+
+// ablateCacheThreshold moves the client write-back cache threshold and
+// watches the Fig. 4b dip appear and disappear: the dip exists exactly
+// when the threshold separates the 1,024- and 4,096-core write sizes.
+func ablateCacheThreshold() string {
+	var sb strings.Builder
+	sb.WriteString("\n[A1] Client cache threshold vs the BT class D dip (LDPLFS MB/s)\n")
+	fmt.Fprintf(&sb, "  %-12s", "threshold")
+	for _, c := range fsim.Fig4bCores {
+		fmt.Fprintf(&sb, " %8d", c)
+	}
+	sb.WriteString("   dip@1024?\n")
+	for _, thr := range []int64{1 << 20, 4 << 20, 16 << 20, 128 << 20} {
+		p := fsim.Sierra()
+		p.CacheThreshold = thr
+		series := p.BTSeries(fsim.BTClassD, fsim.Fig4bCores)
+		fmt.Fprintf(&sb, "  %-12s", fmtBytes(thr))
+		for _, v := range series[fsim.LDPLFS] {
+			fmt.Fprintf(&sb, " %8.0f", v)
+		}
+		dip := series[fsim.LDPLFS][2] < series[fsim.LDPLFS][1]
+		fmt.Fprintf(&sb, "   %v\n", dip)
+	}
+	return sb.String()
+}
+
+// ablateMDSLoad sweeps the MDS contention constant: a more resilient MDS
+// postpones (but does not remove) the FLASH-IO collapse; an infinitely
+// fast one (GPFS-style distributed metadata) leaves only stream
+// contention.
+func ablateMDSLoad() string {
+	var sb strings.Builder
+	sb.WriteString("\n[A2] Lustre MDS contention vs the FLASH-IO collapse (LDPLFS MB/s)\n")
+	fmt.Fprintf(&sb, "  %-16s", "MDS model")
+	for _, c := range fsim.Fig5Cores {
+		fmt.Fprintf(&sb, " %7d", c)
+	}
+	sb.WriteString("\n")
+	type variant struct {
+		name string
+		mut  func(*fsim.Platform)
+	}
+	for _, v := range []variant{
+		{"paper (k=48)", func(p *fsim.Platform) {}},
+		{"resilient k=480", func(p *fsim.Platform) { p.MDS.LoadK = 480 }},
+		{"fragile k=12", func(p *fsim.Platform) { p.MDS.LoadK = 12 }},
+		{"no MDS (GPFS)", func(p *fsim.Platform) { p.MDS = nil }},
+	} {
+		p := fsim.Sierra()
+		v.mut(p)
+		fmt.Fprintf(&sb, "  %-16s", v.name)
+		for _, c := range fsim.Fig5Cores {
+			fmt.Fprintf(&sb, " %7.0f", p.FlashBandwidth(fsim.DefaultFlash(c, fsim.LDPLFS)))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// ablateFUSESegment sweeps the FUSE max transfer unit: larger kernel
+// segments amortise the per-op server cost and close the FUSE gap,
+// demonstrating that segmentation — not the daemon itself — is FUSE's
+// tax.
+func ablateFUSESegment() string {
+	var sb strings.Builder
+	sb.WriteString("\n[A3] FUSE max transfer unit vs Fig. 3 write plateau (64 nodes, 1 ppn, MB/s)\n")
+	p := fsim.Minerva()
+	romio := p.MPIIOTest(fsim.DefaultMPIIOTest(64, 1, fsim.ROMIO, false))
+	for _, seg := range []int64{64 << 10, 128 << 10, 512 << 10, 2 << 20, 8 << 20} {
+		job := fsim.DefaultMPIIOTest(64, 1, fsim.FUSE, false)
+		job.FUSESegment = seg
+		bw := p.MPIIOTest(job)
+		fmt.Fprintf(&sb, "  %-10s %8.1f   (%.0f%% of ROMIO)\n", fmtBytes(seg), bw, 100*bw/romio)
+	}
+	return sb.String()
+}
+
+// ablateVariants prints the future-work study: which half of PLFS causes
+// the collapse.
+func ablateVariants() string {
+	var sb strings.Builder
+	sb.WriteString("\n[A4] PLFS design variants on FLASH-IO (the paper's future-work study, MB/s)\n")
+	p := fsim.Sierra()
+	out := p.VariantSeries(fsim.Fig5Cores)
+	fmt.Fprintf(&sb, "  %-22s", "cores")
+	for _, c := range fsim.Fig5Cores {
+		fmt.Fprintf(&sb, " %7d", c)
+	}
+	sb.WriteString("\n")
+	for _, name := range []string{"MPI-IO", "PLFS (partition+log)", "partition-only", "log-only"} {
+		fmt.Fprintf(&sb, "  %-22s", name)
+		for _, v := range out[name] {
+			fmt.Fprintf(&sb, " %7.0f", v)
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("  -> the per-process file explosion (partitioning), not the log, drives the collapse;\n")
+	sb.WriteString("     a log-only design keeps the shared-file plateau at every scale.\n")
+	return sb.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKiB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"ldplfs/internal/fsim"
+)
+
+func TestAblationsRenderAllStudies(t *testing.T) {
+	out := Ablations()
+	for _, want := range []string{"[A1]", "[A2]", "[A3]", "[A4]", "log-only", "no MDS (GPFS)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablations missing %q", want)
+		}
+	}
+}
+
+func TestCacheThresholdControlsTheDip(t *testing.T) {
+	// With a 16 MiB threshold, the class D writes at 1,024 cores (~7 MB)
+	// fit the cache and the dip vanishes; with the paper's 4 MiB it's
+	// there. This proves the Fig. 4b mechanism is the threshold.
+	dipAt := func(threshold int64) bool {
+		p := fsim.Sierra()
+		p.CacheThreshold = threshold
+		s := p.BTSeries(fsim.BTClassD, fsim.Fig4bCores)
+		return s[fsim.LDPLFS][2] < s[fsim.LDPLFS][1]
+	}
+	if !dipAt(4 << 20) {
+		t.Error("paper threshold (4 MiB) lost the dip")
+	}
+	if dipAt(16 << 20) {
+		t.Error("16 MiB threshold should absorb the 7 MB writes and remove the dip")
+	}
+}
+
+func TestFUSESegmentSizeClosesTheGap(t *testing.T) {
+	// Larger kernel transfer units must monotonically close the gap to
+	// ROMIO — segmentation is the FUSE tax.
+	p := fsim.Minerva()
+	prev := 0.0
+	for _, seg := range []int64{64 << 10, 128 << 10, 512 << 10, 2 << 20} {
+		job := fsim.DefaultMPIIOTest(64, 1, fsim.FUSE, false)
+		job.FUSESegment = seg
+		bw := p.MPIIOTest(job)
+		if bw <= prev {
+			t.Errorf("FUSE bandwidth not monotone in segment size: %v at %d", bw, seg)
+		}
+		prev = bw
+	}
+	romio := p.MPIIOTest(fsim.DefaultMPIIOTest(64, 1, fsim.ROMIO, false))
+	if prev < 0.9*romio {
+		t.Errorf("2 MiB segments should nearly reach ROMIO: %.0f vs %.0f", prev, romio)
+	}
+}
+
+func TestMDSResilienceSoftensCollapse(t *testing.T) {
+	fragile := fsim.Sierra()
+	fragile.MDS.LoadK = 12
+	tough := fsim.Sierra()
+	tough.MDS.LoadK = 480
+	f := fragile.FlashBandwidth(fsim.DefaultFlash(3072, fsim.LDPLFS))
+	g := tough.FlashBandwidth(fsim.DefaultFlash(3072, fsim.LDPLFS))
+	if g <= f {
+		t.Errorf("resilient MDS (%.0f) should beat fragile (%.0f) at scale", g, f)
+	}
+}

@@ -1,0 +1,221 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation from the models in internal/fsim, rendering them as aligned
+// text in the same rows/series the paper reports. cmd/benchfigs is the
+// CLI front end; the root-level bench_test.go wires each experiment to a
+// testing.B target.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ldplfs/internal/fsim"
+)
+
+// line formats one series row: a label then one value per column.
+func line(sb *strings.Builder, label string, vals []float64) {
+	fmt.Fprintf(sb, "  %-8s", label)
+	for _, v := range vals {
+		fmt.Fprintf(sb, " %8.1f", v)
+	}
+	sb.WriteByte('\n')
+}
+
+func header(sb *strings.Builder, unit string, cols []int) {
+	fmt.Fprintf(sb, "  %-8s", unit)
+	for _, c := range cols {
+		fmt.Fprintf(sb, " %8d", c)
+	}
+	sb.WriteByte('\n')
+}
+
+// TableI renders both platforms' inventories — the configuration the
+// models are parameterised by.
+func TableI() string {
+	var sb strings.Builder
+	min, sie := fsim.Minerva(), fsim.Sierra()
+	sb.WriteString("TABLE I: Benchmarking platforms used in this study\n\n")
+	row := func(k, a, b string) { fmt.Fprintf(&sb, "  %-22s %-28s %s\n", k, a, b) }
+	row("", min.Name, sie.Name)
+	row("Processor", min.Processor, sie.Processor)
+	row("CPU Speed", fmt.Sprintf("%.2f GHz", min.CPUSpeedGHz), fmt.Sprintf("%.1f GHz", sie.CPUSpeedGHz))
+	row("Cores per Node", fmt.Sprint(min.CoresPerNode), fmt.Sprint(sie.CoresPerNode))
+	row("Nodes", fmt.Sprint(min.TotalNodes), fmt.Sprint(sie.TotalNodes))
+	row("Interconnect", min.Interconnect, sie.Interconnect)
+	row("File System", min.FileSystem, sie.FileSystem)
+	row("I/O Servers / OSS", fmt.Sprint(min.IOServers), fmt.Sprint(sie.IOServers))
+	row("Theoretical Bandwidth", min.TheoreticalBW, sie.TheoreticalBW)
+	row("Data Disks", fmt.Sprintf("%d x %s @%d RPM", min.DataDisks, min.DataDiskType, min.DataDiskRPM),
+		fmt.Sprintf("%d x %s @%d RPM", sie.DataDisks, sie.DataDiskType, sie.DataDiskRPM))
+	row("Data RAID", min.DataRAID, sie.DataRAID)
+	row("Metadata Disks", fmt.Sprintf("%d @%d RPM", min.MetaDisks, min.MetaDiskRPM),
+		fmt.Sprintf("%d @%d RPM", sie.MetaDisks, sie.MetaDiskRPM))
+	row("Metadata RAID", min.MetaRAID, sie.MetaRAID)
+	return sb.String()
+}
+
+// Fig3 renders the full Fig. 3 grid: write and read bandwidth at 1, 2 and
+// 4 processes per node over 1..64 Minerva nodes, for all four methods.
+func Fig3() string {
+	p := fsim.Minerva()
+	var sb strings.Builder
+	sb.WriteString("FIG 3: Benchmarked MPI-IO bandwidths on FUSE, ROMIO, LDPLFS and standard MPI-IO\n")
+	sb.WriteString("       (MPI-IO Test, 1 GiB/process in 8 MiB blocks, collective buffering, Minerva/GPFS; MB/s)\n")
+	sub := 'a'
+	for _, phase := range []struct {
+		read bool
+		name string
+	}{{false, "Write"}, {true, "Read"}} {
+		for _, ppn := range []int{1, 2, 4} {
+			fmt.Fprintf(&sb, "\n  (%c) %s (%d Proc/Node)\n", sub, phase.name, ppn)
+			sub++
+			header(&sb, "nodes", fsim.Fig3Nodes)
+			series := p.Fig3Series(ppn, phase.read, fsim.Fig3Nodes)
+			for _, m := range fsim.Methods {
+				line(&sb, m.String(), series[m])
+			}
+		}
+	}
+	return sb.String()
+}
+
+// TableII renders the UNIX tool timings over a 4 GB file.
+func TableII() string {
+	p := fsim.Minerva()
+	var sb strings.Builder
+	sb.WriteString("TABLE II: Time in seconds for UNIX commands to complete using PLFS\n")
+	sb.WriteString("          through LDPLFS, and without PLFS (4 GB file, Minerva login node)\n\n")
+	fmt.Fprintf(&sb, "  %-12s %16s %20s\n", "", "PLFS Container", "Standard UNIX File")
+	for _, r := range p.TableII() {
+		if r.UnixSecs > 0 {
+			fmt.Fprintf(&sb, "  %-12s %16.3f %20.3f\n", r.Command, r.PlfsSecs, r.UnixSecs)
+		} else {
+			fmt.Fprintf(&sb, "  %-12s %16.3f %20s\n", r.Command, r.PlfsSecs, "")
+		}
+	}
+	return sb.String()
+}
+
+// Fig4 renders both BT sub-figures on the Sierra model.
+func Fig4() string {
+	p := fsim.Sierra()
+	var sb strings.Builder
+	sb.WriteString("FIG 4: BT benchmarked MPI-IO bandwidths using MPI-IO, ROMIO and LDPLFS\n")
+	sb.WriteString("       (NAS BT-IO strong scaled, Sierra/Lustre; MB/s)\n")
+	for _, part := range []struct {
+		label string
+		class fsim.BTClass
+		cores []int
+	}{
+		{"(a) Problem Class C (162^3, 6.4 GB)", fsim.BTClassC, fsim.Fig4aCores},
+		{"(b) Problem Class D (408^3, 136 GB)", fsim.BTClassD, fsim.Fig4bCores},
+	} {
+		fmt.Fprintf(&sb, "\n  %s\n", part.label)
+		header(&sb, "cores", part.cores)
+		series := p.BTSeries(part.class, part.cores)
+		for _, m := range []fsim.Method{fsim.MPIIO, fsim.ROMIO, fsim.LDPLFS} {
+			line(&sb, m.String(), series[m])
+		}
+	}
+	return sb.String()
+}
+
+// Fig5 renders the FLASH-IO weak-scaling figure on the Sierra model.
+func Fig5() string {
+	p := fsim.Sierra()
+	var sb strings.Builder
+	sb.WriteString("FIG 5: FLASH-IO benchmarked MPI-IO bandwidths using MPI-IO, ROMIO and LDPLFS\n")
+	sb.WriteString("       (weak scaled, 24^3 blocks, ~205 MB/process, 12 PPN, Sierra/Lustre; MB/s)\n\n")
+	header(&sb, "cores", fsim.Fig5Cores)
+	series := p.FlashSeries(fsim.Fig5Cores)
+	for _, m := range []fsim.Method{fsim.MPIIO, fsim.ROMIO, fsim.LDPLFS} {
+		line(&sb, m.String(), series[m])
+	}
+	return sb.String()
+}
+
+// Headline computes the paper's summary claims from the model output, so
+// the reproduction's conclusions are derived, not asserted.
+type Headline struct {
+	Fig3PlfsOverMPIIO   float64 // write plateau ratio on Minerva (~2x)
+	Fig3LdplfsVsRomio   float64 // relative difference at plateau (~0)
+	Fig3FuseUnderMPIIO  float64 // fractional deficit (~0.2)
+	Fig4MaxSpeedup      float64 // best PLFS/MPI-IO ratio across BT points
+	Fig5PeakCores       int     // where PLFS peaks (192)
+	Fig5CollapseFactor  float64 // PLFS peak / PLFS@3072
+	Fig5PlfsBelowMPIIO  bool    // PLFS < MPI-IO at 3,072 cores
+	TableIIMaxDeviation float64 // max |plfs-unix|/unix over serial tools
+}
+
+// ComputeHeadline derives the summary numbers.
+func ComputeHeadline() Headline {
+	min, sie := fsim.Minerva(), fsim.Sierra()
+	var h Headline
+
+	s := min.Fig3Series(1, false, fsim.Fig3Nodes)
+	last := len(fsim.Fig3Nodes) - 1
+	h.Fig3PlfsOverMPIIO = s[fsim.ROMIO][last] / s[fsim.MPIIO][last]
+	h.Fig3LdplfsVsRomio = (s[fsim.LDPLFS][last] - s[fsim.ROMIO][last]) / s[fsim.ROMIO][last]
+	h.Fig3FuseUnderMPIIO = 1 - s[fsim.FUSE][last]/s[fsim.MPIIO][last]
+
+	for _, part := range []struct {
+		class fsim.BTClass
+		cores []int
+	}{{fsim.BTClassC, fsim.Fig4aCores}, {fsim.BTClassD, fsim.Fig4bCores}} {
+		series := sie.BTSeries(part.class, part.cores)
+		for i := range part.cores {
+			if r := series[fsim.LDPLFS][i] / series[fsim.MPIIO][i]; r > h.Fig4MaxSpeedup {
+				h.Fig4MaxSpeedup = r
+			}
+		}
+	}
+
+	flash := sie.FlashSeries(fsim.Fig5Cores)
+	peak, peakIdx := 0.0, 0
+	for i, v := range flash[fsim.ROMIO] {
+		if v > peak {
+			peak, peakIdx = v, i
+		}
+	}
+	h.Fig5PeakCores = fsim.Fig5Cores[peakIdx]
+	lastIdx := len(fsim.Fig5Cores) - 1
+	h.Fig5CollapseFactor = peak / flash[fsim.ROMIO][lastIdx]
+	h.Fig5PlfsBelowMPIIO = flash[fsim.ROMIO][lastIdx] < flash[fsim.MPIIO][lastIdx]
+
+	for _, r := range min.TableII() {
+		if r.UnixSecs <= 0 {
+			continue
+		}
+		dev := (r.PlfsSecs - r.UnixSecs) / r.UnixSecs
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > h.TableIIMaxDeviation {
+			h.TableIIMaxDeviation = dev
+		}
+	}
+	return h
+}
+
+// Summary renders the headline claims.
+func Summary() string {
+	h := ComputeHeadline()
+	var sb strings.Builder
+	sb.WriteString("HEADLINE CLAIMS (derived from the models)\n\n")
+	fmt.Fprintf(&sb, "  Fig 3: PLFS/MPI-IO write plateau ratio on Minerva     %.2fx (paper: ~2x)\n", h.Fig3PlfsOverMPIIO)
+	fmt.Fprintf(&sb, "  Fig 3: LDPLFS vs ROMIO at plateau                     %+.1f%% (paper: near identical)\n", 100*h.Fig3LdplfsVsRomio)
+	fmt.Fprintf(&sb, "  Fig 3: FUSE deficit vs plain MPI-IO on writes         %.0f%% (paper: ~20%%)\n", 100*h.Fig3FuseUnderMPIIO)
+	fmt.Fprintf(&sb, "  Fig 4: best PLFS speedup over MPI-IO (BT)             %.1fx (paper: up to ~20x)\n", h.Fig4MaxSpeedup)
+	fmt.Fprintf(&sb, "  Fig 5: PLFS peak at                                   %d cores (paper: 192)\n", h.Fig5PeakCores)
+	fmt.Fprintf(&sb, "  Fig 5: PLFS peak/3072-core collapse factor            %.1fx (paper: ~8x)\n", h.Fig5CollapseFactor)
+	fmt.Fprintf(&sb, "  Fig 5: PLFS below plain MPI-IO at 3,072 cores         %v (paper: yes)\n", h.Fig5PlfsBelowMPIIO)
+	fmt.Fprintf(&sb, "  Table II: max serial-tool deviation PLFS vs UNIX      %.1f%% (paper: marginal)\n", 100*h.TableIIMaxDeviation)
+	return sb.String()
+}
+
+// All renders every experiment in paper order.
+func All() string {
+	return strings.Join([]string{
+		TableI(), Fig3(), TableII(), Fig4(), Fig5(), Summary(), Ablations(),
+	}, "\n")
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableIMentionsBothPlatforms(t *testing.T) {
+	out := TableI()
+	for _, want := range []string{"Minerva", "Sierra", "GPFS", "Lustre", "258", "1849", "3600"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+}
+
+func TestFig3HasAllSixSubfigures(t *testing.T) {
+	out := Fig3()
+	for _, want := range []string{
+		"(a) Write (1 Proc/Node)", "(b) Write (2 Proc/Node)", "(c) Write (4 Proc/Node)",
+		"(d) Read (1 Proc/Node)", "(e) Read (2 Proc/Node)", "(f) Read (4 Proc/Node)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig 3 missing %q", want)
+		}
+	}
+	for _, m := range []string{"MPI-IO", "FUSE", "ROMIO", "LDPLFS"} {
+		if strings.Count(out, m) < 6 {
+			t.Errorf("method %s missing from some subfigure", m)
+		}
+	}
+}
+
+func TestTableIIHasAllCommands(t *testing.T) {
+	out := TableII()
+	for _, want := range []string{"cp (read)", "cp (write)", "cat", "grep", "md5sum"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+}
+
+func TestFig4HasBothClasses(t *testing.T) {
+	out := Fig4()
+	if !strings.Contains(out, "Class C") || !strings.Contains(out, "Class D") {
+		t.Error("Fig 4 missing a problem class")
+	}
+	if !strings.Contains(out, "4096") {
+		t.Error("Fig 4b missing the 4096-core point")
+	}
+}
+
+func TestFig5HasFullSweep(t *testing.T) {
+	out := Fig5()
+	for _, want := range []string{"12", "3072", "FLASH-IO"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig 5 missing %q", want)
+		}
+	}
+}
+
+// TestHeadlineClaimsShape is the top-level reproduction gate: the derived
+// summary numbers must land where the paper's conclusions sit.
+func TestHeadlineClaimsShape(t *testing.T) {
+	h := ComputeHeadline()
+	if h.Fig3PlfsOverMPIIO < 1.6 || h.Fig3PlfsOverMPIIO > 2.6 {
+		t.Errorf("Fig3 PLFS/MPI-IO = %.2f, want ~2", h.Fig3PlfsOverMPIIO)
+	}
+	if h.Fig3LdplfsVsRomio < -0.05 || h.Fig3LdplfsVsRomio > 0.10 {
+		t.Errorf("Fig3 LDPLFS vs ROMIO = %+.3f, want near identical", h.Fig3LdplfsVsRomio)
+	}
+	if h.Fig3FuseUnderMPIIO < 0.05 || h.Fig3FuseUnderMPIIO > 0.40 {
+		t.Errorf("Fig3 FUSE deficit = %.2f, want ~0.2", h.Fig3FuseUnderMPIIO)
+	}
+	if h.Fig4MaxSpeedup < 4 {
+		t.Errorf("Fig4 max speedup = %.1f, want >4x (paper: up to 20x)", h.Fig4MaxSpeedup)
+	}
+	if h.Fig5PeakCores != 192 {
+		t.Errorf("Fig5 peak at %d cores, want 192", h.Fig5PeakCores)
+	}
+	if h.Fig5CollapseFactor < 4 {
+		t.Errorf("Fig5 collapse factor = %.1f, want substantial", h.Fig5CollapseFactor)
+	}
+	if !h.Fig5PlfsBelowMPIIO {
+		t.Error("Fig5: PLFS should fall below MPI-IO at 3,072 cores")
+	}
+	if h.TableIIMaxDeviation > 0.15 {
+		t.Errorf("Table II deviation %.2f too large for 'largely the same'", h.TableIIMaxDeviation)
+	}
+}
+
+func TestAllIncludesEverything(t *testing.T) {
+	out := All()
+	for _, want := range []string{"TABLE I", "FIG 3", "TABLE II", "FIG 4", "FIG 5", "HEADLINE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("All() missing %q section", want)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package fsim models the paper's two benchmarking platforms — Minerva
+// (GPFS) and Sierra (Lustre) — as queueing systems, and costs the four
+// access methods (plain MPI-IO, PLFS via FUSE, PLFS via ROMIO, LDPLFS) on
+// the paper's workloads. Absolute calibration constants are fitted to the
+// paper's own reported numbers; the point of the model is that the
+// *shapes* (who wins, by what factor, where the crossovers sit) emerge
+// from the mechanisms the paper identifies:
+//
+//   - GPFS serialises shared-file writes through distributed token locks,
+//     so plain MPI-IO plateaus at roughly one server's throughput while
+//     PLFS's file-per-writer containers use the whole backend (Fig. 3's
+//     ~2x gap).
+//   - FUSE segments every transfer into 128 KiB kernel round trips, so
+//     the backend sees small ops and per-op overhead halves its
+//     bandwidth (Fig. 3's FUSE < MPI-IO < ROMIO ~ LDPLFS ordering).
+//   - Client write-back caches absorb small per-process writes
+//     instantly, which is why BT's 300 KB writes fly with PLFS and stall
+//     without it (Fig. 4a), dip when the write size outgrows the cache
+//     (Fig. 4b at 1,024 cores) and recover when strong scaling shrinks
+//     it again (4,096 cores).
+//   - Lustre funnels every file create through one MDS whose service
+//     degrades under concurrent create storms, and per-process files
+//     multiply both creates and active object streams — the Fig. 5
+//     rise-then-collapse.
+package fsim
+
+import "fmt"
+
+// Method is one of the four access methods compared throughout the paper.
+type Method int
+
+// The four access methods of the evaluation.
+const (
+	MPIIO  Method = iota // plain MPI-IO, no PLFS
+	FUSE                 // PLFS through the FUSE kernel mount
+	ROMIO                // PLFS through the patched ROMIO ad_plfs driver
+	LDPLFS               // PLFS through the LD_PRELOAD shim (this paper)
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MPIIO:
+		return "MPI-IO"
+	case FUSE:
+		return "FUSE"
+	case ROMIO:
+		return "ROMIO"
+	case LDPLFS:
+		return "LDPLFS"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Methods lists all four in the paper's legend order.
+var Methods = []Method{MPIIO, FUSE, ROMIO, LDPLFS}
+
+// UsesPLFS reports whether the method stores data in PLFS containers.
+func (m Method) UsesPLFS() bool { return m != MPIIO }
+
+// MDSModel is the Lustre metadata server: a single service point whose
+// per-op service time degrades under concurrent client storms (directory
+// lock ping-pong during container population).
+type MDSModel struct {
+	BaseService float64 // seconds per metadata op, uncontended
+	LoadK       float64 // clients at which service time doubles
+}
+
+// Service returns the per-op service time with `clients` concurrent
+// requesters.
+func (m *MDSModel) Service(clients int) float64 {
+	return m.BaseService * (1 + float64(clients)/m.LoadK)
+}
+
+// Platform describes one of Table I's machines: the published inventory
+// plus the calibrated model constants derived from it.
+type Platform struct {
+	Name string
+
+	// ---- Table I inventory (documentation; printed by `benchfigs -table 1`).
+	Processor     string
+	CPUSpeedGHz   float64
+	CoresPerNode  int
+	TotalNodes    int
+	Interconnect  string
+	FileSystem    string
+	IOServers     int
+	TheoreticalBW string
+	DataDisks     int
+	DataDiskType  string
+	DataDiskRPM   int
+	DataRAID      string
+	MetaDisks     int
+	MetaDiskRPM   int
+	MetaRAID      string
+
+	// ---- Calibrated model constants (all rates in bytes/second).
+
+	// ServerBW is one I/O server's effective streaming rate.
+	ServerBW float64
+	// ServerPerOp is the fixed cost a server pays per I/O request; it is
+	// what makes FUSE's 128 KiB requests expensive.
+	ServerPerOp float64
+	// SharedFileWriteBW is the token-serialised aggregate rate at which a
+	// single shared file can be written (GPFS write tokens force writers
+	// to take turns; the rate folds in the revoke/grant round trips).
+	SharedFileWriteBW float64
+	// SharedFileReadBW would bound shared reads the same way; reads do
+	// not serialise, so instead SharedReadSeekMult scales the per-op
+	// server cost for the interleaved read layout.
+	SharedFileReadBW   float64
+	SharedReadSeekMult float64
+	// NodeWriteBW / NodeReadBW cap one compute node's streaming I/O.
+	NodeWriteBW float64
+	NodeReadBW  float64
+	// NICGatherBW is the collective-buffering gather rate to a node
+	// aggregator; GatherSync the per-member sync cost.
+	NICGatherBW float64
+	GatherSync  float64
+	// FUSECrossing is the user->kernel->daemon round-trip cost added per
+	// 128 KiB FUSE segment.
+	FUSECrossing float64
+	// DriverOverhead[m] is the per-call software cost of each method's
+	// client path (ROMIO ADIO layering vs LDPLFS's two shadow lseeks).
+	DriverOverhead map[Method]float64
+
+	// --- large-scale (Sierra) constants used by the BT and FLASH models.
+
+	// NodeDrainBW is the sustained background page-cache drain per node.
+	NodeDrainBW float64
+	// CacheThreshold is the largest per-process write the client cache
+	// absorbs "almost instantly" (the paper's Fig. 4 mechanism).
+	CacheThreshold int64
+	// OSSAggBW is the aggregate effective backend bandwidth.
+	OSSAggBW float64
+	// StreamK is the active-file-stream count at which backend efficiency
+	// halves (per-object management on OSS/MDS).
+	StreamK float64
+	// CachedCapFrac caps cache-drain aggregate bandwidth as a fraction of
+	// OSSAggBW.
+	CachedCapFrac float64
+	// SharedPlateau / SharedK shape the shared-file collective bandwidth
+	// curve plateau*n/(n+k) used at Sierra scale.
+	SharedPlateau float64
+	SharedK       float64
+	// MDS is the metadata server model; nil means distributed metadata
+	// (GPFS), costed into ServerPerOp instead.
+	MDS *MDSModel
+
+	// --- serial (login node) rates for the Table II model.
+
+	SerialRead       float64 // plain file read
+	SerialWrite      float64 // plain file write
+	PlfsReadSmallBuf float64 // container read with <=512 KiB requests
+	PlfsReadLargeBuf float64 // container read with >=1 MiB requests (stream fan-in)
+	PlfsSerialWrite  float64 // container write (partitioned streams)
+}
+
+const (
+	kb = 1024.0
+	mb = 1024.0 * kb
+	gb = 1024.0 * mb
+)
+
+// Minerva returns the model of the University of Warwick's Minerva cluster
+// (Table I, left column).
+func Minerva() *Platform {
+	return &Platform{
+		Name:          "Minerva",
+		Processor:     "Intel Xeon 5650",
+		CPUSpeedGHz:   2.66,
+		CoresPerNode:  12,
+		TotalNodes:    258,
+		Interconnect:  "QLogic TrueScale 4X QDR InfiniBand",
+		FileSystem:    "GPFS",
+		IOServers:     2,
+		TheoreticalBW: "~4 GB/s",
+		DataDisks:     96,
+		DataDiskType:  "2 TB Nearline SAS",
+		DataDiskRPM:   7200,
+		DataRAID:      "6 (8+2)",
+		MetaDisks:     24,
+		MetaDiskRPM:   15000,
+		MetaRAID:      "10",
+
+		ServerBW:           120 * mb,
+		ServerPerOp:        1.55e-3,
+		SharedFileWriteBW:  118 * mb,
+		SharedFileReadBW:   190 * mb,
+		SharedReadSeekMult: 4,
+		NodeWriteBW:        65 * mb,
+		NodeReadBW:         70 * mb,
+		NICGatherBW:        2 * gb,
+		GatherSync:         1e-3,
+		FUSECrossing:       0.15e-3,
+		DriverOverhead: map[Method]float64{
+			MPIIO:  0.10e-3,
+			FUSE:   0.10e-3,
+			ROMIO:  0.40e-3,
+			LDPLFS: 0.15e-3,
+		},
+
+		SerialRead:       161.0 * 1e6, // the paper's Table II uses decimal MB
+		SerialWrite:      46.1 * 1e6,
+		PlfsReadSmallBuf: 159.8 * 1e6,
+		PlfsReadLargeBuf: 345.0 * 1e6,
+		PlfsSerialWrite:  49.9 * 1e6,
+	}
+}
+
+// Sierra returns the model of LLNL's Sierra cluster and its lscratchc
+// Lustre file system (Table I, right column).
+func Sierra() *Platform {
+	return &Platform{
+		Name:          "Sierra",
+		Processor:     "Intel Xeon 5660",
+		CPUSpeedGHz:   2.8,
+		CoresPerNode:  12,
+		TotalNodes:    1849,
+		Interconnect:  "QDR InfiniBand",
+		FileSystem:    "Lustre (lscratchc)",
+		IOServers:     24,
+		TheoreticalBW: "~30 GB/s",
+		DataDisks:     3600,
+		DataDiskType:  "450 GB SAS",
+		DataDiskRPM:   10000,
+		DataRAID:      "6 (8+2)",
+		MetaDisks:     32,
+		MetaDiskRPM:   15000,
+		MetaRAID:      "10 (+journal RAID-1, +2 hot spares)",
+
+		ServerBW:           1.0 * gb,
+		ServerPerOp:        0.8e-3,
+		SharedFileWriteBW:  520 * mb,
+		SharedFileReadBW:   900 * mb,
+		SharedReadSeekMult: 4,
+		NodeWriteBW:        110 * mb,
+		NodeReadBW:         120 * mb,
+		NICGatherBW:        2.5 * gb,
+		GatherSync:         1e-3,
+		FUSECrossing:       0.15e-3,
+		DriverOverhead: map[Method]float64{
+			MPIIO:  0.10e-3,
+			FUSE:   0.10e-3,
+			ROMIO:  0.40e-3,
+			LDPLFS: 0.15e-3,
+		},
+
+		NodeDrainBW:    46 * mb,
+		CacheThreshold: 4 << 20,
+		OSSAggBW:       24 * gb,
+		StreamK:        48,
+		CachedCapFrac:  0.15,
+		SharedPlateau:  560 * mb,
+		SharedK:        1.75,
+		MDS:            &MDSModel{BaseService: 0.3e-3, LoadK: 48},
+
+		SerialRead:       161.0 * 1e6,
+		SerialWrite:      46.1 * 1e6,
+		PlfsReadSmallBuf: 159.8 * 1e6,
+		PlfsReadLargeBuf: 345.0 * 1e6,
+		PlfsSerialWrite:  49.9 * 1e6,
+	}
+}

@@ -1,0 +1,194 @@
+package fsim
+
+import (
+	"ldplfs/internal/sim"
+)
+
+// MPIIOTestJob describes one point of the Fig. 3 grid: the LANL MPI-IO
+// Test writing (or reading back) BytesPerProc per process in BlockSize
+// collective blocking calls, with collective buffering's one aggregator
+// per node.
+type MPIIOTestJob struct {
+	Nodes        int
+	PPN          int
+	Method       Method
+	Read         bool
+	BytesPerProc int64
+	BlockSize    int64
+	// FUSESegment overrides the FUSE max transfer unit (default 128 KiB)
+	// for the ablation study of the kernel-crossing granularity.
+	FUSESegment int64
+}
+
+// DefaultMPIIOTest returns the paper's configuration: 1 GiB per process in
+// 8 MiB blocks.
+func DefaultMPIIOTest(nodes, ppn int, m Method, read bool) MPIIOTestJob {
+	return MPIIOTestJob{
+		Nodes:        nodes,
+		PPN:          ppn,
+		Method:       m,
+		Read:         read,
+		BytesPerProc: 1 << 30,
+		BlockSize:    8 << 20,
+	}
+}
+
+// fuseSegment is the FUSE max transfer unit (matches internal/fuse).
+const fuseSegment = 128 << 10
+
+// MPIIOTest replays the job through the platform's resources and returns
+// the achieved bandwidth in MB/s (decimal, as the paper's axes).
+//
+// The replay models what each access method actually does per collective
+// call:
+//
+//	every method   : on-node gather of ppn blocks to the aggregator
+//	MPI-IO         : aggregator acquires the shared-file write token, then
+//	                 streams its domain across the (striped) servers
+//	ROMIO / LDPLFS : aggregator appends its domain to its own dropping —
+//	                 no token — plus a per-call client software overhead
+//	FUSE           : as ROMIO, but the aggregator's write is chopped into
+//	                 128 KiB kernel round trips, each a separate server op
+func (p *Platform) MPIIOTest(job MPIIOTestJob) float64 {
+	ranks := job.Nodes * job.PPN
+	steps := int(job.BytesPerProc / job.BlockSize)
+	domainBytes := int64(job.PPN) * job.BlockSize // per aggregator per call
+
+	servers := sim.NewPool("server", p.IOServers)
+	lock := &sim.Resource{Name: "shared-file-lock"}
+
+	nodeBW := p.NodeWriteBW
+	sharedBW := p.SharedFileWriteBW
+	readPerOpMult := 1.0
+	if job.Read {
+		nodeBW = p.NodeReadBW
+		sharedBW = p.SharedFileReadBW
+		readPerOpMult = p.SharedReadSeekMult
+	}
+
+	// serverTransfer issues one storage op of n bytes striped across all
+	// servers in parallel and returns the completion time.
+	serverTransfer := func(start float64, n int64) float64 {
+		per := float64(n) / float64(p.IOServers)
+		end := start
+		for _, srv := range servers.Res {
+			if e := srv.Acquire(start, per/p.ServerBW+p.ServerPerOp); e > end {
+				end = e
+			}
+		}
+		return end
+	}
+
+	// smallTransfer issues one sub-striping-unit op on a single server.
+	smallTransfer := func(start float64, n int64, key int) float64 {
+		srv := servers.Pick(key)
+		return srv.Acquire(start, float64(n)/p.ServerBW+p.ServerPerOp)
+	}
+
+	segSize := int64(fuseSegment)
+	if job.FUSESegment > 0 {
+		segSize = job.FUSESegment
+	}
+
+	gatherDelay := float64(job.PPN-1)*float64(job.BlockSize)/p.NICGatherBW +
+		float64(job.PPN)*p.GatherSync
+	driverCost := p.DriverOverhead[job.Method]
+
+	makespan := sim.Phases(steps, func(step int, startAt float64) []*sim.Actor {
+		actors := make([]*sim.Actor, job.Nodes)
+		for a := 0; a < job.Nodes; a++ {
+			agg := a
+			actor := (&sim.Actor{Name: "agg", StartAt: startAt}).
+				Delay(gatherDelay + driverCost)
+			switch job.Method {
+			case MPIIO:
+				if job.Read {
+					// Shared-file reads do not serialise through write
+					// tokens, but the interleaved on-disk layout costs
+					// extra seeks per block at the servers.
+					actor.Then(func(s float64) float64 {
+						per := float64(domainBytes) / float64(p.IOServers)
+						end := s
+						for _, srv := range servers.Res {
+							svc := per/p.ServerBW + p.ServerPerOp*readPerOpMult
+							if e := srv.Acquire(s, svc); e > end {
+								end = e
+							}
+						}
+						if nicEnd := s + float64(domainBytes)/nodeBW; nicEnd > end {
+							end = nicEnd
+						}
+						return end
+					})
+					break
+				}
+				actor.Then(func(s float64) float64 {
+					// Every shared-file write holds the file's write token:
+					// aggregate progress is bounded by the token-serialised
+					// rate regardless of how many aggregators write.
+					end := lock.Acquire(s, float64(domainBytes)/sharedBW)
+					if nicEnd := s + float64(domainBytes)/nodeBW; nicEnd > end {
+						end = nicEnd
+					}
+					// Keep server utilisation honest for reporting.
+					for _, srv := range servers.Res {
+						srv.Acquire(s, float64(domainBytes)/float64(p.IOServers)/p.ServerBW)
+					}
+					return end
+				})
+			case ROMIO, LDPLFS:
+				actor.Then(func(s float64) float64 {
+					end := serverTransfer(s, domainBytes)
+					// The aggregator's NIC bounds how fast it can feed data.
+					if nicEnd := s + float64(domainBytes)/nodeBW; nicEnd > end {
+						end = nicEnd
+					}
+					return end
+				})
+			case FUSE:
+				// The per-node FUSE daemon is single-threaded: each
+				// 128 KiB segment is a crossing plus one small server op.
+				// Each segment is its own replay op so segments from
+				// different nodes interleave at the servers, as they do
+				// under a real kernel.
+				nSegs := int((domainBytes + segSize - 1) / segSize)
+				remaining := domainBytes
+				for si := 0; si < nSegs; si++ {
+					n := segSize
+					if remaining < n {
+						n = remaining
+					}
+					remaining -= n
+					seg := si
+					bytes := n
+					actor.Then(func(s float64) float64 {
+						return smallTransfer(s+p.FUSECrossing, bytes, agg+seg)
+					})
+				}
+			}
+			actors[agg] = actor
+		}
+		return actors
+	})
+
+	totalBytes := float64(ranks) * float64(job.BytesPerProc)
+	return totalBytes / makespan / 1e6 // decimal MB/s, like the paper's axes
+}
+
+// Fig3Series computes one sub-figure (write or read at a fixed ppn) over
+// the paper's node counts for all four methods. The result maps method ->
+// bandwidth per node count.
+func (p *Platform) Fig3Series(ppn int, read bool, nodeCounts []int) map[Method][]float64 {
+	out := make(map[Method][]float64, len(Methods))
+	for _, m := range Methods {
+		series := make([]float64, len(nodeCounts))
+		for i, n := range nodeCounts {
+			series[i] = p.MPIIOTest(DefaultMPIIOTest(n, ppn, m, read))
+		}
+		out[m] = series
+	}
+	return out
+}
+
+// Fig3Nodes are the node counts of Fig. 3's x axes.
+var Fig3Nodes = []int{1, 2, 4, 8, 16, 32, 64}

@@ -1,0 +1,343 @@
+package fsim
+
+import (
+	"math"
+	"testing"
+)
+
+// within reports |a-b| <= frac*max(a,b).
+func within(a, b, frac float64) bool {
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= frac*m
+}
+
+func plateau(series []float64) float64 { return series[len(series)-1] }
+
+// --- Fig. 3 shape assertions ---------------------------------------------
+
+func TestFig3WriteShape(t *testing.T) {
+	p := Minerva()
+	for _, ppn := range []int{1, 2, 4} {
+		s := p.Fig3Series(ppn, false, Fig3Nodes)
+
+		// LDPLFS performs "almost as well as PLFS through ROMIO".
+		for i := range Fig3Nodes {
+			if !within(s[LDPLFS][i], s[ROMIO][i], 0.10) {
+				t.Errorf("ppn=%d nodes=%d: LDPLFS %.1f vs ROMIO %.1f differ >10%%",
+					ppn, Fig3Nodes[i], s[LDPLFS][i], s[ROMIO][i])
+			}
+		}
+		// PLFS is ~2x plain MPI-IO at scale (Section IV: "approximately 2x").
+		if r := plateau(s[ROMIO]) / plateau(s[MPIIO]); r < 1.6 || r > 2.6 {
+			t.Errorf("ppn=%d: ROMIO/MPI-IO plateau ratio = %.2f, want ~2", ppn, r)
+		}
+		// FUSE is the slowest method and ~20%% below plain MPI-IO on writes.
+		for i := range Fig3Nodes {
+			if s[FUSE][i] > s[ROMIO][i] || s[FUSE][i] > s[LDPLFS][i] {
+				t.Errorf("ppn=%d nodes=%d: FUSE %.1f beats a PLFS library path",
+					ppn, Fig3Nodes[i], s[FUSE][i])
+			}
+		}
+		if r := plateau(s[FUSE]) / plateau(s[MPIIO]); r < 0.6 || r > 0.95 {
+			t.Errorf("ppn=%d: FUSE/MPI-IO plateau ratio = %.2f, want ~0.8", ppn, r)
+		}
+		// LDPLFS may slightly beat ROMIO (reduced per-call overhead).
+		if plateau(s[LDPLFS]) < plateau(s[ROMIO])*0.99 {
+			t.Errorf("ppn=%d: LDPLFS plateau %.1f below ROMIO %.1f",
+				ppn, plateau(s[LDPLFS]), plateau(s[ROMIO]))
+		}
+	}
+}
+
+func TestFig3ReadShape(t *testing.T) {
+	p := Minerva()
+	for _, ppn := range []int{1, 2, 4} {
+		s := p.Fig3Series(ppn, true, Fig3Nodes)
+		if plateau(s[ROMIO]) < plateau(s[MPIIO]) {
+			t.Errorf("ppn=%d: PLFS read plateau %.1f below MPI-IO %.1f",
+				ppn, plateau(s[ROMIO]), plateau(s[MPIIO]))
+		}
+		if plateau(s[FUSE]) > plateau(s[MPIIO]) {
+			t.Errorf("ppn=%d: FUSE read %.1f above MPI-IO %.1f",
+				ppn, plateau(s[FUSE]), plateau(s[MPIIO]))
+		}
+		for i := range Fig3Nodes {
+			if !within(s[LDPLFS][i], s[ROMIO][i], 0.10) {
+				t.Errorf("ppn=%d nodes=%d: read LDPLFS %.1f vs ROMIO %.1f",
+					ppn, Fig3Nodes[i], s[LDPLFS][i], s[ROMIO][i])
+			}
+		}
+	}
+}
+
+func TestFig3NodeWiseConsistencyAcrossPPN(t *testing.T) {
+	// "The node-wise performance should remain largely consistent, while
+	// the number of processors per node is varied."
+	p := Minerva()
+	for _, m := range Methods {
+		base := p.MPIIOTest(DefaultMPIIOTest(16, 1, m, false))
+		for _, ppn := range []int{2, 4} {
+			got := p.MPIIOTest(DefaultMPIIOTest(16, ppn, m, false))
+			if !within(got, base, 0.15) {
+				t.Errorf("%s: 16 nodes ppn=%d bw %.1f deviates >15%% from ppn=1 %.1f",
+					m, ppn, got, base)
+			}
+		}
+	}
+}
+
+func TestFig3BandwidthMagnitudes(t *testing.T) {
+	// Loose absolute sanity against the paper's axes (0-250 MB/s, PLFS
+	// plateau in the 200s, MPI-IO near 100-130).
+	p := Minerva()
+	s := p.Fig3Series(1, false, Fig3Nodes)
+	if v := plateau(s[ROMIO]); v < 180 || v > 280 {
+		t.Errorf("ROMIO plateau %.1f MB/s outside the paper's ~230 range", v)
+	}
+	if v := plateau(s[MPIIO]); v < 90 || v > 160 {
+		t.Errorf("MPI-IO plateau %.1f MB/s outside the paper's ~110 range", v)
+	}
+}
+
+// --- Fig. 4 shape assertions ---------------------------------------------
+
+func TestFig4aClassCShape(t *testing.T) {
+	p := Sierra()
+	s := p.BTSeries(BTClassC, Fig4aCores)
+	// PLFS rises monotonically with cores.
+	for i := 1; i < len(Fig4aCores); i++ {
+		if s[ROMIO][i] < s[ROMIO][i-1] {
+			t.Errorf("class C ROMIO not monotonic at %d cores: %.0f < %.0f",
+				Fig4aCores[i], s[ROMIO][i], s[ROMIO][i-1])
+		}
+	}
+	// At 1,024 cores PLFS reaches several GB/s while MPI-IO stays in the
+	// hundreds — the up-to-20x claim.
+	last := len(Fig4aCores) - 1
+	if r := s[ROMIO][last] / s[MPIIO][last]; r < 4 {
+		t.Errorf("class C at 1024 cores: ROMIO/MPI-IO = %.1fx, want >4x", r)
+	}
+	if s[ROMIO][last] < 2000 || s[ROMIO][last] > 6000 {
+		t.Errorf("class C ROMIO at 1024 cores = %.0f MB/s, paper shows ~3900", s[ROMIO][last])
+	}
+	// LDPLFS tracks ROMIO with slight divergence.
+	for i := range Fig4aCores {
+		if !within(s[LDPLFS][i], s[ROMIO][i], 0.10) {
+			t.Errorf("class C %d cores: LDPLFS %.0f vs ROMIO %.0f",
+				Fig4aCores[i], s[LDPLFS][i], s[ROMIO][i])
+		}
+	}
+}
+
+func TestFig4bClassDCacheDip(t *testing.T) {
+	p := Sierra()
+	s := p.BTSeries(BTClassD, Fig4bCores)
+	// Indices: 0=64, 1=256, 2=1024, 3=4096.
+	// The ~7 MB per-process writes at 1,024 cores defeat the cache: PLFS
+	// drops to vanilla MPI-IO's level.
+	if !within(s[ROMIO][2], s[MPIIO][2], 0.25) {
+		t.Errorf("class D at 1024: ROMIO %.0f should be ~MPI-IO %.0f", s[ROMIO][2], s[MPIIO][2])
+	}
+	// At 4,096 cores writes shrink below the threshold and caching returns.
+	if s[ROMIO][3] < 3*s[MPIIO][3] {
+		t.Errorf("class D at 4096: ROMIO %.0f should far exceed MPI-IO %.0f", s[ROMIO][3], s[MPIIO][3])
+	}
+	// And the dip is a real dip: 1024 < 256.
+	if s[ROMIO][2] >= s[ROMIO][1] {
+		t.Errorf("class D ROMIO has no dip: %.0f at 1024 vs %.0f at 256", s[ROMIO][2], s[ROMIO][1])
+	}
+	// PLFS still wins at 64 and 256 cores.
+	for i := 0; i < 2; i++ {
+		if s[ROMIO][i] <= s[MPIIO][i] {
+			t.Errorf("class D at %d cores: ROMIO %.0f <= MPI-IO %.0f",
+				Fig4bCores[i], s[ROMIO][i], s[MPIIO][i])
+		}
+	}
+}
+
+func TestBTWriteSizeMechanism(t *testing.T) {
+	// The paper's Section IV arithmetic: class C at 1,024 cores writes
+	// ~300 KB per process per step; class D ~7 MB at 1,024 and <2 MB at
+	// 4,096. Verify the model runs on the same numbers.
+	perProc := func(c BTClass, cores int) int64 {
+		return c.TotalBytes / int64(c.Steps) / int64(cores)
+	}
+	if v := perProc(BTClassC, 1024); v < 300<<10 || v > 350<<10 {
+		t.Errorf("class C per-proc write at 1024 = %d, want ~300 KB", v)
+	}
+	if v := perProc(BTClassD, 1024); v < 6<<20 || v > 8<<20 {
+		t.Errorf("class D per-proc write at 1024 = %d, want ~7 MB", v)
+	}
+	if v := perProc(BTClassD, 4096); v >= 2<<20 {
+		t.Errorf("class D per-proc write at 4096 = %d, want <2 MB", v)
+	}
+	p := Sierra()
+	if perProc(BTClassD, 1024) <= p.CacheThreshold {
+		t.Error("class D at 1024 should exceed the cache threshold")
+	}
+	if perProc(BTClassD, 4096) > p.CacheThreshold {
+		t.Error("class D at 4096 should fit the cache threshold")
+	}
+}
+
+// --- Fig. 5 shape assertions ---------------------------------------------
+
+func TestFig5FlashShape(t *testing.T) {
+	p := Sierra()
+	s := p.FlashSeries(Fig5Cores)
+
+	// MPI-IO rises gently to ~550 MB/s.
+	for i := 1; i < len(Fig5Cores); i++ {
+		if s[MPIIO][i] < s[MPIIO][i-1] {
+			t.Errorf("MPI-IO not monotonic at %d cores", Fig5Cores[i])
+		}
+	}
+	if v := s[MPIIO][len(Fig5Cores)-1]; v < 450 || v > 700 {
+		t.Errorf("MPI-IO plateau = %.0f, paper shows ~550", v)
+	}
+
+	// PLFS peaks at 192 cores then collapses.
+	peakIdx := 0
+	for i, v := range s[ROMIO] {
+		if v > s[ROMIO][peakIdx] {
+			peakIdx = i
+		}
+	}
+	if Fig5Cores[peakIdx] != 192 {
+		t.Errorf("PLFS peak at %d cores, paper peaks at 192", Fig5Cores[peakIdx])
+	}
+	if v := s[ROMIO][peakIdx]; v < 1200 || v > 2200 {
+		t.Errorf("PLFS peak = %.0f MB/s, paper shows ~1650", v)
+	}
+	// At 3,072 cores PLFS has fallen far below MPI-IO — PLFS "can actually
+	// harm performance at scale".
+	last := len(Fig5Cores) - 1
+	if s[ROMIO][last] >= s[MPIIO][last] {
+		t.Errorf("at 3072 cores PLFS %.0f should be below MPI-IO %.0f",
+			s[ROMIO][last], s[MPIIO][last])
+	}
+	if v := s[ROMIO][last]; v < 100 || v > 350 {
+		t.Errorf("PLFS at 3072 = %.0f MB/s, paper shows ~210", v)
+	}
+}
+
+func TestFig5MDSLoadMatters(t *testing.T) {
+	// Removing the MDS bottleneck (distributed metadata, "on a file
+	// system like GPFS ... these performance decreases may not
+	// materialise") must soften the collapse.
+	withMDS := Sierra()
+	noMDS := Sierra()
+	noMDS.MDS = nil
+	a := withMDS.FlashBandwidth(DefaultFlash(3072, ROMIO))
+	b := noMDS.FlashBandwidth(DefaultFlash(3072, ROMIO))
+	if b <= a {
+		t.Errorf("removing the MDS should raise bandwidth: with=%.0f without=%.0f", a, b)
+	}
+}
+
+func TestMDSModelDegradesWithClients(t *testing.T) {
+	m := MDSModel{BaseService: 1e-3, LoadK: 48}
+	if m.Service(0) != 1e-3 {
+		t.Errorf("uncontended service = %v", m.Service(0))
+	}
+	if m.Service(48) != 2e-3 {
+		t.Errorf("service at LoadK = %v, want doubled", m.Service(48))
+	}
+	if m.Service(3072) <= m.Service(192) {
+		t.Error("service must degrade with client count")
+	}
+}
+
+// --- Table II assertions ---------------------------------------------------
+
+func TestTableIIMatchesPaper(t *testing.T) {
+	// Paper's measured seconds for a 4 GB file.
+	paper := map[string][2]float64{ // command -> {plfs, unix}
+		"cp (read)":  {100.713, 114.279},
+		"cp (write)": {107.587, 0},
+		"cat":        {25.186, 25.433},
+		"grep":       {130.662, 128.863},
+		"md5sum":     {26.970, 26.781},
+	}
+	rows := Minerva().TableII()
+	if len(rows) != len(paper) {
+		t.Fatalf("TableII has %d rows, want %d", len(rows), len(paper))
+	}
+	for _, r := range rows {
+		want, ok := paper[r.Command]
+		if !ok {
+			t.Fatalf("unexpected row %q", r.Command)
+		}
+		if !within(r.PlfsSecs, want[0], 0.10) {
+			t.Errorf("%s plfs = %.1fs, paper %.1fs (>10%% off)", r.Command, r.PlfsSecs, want[0])
+		}
+		if want[1] > 0 && !within(r.UnixSecs, want[1], 0.10) {
+			t.Errorf("%s unix = %.1fs, paper %.1fs (>10%% off)", r.Command, r.UnixSecs, want[1])
+		}
+	}
+}
+
+func TestTableIIPlfsMarginallyFaster(t *testing.T) {
+	// "PLFS is marginally faster when copying to or from a PLFS file."
+	rows := Minerva().TableII()
+	byCmd := map[string]TableIIRow{}
+	for _, r := range rows {
+		byCmd[r.Command] = r
+	}
+	cpPlain := byCmd["cp (read)"].UnixSecs
+	if byCmd["cp (read)"].PlfsSecs >= cpPlain {
+		t.Error("cp from PLFS should beat plain cp")
+	}
+	if byCmd["cp (write)"].PlfsSecs >= cpPlain {
+		t.Error("cp into PLFS should beat plain cp")
+	}
+	// Serial tools are "largely the same" (within ~5%).
+	for _, cmd := range []string{"cat", "grep", "md5sum"} {
+		r := byCmd[cmd]
+		if !within(r.PlfsSecs, r.UnixSecs, 0.06) {
+			t.Errorf("%s: plfs %.1f vs unix %.1f differ >6%%", cmd, r.PlfsSecs, r.UnixSecs)
+		}
+	}
+}
+
+// --- misc ------------------------------------------------------------------
+
+func TestMethodString(t *testing.T) {
+	want := map[Method]string{MPIIO: "MPI-IO", FUSE: "FUSE", ROMIO: "ROMIO", LDPLFS: "LDPLFS"}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q", int(m), m.String())
+		}
+	}
+	if Method(99).String() == "" {
+		t.Error("unknown method has empty name")
+	}
+	if MPIIO.UsesPLFS() || !LDPLFS.UsesPLFS() || !FUSE.UsesPLFS() || !ROMIO.UsesPLFS() {
+		t.Error("UsesPLFS misclassifies")
+	}
+}
+
+func TestPlatformInventoriesMatchTableI(t *testing.T) {
+	min, sie := Minerva(), Sierra()
+	if min.IOServers != 2 || min.DataDisks != 96 || min.TotalNodes != 258 || min.CoresPerNode != 12 {
+		t.Errorf("Minerva inventory drifted: %+v", min)
+	}
+	if sie.IOServers != 24 || sie.DataDisks != 3600 || sie.TotalNodes != 1849 {
+		t.Errorf("Sierra inventory drifted")
+	}
+	if min.MDS != nil {
+		t.Error("GPFS has distributed metadata; Minerva must not have an MDS model")
+	}
+	if sie.MDS == nil {
+		t.Error("Sierra's Lustre needs a dedicated MDS model")
+	}
+}
+
+func TestMPIIOTestDeterministic(t *testing.T) {
+	p := Minerva()
+	a := p.MPIIOTest(DefaultMPIIOTest(8, 2, LDPLFS, false))
+	b := p.MPIIOTest(DefaultMPIIOTest(8, 2, LDPLFS, false))
+	if a != b {
+		t.Fatalf("model is nondeterministic: %v vs %v", a, b)
+	}
+}

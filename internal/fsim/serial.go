@@ -1,0 +1,92 @@
+package fsim
+
+// SerialTool models one of Table II's UNIX tools: its I/O request size
+// (which matters to PLFS, whose read fan-in rewards large requests) and
+// its CPU processing rate (grep is compute-bound; cat is pure I/O).
+type SerialTool struct {
+	Name    string
+	BufSize int64   // read/write request size the tool issues
+	CPURate float64 // bytes/s of processing; 0 = unbounded
+	Writes  bool    // tool writes its input back out (cp)
+}
+
+// The tools of Table II. Buffer sizes follow coreutils defaults (cp uses
+// large buffers; cat/grep/md5sum stream in small chunks).
+var (
+	ToolCp     = SerialTool{Name: "cp", BufSize: 4 << 20, Writes: true}
+	ToolCat    = SerialTool{Name: "cat", BufSize: 128 << 10}
+	ToolGrep   = SerialTool{Name: "grep", BufSize: 128 << 10, CPURate: 39.3e6}
+	ToolMd5sum = SerialTool{Name: "md5sum", BufSize: 128 << 10, CPURate: 3.06e9}
+)
+
+// plfsReadRate returns the container read rate for a given request size:
+// large requests overlap several dropping streams and beat a flat file,
+// small requests pay the index fan-in and roughly match it.
+func (p *Platform) plfsReadRate(bufSize int64) float64 {
+	if bufSize >= 1<<20 {
+		return p.PlfsReadLargeBuf
+	}
+	return p.PlfsReadSmallBuf
+}
+
+// SerialToolTime models the seconds a tool takes over fileBytes on the
+// login node. srcPlfs/dstPlfs say whether the input (and, for writing
+// tools, the output) is a PLFS container accessed through LDPLFS or a
+// plain UNIX file.
+func (p *Platform) SerialToolTime(tool SerialTool, fileBytes int64, srcPlfs, dstPlfs bool) float64 {
+	readRate := p.SerialRead
+	if srcPlfs {
+		readRate = p.plfsReadRate(tool.BufSize)
+	}
+	t := float64(fileBytes) / readRate
+	if tool.CPURate > 0 {
+		t += float64(fileBytes) / tool.CPURate
+	}
+	if tool.Writes {
+		writeRate := p.SerialWrite
+		if dstPlfs {
+			writeRate = p.PlfsSerialWrite
+		}
+		t += float64(fileBytes) / writeRate
+	}
+	return t
+}
+
+// TableIIRow is one row of the paper's Table II.
+type TableIIRow struct {
+	Command  string
+	PlfsSecs float64 // via a PLFS container through LDPLFS
+	UnixSecs float64 // plain UNIX file (blank for cp write in the paper)
+}
+
+// TableII reproduces the paper's Table II: UNIX tools over a 4 GB file.
+func (p *Platform) TableII() []TableIIRow {
+	const size = 4_000_000_000 // the paper's "4 GB" container
+	return []TableIIRow{
+		{
+			Command:  "cp (read)",
+			PlfsSecs: p.SerialToolTime(ToolCp, size, true, false),
+			UnixSecs: p.SerialToolTime(ToolCp, size, false, false),
+		},
+		{
+			Command:  "cp (write)",
+			PlfsSecs: p.SerialToolTime(ToolCp, size, false, true),
+			UnixSecs: 0, // the paper reports a single plain-cp time
+		},
+		{
+			Command:  "cat",
+			PlfsSecs: p.SerialToolTime(ToolCat, size, true, false),
+			UnixSecs: p.SerialToolTime(ToolCat, size, false, false),
+		},
+		{
+			Command:  "grep",
+			PlfsSecs: p.SerialToolTime(ToolGrep, size, true, false),
+			UnixSecs: p.SerialToolTime(ToolGrep, size, false, false),
+		},
+		{
+			Command:  "md5sum",
+			PlfsSecs: p.SerialToolTime(ToolMd5sum, size, true, false),
+			UnixSecs: p.SerialToolTime(ToolMd5sum, size, false, false),
+		},
+	}
+}

@@ -1,0 +1,163 @@
+package fsim
+
+// The paper's future work (§V-A) proposes investigating "the low-level
+// performance effects of a log-based file system and file partitioning in
+// isolation", and using the performance model to predict "where perhaps
+// using just file partitioning or a log-based file system will provide
+// greater performance". This file implements that study on the Sierra
+// model.
+
+// Variant selects which half of PLFS's design is active.
+type Variant int
+
+// PLFS design variants.
+const (
+	// FullPLFS combines file partitioning and the log structure — the
+	// shipped design: per-process data+index droppings, sequential
+	// appends.
+	FullPLFS Variant = iota
+	// PartitionOnly keeps one file per process but writes in place at
+	// logical offsets: no index, half the creates and streams, but
+	// interior writes pay seek costs.
+	PartitionOnly
+	// LogOnly keeps a single shared append log (plus one shared index):
+	// constant metadata load regardless of scale, but every writer
+	// contends for the log tail.
+	LogOnly
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case FullPLFS:
+		return "PLFS (partition+log)"
+	case PartitionOnly:
+		return "partition-only"
+	case LogOnly:
+		return "log-only"
+	}
+	return "?"
+}
+
+// Variants lists all three for sweeps.
+var Variants = []Variant{FullPLFS, PartitionOnly, LogOnly}
+
+// FlashVariant returns the modelled FLASH-IO bandwidth (MB/s) at the
+// given scale for one design variant, isolating which half of PLFS
+// causes the Fig. 5 collapse.
+func (p *Platform) FlashVariant(cores int, v Variant) float64 {
+	job := DefaultFlash(cores, LDPLFS)
+	nodes := (cores + p.CoresPerNode - 1) / p.CoresPerNode
+	totalBytes := float64(cores) * float64(job.BytesPerProc)
+
+	var streams, createsPerFile float64
+	seekPenalty := 1.0
+	switch v {
+	case FullPLFS:
+		streams = float64(2 * cores) // data + index droppings
+		createsPerFile = float64(2*cores + nodes + 4)
+	case PartitionOnly:
+		streams = float64(cores) // data files only
+		createsPerFile = float64(cores + nodes + 4)
+		// In-place interior writes cost extra seeks versus pure appends.
+		seekPenalty = 0.85
+	case LogOnly:
+		streams = 2 // one shared log + one shared index
+		createsPerFile = 4
+		// Every writer serialises on the shared log tail: the effective
+		// bandwidth is the shared-file plateau (append coordination is
+		// the same token dance as shared-file writes), though cheaper
+		// than strided shared writes because the log is sequential.
+		shared := 1.35 * p.SharedPlateau * float64(nodes) / (float64(nodes) + p.SharedK)
+		return shared / 1e6
+	}
+
+	nodeBound := float64(nodes) * p.NodeWriteBW
+	backend := p.OSSAggBW / (1 + streams/p.StreamK)
+	dataBW := minf(nodeBound, backend) * seekPenalty
+	dataTime := totalBytes / dataBW
+
+	metaTime := 0.0
+	if p.MDS != nil {
+		metaTime = float64(job.Files) * createsPerFile * p.MDS.Service(cores)
+	}
+	return totalBytes / (dataTime + metaTime) / 1e6
+}
+
+// VariantSeries sweeps FLASH-IO over the Fig. 5 core counts for every
+// variant (plus plain MPI-IO as the baseline).
+func (p *Platform) VariantSeries(coreCounts []int) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, v := range Variants {
+		series := make([]float64, len(coreCounts))
+		for i, c := range coreCounts {
+			series[i] = p.FlashVariant(c, v)
+		}
+		out[v.String()] = series
+	}
+	base := make([]float64, len(coreCounts))
+	for i, c := range coreCounts {
+		base[i] = p.FlashBandwidth(DefaultFlash(c, MPIIO))
+	}
+	out["MPI-IO"] = base
+	return out
+}
+
+// Advice is the model's recommendation for a workload — the paper's
+// proposed auto-optimisation aid.
+type Advice struct {
+	Method    Method
+	Variant   Variant // meaningful when Method uses PLFS
+	Predicted map[string]float64
+	Reason    string
+}
+
+// AdviseCheckpoint recommends an access method for a FLASH-like
+// weak-scaled checkpoint at the given core count.
+func (p *Platform) AdviseCheckpoint(cores int) Advice {
+	a := Advice{Predicted: map[string]float64{}}
+	mpiioBW := p.FlashBandwidth(DefaultFlash(cores, MPIIO))
+	a.Predicted["MPI-IO"] = mpiioBW
+	best, bestBW := FullPLFS, 0.0
+	for _, v := range Variants {
+		bw := p.FlashVariant(cores, v)
+		a.Predicted[v.String()] = bw
+		if bw > bestBW {
+			best, bestBW = v, bw
+		}
+	}
+	if bestBW > mpiioBW {
+		a.Method, a.Variant = LDPLFS, best
+		a.Reason = "PLFS wins at this scale; preload LDPLFS (no rebuild needed)"
+		if best != FullPLFS {
+			a.Reason = "a reduced PLFS variant avoids the metadata/stream costs that cap the full design here"
+		}
+	} else {
+		a.Method = MPIIO
+		a.Reason = "per-process file costs exceed the partitioning benefit at this scale; leave PLFS off"
+	}
+	return a
+}
+
+// AdviseSmallWrites recommends a method for BT-like small strided
+// checkpoint writes at the given scale.
+func (p *Platform) AdviseSmallWrites(class BTClass, cores int) Advice {
+	a := Advice{Predicted: map[string]float64{}}
+	m := p.BTBandwidth(BTJob{Class: class, Cores: cores, Method: MPIIO})
+	l := p.BTBandwidth(BTJob{Class: class, Cores: cores, Method: LDPLFS})
+	a.Predicted["MPI-IO"] = m
+	a.Predicted["LDPLFS"] = l
+	if l > m {
+		a.Method = LDPLFS
+		perProc := class.TotalBytes / int64(class.Steps) / int64(cores)
+		if perProc <= p.CacheThreshold {
+			a.Reason = "per-process writes fit the client cache; PLFS clears them instantly"
+		} else {
+			a.Reason = "per-process streams beat shared-file lock serialisation"
+		}
+	} else {
+		a.Method = MPIIO
+		a.Reason = "write size defeats the cache and stream contention erodes the backend; PLFS does not pay"
+	}
+	return a
+}

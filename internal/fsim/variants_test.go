@@ -1,0 +1,92 @@
+package fsim
+
+import "testing"
+
+func TestVariantsIsolateTheCollapse(t *testing.T) {
+	p := Sierra()
+	const small, large = 192, 3072
+
+	full := p.FlashVariant(large, FullPLFS)
+	part := p.FlashVariant(large, PartitionOnly)
+	logOnly := p.FlashVariant(large, LogOnly)
+	mpiio := p.FlashBandwidth(DefaultFlash(large, MPIIO))
+
+	// The collapse is driven by per-process files: partition-only still
+	// collapses (half the files, still O(cores)), log-only does not.
+	if part < full {
+		t.Errorf("partition-only (%.0f) should not be below full PLFS (%.0f) at scale", part, full)
+	}
+	if logOnly < mpiio*0.8 {
+		t.Errorf("log-only (%.0f) should hold near the shared plateau (%.0f)", logOnly, mpiio)
+	}
+	if logOnly < full {
+		t.Errorf("log-only (%.0f) must beat full PLFS (%.0f) at 3072 cores — the paper's future-work hypothesis", logOnly, full)
+	}
+
+	// At the sweet spot, full PLFS wins: the partitioned streams are the
+	// whole point.
+	fullSmall := p.FlashVariant(small, FullPLFS)
+	logSmall := p.FlashVariant(small, LogOnly)
+	if fullSmall <= logSmall {
+		t.Errorf("at %d cores full PLFS (%.0f) should beat log-only (%.0f)", small, fullSmall, logSmall)
+	}
+}
+
+func TestVariantSeriesComplete(t *testing.T) {
+	p := Sierra()
+	out := p.VariantSeries(Fig5Cores)
+	for _, key := range []string{"PLFS (partition+log)", "partition-only", "log-only", "MPI-IO"} {
+		series, ok := out[key]
+		if !ok {
+			t.Fatalf("missing series %q", key)
+		}
+		if len(series) != len(Fig5Cores) {
+			t.Fatalf("series %q has %d points", key, len(series))
+		}
+		for i, v := range series {
+			if v <= 0 {
+				t.Fatalf("series %q point %d nonpositive: %v", key, i, v)
+			}
+		}
+	}
+}
+
+func TestAdviseCheckpointFlipsWithScale(t *testing.T) {
+	p := Sierra()
+	sweet := p.AdviseCheckpoint(192)
+	if sweet.Method != LDPLFS {
+		t.Errorf("at 192 cores advice = %v (%s), want LDPLFS", sweet.Method, sweet.Reason)
+	}
+	huge := p.AdviseCheckpoint(3072)
+	if huge.Method == LDPLFS && huge.Variant == FullPLFS {
+		t.Errorf("at 3072 cores full PLFS advised despite the collapse (%s)", huge.Reason)
+	}
+	if len(huge.Predicted) < 4 {
+		t.Errorf("advice lacks predictions: %v", huge.Predicted)
+	}
+}
+
+func TestAdviseSmallWrites(t *testing.T) {
+	p := Sierra()
+	// Class C at 1,024 cores: 300 KB writes, cache heaven -> LDPLFS.
+	c := p.AdviseSmallWrites(BTClassC, 1024)
+	if c.Method != LDPLFS {
+		t.Errorf("class C/1024 advice = %v (%s)", c.Method, c.Reason)
+	}
+	// Class D at 1,024 cores: the dip — PLFS buys nothing; either answer
+	// must at least predict near-parity.
+	d := p.AdviseSmallWrites(BTClassD, 1024)
+	ratio := d.Predicted["LDPLFS"] / d.Predicted["MPI-IO"]
+	if ratio > 1.3 || ratio < 0.7 {
+		t.Errorf("class D/1024 should predict near-parity, got ratio %.2f", ratio)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if FullPLFS.String() == "" || PartitionOnly.String() == "" || LogOnly.String() == "" {
+		t.Error("variant names empty")
+	}
+	if Variant(99).String() != "?" {
+		t.Error("unknown variant not flagged")
+	}
+}

@@ -1,0 +1,83 @@
+// Package harness wires the paper's four access methods onto a backing
+// store for the command-line tools and benchmarks: given a method name it
+// produces the per-rank ADIO driver and the path the application should
+// open. The conventions match the experiments: PLFS containers live under
+// /backend, the PLFS mount point is /mnt/plfs, plain shared files live
+// under /scratch.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"ldplfs/internal/core"
+	"ldplfs/internal/fuse"
+	"ldplfs/internal/mpiio"
+	"ldplfs/internal/plfs"
+	"ldplfs/internal/posix"
+)
+
+// Standard layout used by the tools.
+const (
+	ScratchDir = "/scratch"
+	BackendDir = "/backend"
+	MountPoint = "/mnt/plfs"
+)
+
+// Methods lists the accepted method names.
+var Methods = []string{"mpiio", "fuse", "romio", "ldplfs"}
+
+// NewStore prepares a backing FS with the standard directories.
+func NewStore() *posix.MemFS {
+	mem := posix.NewMemFS()
+	for _, d := range []string{ScratchDir, BackendDir} {
+		if err := mem.Mkdir(d, 0o755); err != nil {
+			panic(fmt.Sprintf("harness: mkdir %s: %v", d, err))
+		}
+	}
+	return mem
+}
+
+// PrepareStore creates the standard directories on an existing FS (for
+// OS-backed stores); existing directories are fine.
+func PrepareStore(fs posix.FS) error {
+	for _, d := range []string{ScratchDir, BackendDir} {
+		if err := fs.Mkdir(d, 0o755); err != nil && err != posix.EEXIST {
+			return fmt.Errorf("harness: mkdir %s: %w", d, err)
+		}
+	}
+	return nil
+}
+
+// DriverFor builds the per-rank ADIO driver for a named method over fs,
+// and returns the application-visible path for the given file name.
+func DriverFor(method string, fs posix.FS, rank int) (mpiio.Driver, func(name string) string, error) {
+	switch method {
+	case "mpiio":
+		return mpiio.NewUFS(posix.NewDispatch(fs)),
+			func(name string) string { return ScratchDir + "/" + name }, nil
+	case "romio":
+		p := plfs.New(fs, plfs.DefaultOptions())
+		drv := mpiio.NewPLFSDriver(p, func(path string) (string, bool) {
+			if strings.HasPrefix(path, MountPoint+"/") {
+				return BackendDir + path[len(MountPoint):], true
+			}
+			return "", false
+		})
+		return drv, func(name string) string { return MountPoint + "/" + name }, nil
+	case "ldplfs":
+		d := posix.NewDispatch(fs)
+		if _, err := core.Preload(d, core.Config{
+			Mounts: []core.Mount{{Point: MountPoint, Backend: BackendDir}},
+			Pid:    uint32(rank),
+		}); err != nil {
+			return nil, nil, err
+		}
+		return mpiio.NewUFS(d),
+			func(name string) string { return MountPoint + "/" + name }, nil
+	case "fuse":
+		return mpiio.NewUFS(fuse.Mount(fs, MountPoint, BackendDir, plfs.DefaultOptions())),
+			func(name string) string { return MountPoint + "/" + name }, nil
+	}
+	return nil, nil, fmt.Errorf("harness: unknown method %q (want one of %v)", method, Methods)
+}

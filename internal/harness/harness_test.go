@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"ldplfs/internal/mpi"
+	"ldplfs/internal/mpiio"
+	"ldplfs/internal/posix"
+)
+
+func TestNewStoreLayout(t *testing.T) {
+	store := NewStore()
+	for _, d := range []string{ScratchDir, BackendDir} {
+		st, err := store.Stat(d)
+		if err != nil || !st.IsDir() {
+			t.Fatalf("%s: %+v, %v", d, st, err)
+		}
+	}
+}
+
+func TestPrepareStoreIdempotent(t *testing.T) {
+	mem := posix.NewMemFS()
+	if err := PrepareStore(mem); err != nil {
+		t.Fatal(err)
+	}
+	if err := PrepareStore(mem); err != nil {
+		t.Fatalf("second PrepareStore: %v", err)
+	}
+}
+
+func TestDriverForAllMethods(t *testing.T) {
+	for _, method := range Methods {
+		method := method
+		t.Run(method, func(t *testing.T) {
+			store := NewStore()
+			err := mpi.Run(4, 2, func(r *mpi.Rank) {
+				drv, pathFor, err := DriverFor(method, store, r.Rank())
+				if err != nil {
+					panic(err)
+				}
+				fh, err := mpiio.Open(r, drv, pathFor("t"), mpiio.ModeCreate|mpiio.ModeRdwr, mpiio.DefaultHints())
+				if err != nil {
+					panic(err)
+				}
+				buf := bytes.Repeat([]byte{byte(r.Rank() + 1)}, 512)
+				if _, err := fh.WriteAtAll(buf, int64(r.Rank())*512); err != nil {
+					panic(err)
+				}
+				got := make([]byte, 512)
+				peer := (r.Rank() + 1) % 4
+				if _, err := fh.ReadAtAll(got, int64(peer)*512); err != nil {
+					panic(err)
+				}
+				if got[0] != byte(peer+1) {
+					panic("wrong bytes through harness driver")
+				}
+				fh.Close()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDriverForUnknownMethod(t *testing.T) {
+	if _, _, err := DriverFor("nfs", NewStore(), 0); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestPLFSMethodsShareContainers(t *testing.T) {
+	// A container written via romio must be readable via ldplfs: both
+	// route to the same backend layout.
+	store := NewStore()
+	err := mpi.Run(1, 1, func(r *mpi.Rank) {
+		drv, pathFor, _ := DriverFor("romio", store, 0)
+		fh, err := mpiio.Open(r, drv, pathFor("shared"), mpiio.ModeCreate|mpiio.ModeWronly, mpiio.DefaultHints())
+		if err != nil {
+			panic(err)
+		}
+		fh.WriteAtAll([]byte("cross-method"), 0)
+		fh.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mpi.Run(1, 1, func(r *mpi.Rank) {
+		drv, pathFor, _ := DriverFor("ldplfs", store, 0)
+		fh, err := mpiio.Open(r, drv, pathFor("shared"), mpiio.ModeRdonly, mpiio.DefaultHints())
+		if err != nil {
+			panic(err)
+		}
+		got := make([]byte, 12)
+		if n, err := fh.ReadAtAll(got, 0); err != nil || string(got[:n]) != "cross-method" {
+			panic("container not shared across methods")
+		}
+		fh.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package hdf5 implements a miniature HDF5-flavoured container layout:
+// a signed superblock, a dataset table (object headers), and contiguous
+// typed datasets. FLASH-IO writes its checkpoints through this layer the
+// way the real benchmark writes through the HDF-5 library: metadata from
+// rank 0, dataset hyperslabs collectively from every rank.
+//
+// The format is self-describing and byte-stable, but deliberately a
+// subset of real HDF5: enough structure that the I/O pattern (a serial
+// header write followed by large aligned collective dataset writes)
+// matches the paper's workload, which is what the reproduction needs.
+package hdf5
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Signature opens every file (the real HDF5 magic).
+var Signature = [8]byte{0x89, 'H', 'D', 'F', '\r', '\n', 0x1a, '\n'}
+
+// Dataset describes one named, typed, n-dimensional dataset.
+type Dataset struct {
+	Name     string
+	ElemSize int      // bytes per element (8 for float64)
+	Dims     []uint64 // row-major
+	// Offset is the absolute file offset of the dataset's contiguous
+	// payload, filled in by BuildLayout.
+	Offset int64
+}
+
+// Elements returns the total element count.
+func (d *Dataset) Elements() uint64 {
+	n := uint64(1)
+	for _, v := range d.Dims {
+		n *= v
+	}
+	return n
+}
+
+// Bytes returns the payload size.
+func (d *Dataset) Bytes() int64 { return int64(d.Elements()) * int64(d.ElemSize) }
+
+// File is an in-memory description of a (mini-)HDF5 file layout.
+type File struct {
+	Datasets []Dataset
+	// HeaderBytes is the size of the serialised header; dataset payloads
+	// start at aligned offsets beyond it.
+	HeaderBytes int64
+}
+
+// alignment keeps dataset starts block-aligned, as HDF5 alignment tuning
+// does for parallel file systems.
+const alignment = 4096
+
+func align(off int64) int64 {
+	if rem := off % alignment; rem != 0 {
+		return off + alignment - rem
+	}
+	return off
+}
+
+// BuildLayout computes header size and dataset offsets for the given
+// datasets (in order).
+func BuildLayout(datasets []Dataset) (*File, error) {
+	f := &File{Datasets: make([]Dataset, len(datasets))}
+	copy(f.Datasets, datasets)
+	names := map[string]bool{}
+	for i := range f.Datasets {
+		d := &f.Datasets[i]
+		if d.Name == "" || d.ElemSize <= 0 || len(d.Dims) == 0 {
+			return nil, fmt.Errorf("hdf5: invalid dataset %+v", d)
+		}
+		if names[d.Name] {
+			return nil, fmt.Errorf("hdf5: duplicate dataset %q", d.Name)
+		}
+		names[d.Name] = true
+	}
+	hdr := f.encodeHeader() // offsets still zero; size is what matters
+	f.HeaderBytes = int64(len(hdr))
+	off := align(f.HeaderBytes)
+	for i := range f.Datasets {
+		f.Datasets[i].Offset = off
+		off = align(off + f.Datasets[i].Bytes())
+	}
+	return f, nil
+}
+
+// encodeHeader serialises the superblock and dataset table.
+func (f *File) encodeHeader() []byte {
+	var out []byte
+	out = append(out, Signature[:]...)
+	var word [8]byte
+	binary.LittleEndian.PutUint64(word[:], uint64(len(f.Datasets)))
+	out = append(out, word[:]...)
+	for i := range f.Datasets {
+		d := &f.Datasets[i]
+		out = append(out, byte(len(d.Name)))
+		out = append(out, d.Name...)
+		binary.LittleEndian.PutUint64(word[:], uint64(d.ElemSize))
+		out = append(out, word[:]...)
+		binary.LittleEndian.PutUint64(word[:], uint64(len(d.Dims)))
+		out = append(out, word[:]...)
+		for _, v := range d.Dims {
+			binary.LittleEndian.PutUint64(word[:], v)
+			out = append(out, word[:]...)
+		}
+		binary.LittleEndian.PutUint64(word[:], uint64(d.Offset))
+		out = append(out, word[:]...)
+	}
+	return out
+}
+
+// Header returns the final serialised header (offsets resolved).
+func (f *File) Header() []byte { return f.encodeHeader() }
+
+// Lookup finds a dataset by name.
+func (f *File) Lookup(name string) (*Dataset, error) {
+	for i := range f.Datasets {
+		if f.Datasets[i].Name == name {
+			return &f.Datasets[i], nil
+		}
+	}
+	return nil, fmt.Errorf("hdf5: no dataset %q", name)
+}
+
+// ParseHeader decodes a header produced by Header. It needs at most
+// MaxHeader bytes of the file's prefix.
+func ParseHeader(b []byte) (*File, error) {
+	if len(b) < 16 {
+		return nil, fmt.Errorf("hdf5: short header")
+	}
+	for i, c := range Signature {
+		if b[i] != c {
+			return nil, fmt.Errorf("hdf5: bad signature")
+		}
+	}
+	n := binary.LittleEndian.Uint64(b[8:])
+	if n > 1<<20 {
+		return nil, fmt.Errorf("hdf5: implausible dataset count %d", n)
+	}
+	pos := 16
+	f := &File{}
+	need := func(k int) error {
+		if pos+k > len(b) {
+			return fmt.Errorf("hdf5: truncated header")
+		}
+		return nil
+	}
+	for i := uint64(0); i < n; i++ {
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		nameLen := int(b[pos])
+		pos++
+		if err := need(nameLen + 16); err != nil {
+			return nil, err
+		}
+		d := Dataset{Name: string(b[pos : pos+nameLen])}
+		pos += nameLen
+		d.ElemSize = int(binary.LittleEndian.Uint64(b[pos:]))
+		pos += 8
+		nd := binary.LittleEndian.Uint64(b[pos:])
+		pos += 8
+		if nd > 16 {
+			return nil, fmt.Errorf("hdf5: implausible rank %d", nd)
+		}
+		if err := need(int(nd)*8 + 8); err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < nd; j++ {
+			d.Dims = append(d.Dims, binary.LittleEndian.Uint64(b[pos:]))
+			pos += 8
+		}
+		d.Offset = int64(binary.LittleEndian.Uint64(b[pos:]))
+		pos += 8
+		f.Datasets = append(f.Datasets, d)
+	}
+	f.HeaderBytes = int64(pos)
+	return f, nil
+}
+
+// MaxHeader bounds how much prefix a reader must fetch to parse any
+// header this package writes.
+const MaxHeader = 1 << 20

@@ -1,0 +1,123 @@
+package hdf5
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLayoutRoundTrip(t *testing.T) {
+	f, err := BuildLayout([]Dataset{
+		{Name: "unknowns", ElemSize: 8, Dims: []uint64{80, 24, 24, 24, 5}},
+		{Name: "coords", ElemSize: 8, Dims: []uint64{80, 3}},
+		{Name: "refine level", ElemSize: 4, Dims: []uint64{80}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := f.Header()
+	got, err := ParseHeader(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Datasets) != 3 {
+		t.Fatalf("parsed %d datasets", len(got.Datasets))
+	}
+	for i, d := range got.Datasets {
+		want := f.Datasets[i]
+		if d.Name != want.Name || d.ElemSize != want.ElemSize || d.Offset != want.Offset {
+			t.Fatalf("dataset %d: %+v != %+v", i, d, want)
+		}
+		for j := range want.Dims {
+			if d.Dims[j] != want.Dims[j] {
+				t.Fatalf("dataset %d dims differ", i)
+			}
+		}
+	}
+}
+
+func TestLayoutNonOverlappingAligned(t *testing.T) {
+	f, err := BuildLayout([]Dataset{
+		{Name: "a", ElemSize: 8, Dims: []uint64{1000}},
+		{Name: "b", ElemSize: 8, Dims: []uint64{1}},
+		{Name: "c", ElemSize: 1, Dims: []uint64{4096, 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevEnd := f.HeaderBytes
+	for _, d := range f.Datasets {
+		if d.Offset < prevEnd {
+			t.Fatalf("dataset %s at %d overlaps previous end %d", d.Name, d.Offset, prevEnd)
+		}
+		if d.Offset%alignment != 0 {
+			t.Fatalf("dataset %s offset %d not aligned", d.Name, d.Offset)
+		}
+		prevEnd = d.Offset + d.Bytes()
+	}
+}
+
+func TestLayoutRejectsBadInput(t *testing.T) {
+	cases := [][]Dataset{
+		{{Name: "", ElemSize: 8, Dims: []uint64{1}}},
+		{{Name: "x", ElemSize: 0, Dims: []uint64{1}}},
+		{{Name: "x", ElemSize: 8, Dims: nil}},
+		{{Name: "x", ElemSize: 8, Dims: []uint64{1}}, {Name: "x", ElemSize: 8, Dims: []uint64{2}}},
+	}
+	for i, c := range cases {
+		if _, err := BuildLayout(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestParseHeaderRejectsGarbage(t *testing.T) {
+	if _, err := ParseHeader([]byte("not an hdf5 file at all......")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ParseHeader(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	// Truncations of a valid header must error, not panic.
+	f, _ := BuildLayout([]Dataset{{Name: "d", ElemSize: 8, Dims: []uint64{5, 5}}})
+	hdr := f.Header()
+	for cut := 1; cut < len(hdr); cut++ {
+		if _, err := ParseHeader(hdr[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	f, _ := BuildLayout([]Dataset{{Name: "var", ElemSize: 8, Dims: []uint64{2}}})
+	if _, err := f.Lookup("var"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Lookup("absent"); err == nil {
+		t.Fatal("lookup of absent dataset succeeded")
+	}
+}
+
+func TestHeaderQuickRoundTrip(t *testing.T) {
+	fn := func(dims []uint16, elem uint8) bool {
+		if len(dims) == 0 || len(dims) > 6 || elem == 0 {
+			return true // skip invalid shapes
+		}
+		ds := Dataset{Name: "q", ElemSize: int(elem), Dims: nil}
+		for _, v := range dims {
+			ds.Dims = append(ds.Dims, uint64(v%512+1))
+		}
+		f, err := BuildLayout([]Dataset{ds})
+		if err != nil {
+			return false
+		}
+		got, err := ParseHeader(f.Header())
+		if err != nil || len(got.Datasets) != 1 {
+			return false
+		}
+		return got.Datasets[0].Offset == f.Datasets[0].Offset &&
+			got.Datasets[0].Bytes() == f.Datasets[0].Bytes()
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	err := Run(2, 1, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 7, []byte("hello rank 1"))
+		} else {
+			got := r.Recv(0, 7)
+			if string(got) != "hello rank 1" {
+				t.Errorf("recv = %q", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvOrderingPerPair(t *testing.T) {
+	err := Run(2, 1, func(r *Rank) {
+		const n = 100
+		if r.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				r.Send(1, 0, []byte(fmt.Sprintf("msg-%03d", i)))
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				got := r.Recv(0, 0)
+				want := fmt.Sprintf("msg-%03d", i)
+				if string(got) != want {
+					t.Errorf("message %d = %q, want %q", i, got, want)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	err := Run(2, 1, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 1, []byte("one"))
+			r.Send(1, 2, []byte("two"))
+		} else {
+			// Receive out of send order by tag.
+			if got := r.Recv(0, 2); string(got) != "two" {
+				t.Errorf("tag 2 = %q", got)
+			}
+			if got := r.Recv(0, 1); string(got) != "one" {
+				t.Errorf("tag 1 = %q", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesBuffer(t *testing.T) {
+	err := Run(2, 1, func(r *Rank) {
+		if r.Rank() == 0 {
+			buf := []byte("original")
+			r.Send(1, 0, buf)
+			copy(buf, "clobber!") // mutation after send must not leak
+			r.Barrier()
+		} else {
+			r.Barrier()
+			if got := r.Recv(0, 0); string(got) != "original" {
+				t.Errorf("recv saw sender's mutation: %q", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvExchange(t *testing.T) {
+	err := Run(4, 2, func(r *Rank) {
+		partner := r.Rank() ^ 1
+		got := r.SendRecv(partner, 9, []byte{byte(r.Rank())})
+		if !bytes.Equal(got, []byte{byte(partner)}) {
+			t.Errorf("rank %d exchange got %v", r.Rank(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingPipeline(t *testing.T) {
+	// Token passes around a ring, accumulating rank ids — P2P and
+	// collectives interleaved.
+	const n = 5
+	err := Run(n, 1, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 0, []byte{0})
+			token := r.Recv(n-1, 0)
+			if len(token) != n {
+				t.Errorf("token length %d", len(token))
+			}
+			for i, b := range token {
+				if int(b) != i {
+					t.Errorf("token[%d] = %d", i, b)
+				}
+			}
+		} else {
+			token := r.Recv(r.Rank()-1, 0)
+			token = append(token, byte(r.Rank()))
+			r.Send((r.Rank()+1)%n, 0, token)
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package mpiio
+
+import "fmt"
+
+// This file implements derived-datatype flattening: MPI applications
+// describe file views with vectors and subarrays (BT-IO's view is a 3-D
+// subarray of 5-double cells); ROMIO flattens them to (offset, length)
+// lists before doing I/O. The constructors here produce the flattened
+// Segment lists the File methods consume.
+
+// Vector flattens an MPI_Type_vector view: count blocks of blockLen
+// bytes, each stride bytes apart, starting at disp.
+func Vector(disp int64, count int, blockLen, stride int64) ([]Segment, error) {
+	if count < 0 || blockLen < 0 || stride < 0 {
+		return nil, fmt.Errorf("mpiio: invalid vector (count=%d blocklen=%d stride=%d)", count, blockLen, stride)
+	}
+	if blockLen > stride && count > 1 {
+		return nil, fmt.Errorf("mpiio: vector blocks overlap (blocklen=%d > stride=%d)", blockLen, stride)
+	}
+	segs := make([]Segment, 0, count)
+	for i := 0; i < count; i++ {
+		segs = append(segs, Segment{Off: disp + int64(i)*stride, Len: blockLen})
+	}
+	return Coalesce(segs), nil
+}
+
+// Subarray flattens an MPI_Type_create_subarray view: from a row-major
+// array of shape dims (in elements of elemSize bytes), select the block
+// of shape subsizes starting at starts. The result is one segment per
+// contiguous run, in file order — exactly ROMIO's flattened
+// representation.
+func Subarray(dims, subsizes, starts []int, elemSize int, disp int64) ([]Segment, error) {
+	n := len(dims)
+	if n == 0 || len(subsizes) != n || len(starts) != n {
+		return nil, fmt.Errorf("mpiio: subarray rank mismatch (%d/%d/%d)", len(dims), len(subsizes), len(starts))
+	}
+	if elemSize <= 0 {
+		return nil, fmt.Errorf("mpiio: invalid element size %d", elemSize)
+	}
+	for d := 0; d < n; d++ {
+		if dims[d] <= 0 || subsizes[d] <= 0 || starts[d] < 0 || starts[d]+subsizes[d] > dims[d] {
+			return nil, fmt.Errorf("mpiio: subarray dim %d out of range (dim=%d sub=%d start=%d)",
+				d, dims[d], subsizes[d], starts[d])
+		}
+	}
+	// Stride (in elements) of each dimension in the row-major layout.
+	strides := make([]int64, n)
+	strides[n-1] = 1
+	for d := n - 2; d >= 0; d-- {
+		strides[d] = strides[d+1] * int64(dims[d+1])
+	}
+	// The innermost dimension's run is contiguous; iterate the outer ones.
+	runLen := int64(subsizes[n-1]) * int64(elemSize)
+	var segs []Segment
+	idx := make([]int, n-1) // counters for dims 0..n-2
+	for {
+		var elemOff int64
+		for d := 0; d < n-1; d++ {
+			elemOff += int64(starts[d]+idx[d]) * strides[d]
+		}
+		elemOff += int64(starts[n-1])
+		segs = append(segs, Segment{Off: disp + elemOff*int64(elemSize), Len: runLen})
+		// Odometer increment.
+		d := n - 2
+		for ; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < subsizes[d] {
+				break
+			}
+			idx[d] = 0
+		}
+		if d < 0 {
+			break
+		}
+	}
+	if n == 1 {
+		segs = segs[:1]
+	}
+	return Coalesce(segs), nil
+}
+
+// Coalesce sorts-free merges adjacent segments that are already in file
+// order (as flattened datatypes are) and drops empty ones.
+func Coalesce(segs []Segment) []Segment {
+	out := segs[:0]
+	for _, s := range segs {
+		if s.Len == 0 {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1].Off+out[len(out)-1].Len == s.Off {
+			out[len(out)-1].Len += s.Len
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Tile replicates a flattened view count times with a fixed extent —
+// MPI_File_set_view's repetition of the filetype across the file. Segment
+// i*len(segs)+j is segs[j] shifted by i*extent.
+func Tile(segs []Segment, extent int64, count int) []Segment {
+	out := make([]Segment, 0, len(segs)*count)
+	for i := 0; i < count; i++ {
+		shift := int64(i) * extent
+		for _, s := range segs {
+			out = append(out, Segment{Off: s.Off + shift, Len: s.Len})
+		}
+	}
+	return Coalesce(out)
+}
+
+// Extent returns the span [min offset, max end) of a flattened view.
+func Extent(segs []Segment) (lo, hi int64) {
+	if len(segs) == 0 {
+		return 0, 0
+	}
+	lo, hi = segs[0].Off, segs[0].Off+segs[0].Len
+	for _, s := range segs[1:] {
+		if s.Off < lo {
+			lo = s.Off
+		}
+		if end := s.Off + s.Len; end > hi {
+			hi = end
+		}
+	}
+	return lo, hi
+}

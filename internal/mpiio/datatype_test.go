@@ -1,0 +1,215 @@
+package mpiio
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVector(t *testing.T) {
+	segs, err := Vector(100, 3, 10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Segment{{100, 10}, {150, 10}, {200, 10}}
+	if len(segs) != len(want) {
+		t.Fatalf("segs = %v", segs)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("segs[%d] = %v, want %v", i, segs[i], want[i])
+		}
+	}
+	// blockLen == stride collapses to one contiguous segment.
+	segs, err = Vector(0, 4, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0] != (Segment{0, 32}) {
+		t.Fatalf("contiguous vector = %v", segs)
+	}
+	// Overlapping blocks are an error.
+	if _, err := Vector(0, 2, 10, 5); err == nil {
+		t.Fatal("overlapping vector accepted")
+	}
+}
+
+func TestSubarray2D(t *testing.T) {
+	// 4x6 array of 8-byte elements; select rows 1..2, cols 2..4.
+	segs, err := Subarray([]int{4, 6}, []int{2, 3}, []int{1, 2}, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Segment{
+		{Off: (1*6 + 2) * 8, Len: 24},
+		{Off: (2*6 + 2) * 8, Len: 24},
+	}
+	if len(segs) != 2 || segs[0] != want[0] || segs[1] != want[1] {
+		t.Fatalf("segs = %v, want %v", segs, want)
+	}
+}
+
+func TestSubarray3DCoversEveryElementOnce(t *testing.T) {
+	dims := []int{5, 4, 6}
+	sub := []int{2, 3, 2}
+	starts := []int{1, 0, 3}
+	segs, err := Subarray(dims, sub, starts, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[int64]int{}
+	for _, s := range segs {
+		for off := s.Off; off < s.Off+s.Len; off++ {
+			covered[off]++
+		}
+	}
+	if len(covered) != 2*3*2 {
+		t.Fatalf("covered %d elements, want %d", len(covered), 2*3*2)
+	}
+	for off, n := range covered {
+		if n != 1 {
+			t.Fatalf("element %d covered %d times", off, n)
+		}
+		// Recover (z,y,x) and check membership.
+		z := off / int64(dims[1]*dims[2])
+		y := (off / int64(dims[2])) % int64(dims[1])
+		x := off % int64(dims[2])
+		if z < 1 || z >= 3 || y < 0 || y >= 3 || x < 3 || x >= 5 {
+			t.Fatalf("element (%d,%d,%d) outside the subarray", z, y, x)
+		}
+	}
+}
+
+func TestSubarrayFullArrayIsOneSegment(t *testing.T) {
+	segs, err := Subarray([]int{3, 4, 5}, []int{3, 4, 5}, []int{0, 0, 0}, 8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0] != (Segment{1000, 3 * 4 * 5 * 8}) {
+		t.Fatalf("full subarray = %v", segs)
+	}
+}
+
+func TestSubarrayValidation(t *testing.T) {
+	cases := []struct {
+		dims, sub, starts []int
+		elem              int
+	}{
+		{[]int{4}, []int{2, 2}, []int{0}, 8},    // rank mismatch
+		{[]int{4}, []int{5}, []int{0}, 8},       // sub too big
+		{[]int{4}, []int{2}, []int{3}, 8},       // start+sub out of range
+		{[]int{4}, []int{2}, []int{-1}, 8},      // negative start
+		{[]int{4}, []int{2}, []int{0}, 0},       // zero elem
+		{[]int{0}, []int{0}, []int{0}, 8},       // empty dim
+		{nil, nil, nil, 8},                      // empty rank
+		{[]int{4, 4}, []int{0, 2}, []int{0}, 8}, // rank mismatch again
+	}
+	for i, c := range cases {
+		if _, err := Subarray(c.dims, c.sub, c.starts, c.elem, 0); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	in := []Segment{{0, 10}, {10, 5}, {20, 5}, {25, 5}, {40, 0}, {50, 1}}
+	out := Coalesce(in)
+	want := []Segment{{0, 15}, {20, 10}, {50, 1}}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestTile(t *testing.T) {
+	base := []Segment{{0, 4}, {8, 4}}
+	out := Tile(base, 16, 3)
+	want := []Segment{{0, 4}, {8, 4}, {16, 4}, {24, 4}, {32, 4}, {40, 4}}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %v", i, out[i])
+		}
+	}
+	// Tiling a full-extent view coalesces into one big segment.
+	out = Tile([]Segment{{0, 16}}, 16, 4)
+	if len(out) != 1 || out[0] != (Segment{0, 64}) {
+		t.Fatalf("contiguous tile = %v", out)
+	}
+}
+
+func TestExtent(t *testing.T) {
+	lo, hi := Extent([]Segment{{100, 10}, {50, 5}, {200, 1}})
+	if lo != 50 || hi != 201 {
+		t.Fatalf("extent = [%d,%d)", lo, hi)
+	}
+	if lo, hi := Extent(nil); lo != 0 || hi != 0 {
+		t.Fatal("empty extent nonzero")
+	}
+}
+
+// TestSubarrayAgainstNaiveEnumeration cross-checks the flattener against
+// brute-force element enumeration on random shapes.
+func TestSubarrayAgainstNaiveEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(3)
+		dims := make([]int, n)
+		sub := make([]int, n)
+		starts := make([]int, n)
+		for d := 0; d < n; d++ {
+			dims[d] = 1 + rng.Intn(6)
+			sub[d] = 1 + rng.Intn(dims[d])
+			starts[d] = rng.Intn(dims[d] - sub[d] + 1)
+		}
+		elem := 1 + rng.Intn(8)
+		segs, err := Subarray(dims, sub, starts, elem, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v (dims=%v sub=%v starts=%v)", trial, err, dims, sub, starts)
+		}
+
+		// Naive: mark every selected element byte.
+		want := map[int64]bool{}
+		var walk func(d int, elemOff int64)
+		walk = func(d int, elemOff int64) {
+			if d == n {
+				for b := 0; b < elem; b++ {
+					want[elemOff*int64(elem)+int64(b)] = true
+				}
+				return
+			}
+			stride := int64(1)
+			for k := d + 1; k < n; k++ {
+				stride *= int64(dims[k])
+			}
+			for i := 0; i < sub[d]; i++ {
+				walk(d+1, elemOff+int64(starts[d]+i)*stride)
+			}
+		}
+		walk(0, 0)
+
+		got := map[int64]bool{}
+		for _, s := range segs {
+			for off := s.Off; off < s.Off+s.Len; off++ {
+				if got[off] {
+					t.Fatalf("trial %d: byte %d duplicated", trial, off)
+				}
+				got[off] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: covered %d bytes, want %d (dims=%v sub=%v starts=%v)",
+				trial, len(got), len(want), dims, sub, starts)
+		}
+		for off := range want {
+			if !got[off] {
+				t.Fatalf("trial %d: byte %d missing", trial, off)
+			}
+		}
+	}
+}

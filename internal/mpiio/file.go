@@ -1,0 +1,673 @@
+package mpiio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"ldplfs/internal/mpi"
+)
+
+// Hints mirror the ROMIO info keys the paper leans on.
+type Hints struct {
+	// CollectiveBuffering enables two-phase I/O (romio_cb_write/read).
+	// The paper runs every test "with collective buffering enabled and in
+	// its default configuration".
+	CollectiveBuffering bool
+	// CBBufferSize is the aggregator staging buffer (cb_buffer_size,
+	// ROMIO default 16 MiB). Aggregator writes are chunked at this size.
+	CBBufferSize int
+	// DataSieving enables read-modify-write for independent strided
+	// access (romio_ds_write).
+	DataSieving bool
+	// SieveBufferSize is the sieving block (ind_rd_buffer_size, 4 MiB
+	// default).
+	SieveBufferSize int
+}
+
+// DefaultHints match ROMIO defaults plus the paper's configuration: one
+// aggregator per distinct compute node.
+func DefaultHints() Hints {
+	return Hints{
+		CollectiveBuffering: true,
+		CBBufferSize:        16 << 20,
+		DataSieving:         true,
+		SieveBufferSize:     4 << 20,
+	}
+}
+
+// Stats counts what the layer did — used by tests and the cost model.
+type Stats struct {
+	CollectiveCalls  atomic.Int64
+	IndependentCalls atomic.Int64
+	DriverWrites     atomic.Int64 // pwrite calls issued to the driver
+	DriverReads      atomic.Int64
+	BytesWritten     atomic.Int64
+	BytesRead        atomic.Int64
+	SieveRMWs        atomic.Int64 // read-modify-write cycles
+}
+
+// File is an open MPI file handle, one per rank (like MPI_File). The
+// handle embeds the rank because every collective entry point must be
+// called by all ranks of the communicator.
+type File struct {
+	rank  *mpi.Rank
+	df    DriverFile
+	hints Hints
+	path  string
+
+	// Stats is shared across the whole communicator's handles (rank 0's
+	// is authoritative; others alias it via Open's bcast).
+	Stats *Stats
+}
+
+// Segment is one contiguous piece of a file access (a flattened datatype).
+type Segment struct {
+	Off int64
+	Len int64
+}
+
+// Open opens path collectively on all ranks of r with the given driver —
+// MPI_File_open.
+func Open(r *mpi.Rank, driver Driver, path string, amode int, hints Hints) (*File, error) {
+	if hints.CBBufferSize <= 0 {
+		hints.CBBufferSize = 16 << 20
+	}
+	if hints.SieveBufferSize <= 0 {
+		hints.SieveBufferSize = 4 << 20
+	}
+	// Rank 0 creates first (avoiding O_EXCL races), then everyone opens.
+	var createErr error
+	if r.Rank() == 0 {
+		df, err := driver.Open(path, amode, 0)
+		if err != nil {
+			createErr = err
+		} else {
+			df.Close()
+		}
+	}
+	if errv := r.Bcast(0, createErr); errv != nil {
+		return nil, errv.(error)
+	}
+	amode &^= ModeExcl // rank 0 already arbitrated exclusive creation
+	df, err := driver.Open(path, amode, r.Rank())
+	if err != nil {
+		return nil, err
+	}
+	stats := &Stats{}
+	if s := r.Bcast(0, stats); s != nil {
+		stats = s.(*Stats)
+	}
+	return &File{rank: r, df: df, hints: hints, path: path, Stats: stats}, nil
+}
+
+// Close closes the handle collectively — MPI_File_close.
+func (f *File) Close() error {
+	err := f.df.Close()
+	f.rank.Barrier()
+	return err
+}
+
+// Sync flushes this rank's data — MPI_File_sync (collective).
+func (f *File) Sync() error {
+	err := f.df.Sync()
+	f.rank.Barrier()
+	return err
+}
+
+// SetSize truncates collectively — MPI_File_set_size.
+func (f *File) SetSize(size int64) error {
+	var err error
+	if f.rank.Rank() == 0 {
+		err = f.df.Truncate(size)
+	}
+	if v := f.rank.Bcast(0, err); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// Size returns the current file size — MPI_File_get_size.
+func (f *File) Size() (int64, error) { return f.df.Size() }
+
+// Rank returns the mpi rank owning this handle.
+func (f *File) Rank() *mpi.Rank { return f.rank }
+
+// --- independent operations ----------------------------------------------
+
+// WriteAt writes one contiguous block independently — MPI_File_write_at.
+func (f *File) WriteAt(buf []byte, off int64) (int, error) {
+	f.Stats.IndependentCalls.Add(1)
+	f.Stats.DriverWrites.Add(1)
+	f.Stats.BytesWritten.Add(int64(len(buf)))
+	return f.df.PwriteAt(buf, off)
+}
+
+// ReadAt reads one contiguous block independently — MPI_File_read_at.
+func (f *File) ReadAt(buf []byte, off int64) (int, error) {
+	f.Stats.IndependentCalls.Add(1)
+	f.Stats.DriverReads.Add(1)
+	n, err := f.df.PreadAt(buf, off)
+	f.Stats.BytesRead.Add(int64(n))
+	return n, err
+}
+
+// WriteStrided writes a flattened strided access independently, applying
+// data sieving when the holes are small enough that one read-modify-write
+// beats many small writes (ROMIO's romio_ds_write heuristic).
+func (f *File) WriteStrided(segs []Segment, buf []byte) (int, error) {
+	f.Stats.IndependentCalls.Add(1)
+	if len(segs) == 0 {
+		return 0, nil
+	}
+	if err := validateSegs(segs, buf); err != nil {
+		return 0, err
+	}
+	total := segsBytes(segs)
+	lo := segs[0].Off
+	hi := segs[len(segs)-1].Off + segs[len(segs)-1].Len
+	span := hi - lo
+
+	useSieve := f.hints.DataSieving && len(segs) > 1 &&
+		span <= int64(f.hints.SieveBufferSize) && span < 2*total
+
+	if !useSieve {
+		written := 0
+		cursor := 0
+		for _, s := range segs {
+			f.Stats.DriverWrites.Add(1)
+			n, err := f.df.PwriteAt(buf[cursor:cursor+int(s.Len)], s.Off)
+			written += n
+			if err != nil {
+				return written, err
+			}
+			cursor += int(s.Len)
+		}
+		f.Stats.BytesWritten.Add(int64(written))
+		return written, nil
+	}
+
+	// Data sieving: read [lo,hi), overlay the segments, write back once.
+	f.Stats.SieveRMWs.Add(1)
+	block := make([]byte, span)
+	f.Stats.DriverReads.Add(1)
+	if _, err := f.df.PreadAt(block, lo); err != nil {
+		return 0, err
+	}
+	cursor := 0
+	for _, s := range segs {
+		copy(block[s.Off-lo:s.Off-lo+s.Len], buf[cursor:cursor+int(s.Len)])
+		cursor += int(s.Len)
+	}
+	f.Stats.DriverWrites.Add(1)
+	if _, err := f.df.PwriteAt(block, lo); err != nil {
+		return 0, err
+	}
+	f.Stats.BytesWritten.Add(total)
+	return int(total), nil
+}
+
+// ReadStrided reads a flattened strided access independently with data
+// sieving: one big read, then scatter.
+func (f *File) ReadStrided(segs []Segment, buf []byte) (int, error) {
+	f.Stats.IndependentCalls.Add(1)
+	if len(segs) == 0 {
+		return 0, nil
+	}
+	if err := validateSegs(segs, buf); err != nil {
+		return 0, err
+	}
+	lo := segs[0].Off
+	hi := segs[len(segs)-1].Off + segs[len(segs)-1].Len
+	span := hi - lo
+
+	if f.hints.DataSieving && len(segs) > 1 && span <= int64(f.hints.SieveBufferSize) {
+		block := make([]byte, span)
+		f.Stats.DriverReads.Add(1)
+		n, err := f.df.PreadAt(block, lo)
+		if err != nil {
+			return 0, err
+		}
+		got := 0
+		cursor := 0
+		for _, s := range segs {
+			end := s.Off - lo + s.Len
+			if end > int64(n) {
+				end = int64(n)
+			}
+			if s.Off-lo < int64(n) {
+				got += copy(buf[cursor:cursor+int(s.Len)], block[s.Off-lo:end])
+			}
+			cursor += int(s.Len)
+		}
+		f.Stats.BytesRead.Add(int64(got))
+		return got, nil
+	}
+
+	got := 0
+	cursor := 0
+	for _, s := range segs {
+		f.Stats.DriverReads.Add(1)
+		n, err := f.df.PreadAt(buf[cursor:cursor+int(s.Len)], s.Off)
+		got += n
+		if err != nil {
+			return got, err
+		}
+		cursor += int(s.Len)
+	}
+	f.Stats.BytesRead.Add(int64(got))
+	return got, nil
+}
+
+func validateSegs(segs []Segment, buf []byte) error {
+	var total int64
+	last := int64(-1)
+	for _, s := range segs {
+		if s.Len < 0 || s.Off < 0 {
+			return fmt.Errorf("mpiio: invalid segment %+v", s)
+		}
+		if s.Off < last {
+			return fmt.Errorf("mpiio: segments not sorted at offset %d", s.Off)
+		}
+		last = s.Off + s.Len
+		total += s.Len
+	}
+	if total > int64(len(buf)) {
+		return fmt.Errorf("mpiio: segments cover %d bytes, buffer has %d", total, len(buf))
+	}
+	return nil
+}
+
+func segsBytes(segs []Segment) int64 {
+	var total int64
+	for _, s := range segs {
+		total += s.Len
+	}
+	return total
+}
+
+// --- collective operations (two-phase I/O) -------------------------------
+
+// piece is the wire format unit exchanged between ranks and aggregators:
+// 16-byte header (off,len) + payload (writes) or empty payload (read
+// requests).
+func appendPiece(dst []byte, off int64, payload []byte) []byte {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(off))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+func appendReq(dst []byte, off, length int64) []byte {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(off))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(length))
+	return append(dst, hdr[:]...)
+}
+
+type piece struct {
+	off  int64
+	data []byte // nil for requests
+}
+
+func parsePieces(b []byte, withPayload bool) ([]piece, error) {
+	var out []piece
+	for len(b) > 0 {
+		if len(b) < 16 {
+			return nil, fmt.Errorf("mpiio: torn piece header")
+		}
+		off := int64(binary.LittleEndian.Uint64(b[0:]))
+		n := int64(binary.LittleEndian.Uint64(b[8:]))
+		b = b[16:]
+		p := piece{off: off}
+		if withPayload {
+			if int64(len(b)) < n {
+				return nil, fmt.Errorf("mpiio: torn piece payload")
+			}
+			p.data = b[:n:n]
+			b = b[n:]
+		} else {
+			p.data = make([]byte, n) // request: length carrier only
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// aggregators returns the rank ids acting as collective-buffering
+// aggregators: the first rank on each node (the paper's default of one
+// aggregator per distinct compute node).
+func aggregators(r *mpi.Rank) []int {
+	aggs := make([]int, 0, r.Nodes())
+	for n := 0; n < r.Nodes(); n++ {
+		aggs = append(aggs, n*r.PPN())
+	}
+	return aggs
+}
+
+// domainOf maps a file offset to an aggregator index for domain [lo,hi).
+func domainOf(off, lo, domain int64) int {
+	if domain <= 0 {
+		return 0
+	}
+	return int((off - lo) / domain)
+}
+
+// exchangeExtent allgathers every rank's access extent and returns the
+// global [lo,hi) plus per-aggregator domain size.
+func (f *File) exchangeExtent(segs []Segment) (lo, hi, domain int64, aggs []int) {
+	type extent struct{ lo, hi int64 }
+	mine := extent{lo: 1 << 62, hi: 0}
+	for _, s := range segs {
+		if s.Off < mine.lo {
+			mine.lo = s.Off
+		}
+		if end := s.Off + s.Len; end > mine.hi {
+			mine.hi = end
+		}
+	}
+	all := f.rank.Allgather(mine)
+	lo, hi = int64(1<<62), int64(0)
+	for _, v := range all {
+		e := v.(extent)
+		if e.lo < lo {
+			lo = e.lo
+		}
+		if e.hi > hi {
+			hi = e.hi
+		}
+	}
+	aggs = aggregators(f.rank)
+	if hi <= lo {
+		return 0, 0, 0, aggs
+	}
+	domain = (hi - lo + int64(len(aggs)) - 1) / int64(len(aggs))
+	return lo, hi, domain, aggs
+}
+
+// WriteAll performs a collective strided write — MPI_File_write_all with
+// a flattened view. All ranks must call it; segs may be empty on some.
+func (f *File) WriteAll(segs []Segment, buf []byte) (int, error) {
+	f.Stats.CollectiveCalls.Add(1)
+	if err := validateSegs(segs, buf); err != nil {
+		return 0, err
+	}
+	if !f.hints.CollectiveBuffering {
+		n, err := f.WriteStrided(segs, buf)
+		f.rank.Barrier()
+		return n, err
+	}
+	lo, _, domain, aggs := f.exchangeExtent(segs)
+
+	// Phase 1: route every segment piece to its domain's aggregator.
+	send := make([][]byte, f.rank.Size())
+	cursor := 0
+	for _, s := range segs {
+		segOff, segLen := s.Off, s.Len
+		for segLen > 0 {
+			d := domainOf(segOff, lo, domain)
+			if d >= len(aggs) {
+				d = len(aggs) - 1
+			}
+			dEnd := lo + int64(d+1)*domain
+			n := segLen
+			if segOff+n > dEnd {
+				n = dEnd - segOff
+			}
+			agg := aggs[d]
+			send[agg] = appendPiece(send[agg], segOff, buf[cursor:cursor+int(n)])
+			segOff += n
+			segLen -= n
+			cursor += int(n)
+		}
+	}
+	recv := f.rank.Alltoallv(send)
+
+	// Phase 2: aggregators coalesce and issue large writes. Every rank
+	// must reach the closing allreduce regardless of local errors, so the
+	// aggregator work is funnelled through an error value, never an early
+	// return (an early return would deadlock the communicator).
+	var aggErr error
+	if f.rank.NodeLeader() {
+		var pieces []piece
+		for _, b := range recv {
+			ps, err := parsePieces(b, true)
+			if err != nil {
+				aggErr = err
+				break
+			}
+			pieces = append(pieces, ps...)
+		}
+		if aggErr == nil {
+			_, aggErr = f.flushPieces(pieces)
+		}
+	}
+	var flag int64
+	if aggErr != nil {
+		flag = 1
+	}
+	if f.rank.AllreduceInt64(flag, mpi.OpMax) != 0 {
+		if aggErr != nil {
+			return 0, aggErr
+		}
+		return 0, fmt.Errorf("mpiio: collective write failed on an aggregator")
+	}
+	return int(segsBytes(segs)), nil
+}
+
+// flushPieces sorts, coalesces, and writes pieces in cb-buffer-sized runs.
+func (f *File) flushPieces(pieces []piece) (int64, error) {
+	sort.Slice(pieces, func(i, j int) bool { return pieces[i].off < pieces[j].off })
+	var total int64
+	i := 0
+	for i < len(pieces) {
+		// Coalesce a contiguous run.
+		runOff := pieces[i].off
+		run := append([]byte(nil), pieces[i].data...)
+		j := i + 1
+		for j < len(pieces) && pieces[j].off == runOff+int64(len(run)) && len(run)+len(pieces[j].data) <= f.hints.CBBufferSize {
+			run = append(run, pieces[j].data...)
+			j++
+		}
+		f.Stats.DriverWrites.Add(1)
+		n, err := f.df.PwriteAt(run, runOff)
+		total += int64(n)
+		f.Stats.BytesWritten.Add(int64(n))
+		if err != nil {
+			return total, err
+		}
+		i = j
+	}
+	return total, nil
+}
+
+// WriteAtAll is the contiguous special case — MPI_File_write_at_all.
+func (f *File) WriteAtAll(buf []byte, off int64) (int, error) {
+	var segs []Segment
+	if len(buf) > 0 {
+		segs = []Segment{{Off: off, Len: int64(len(buf))}}
+	}
+	return f.WriteAll(segs, buf)
+}
+
+// ReadAll performs a collective strided read — MPI_File_read_all.
+// Aggregators read coalesced runs of their file domain and scatter the
+// requested pieces back.
+func (f *File) ReadAll(segs []Segment, buf []byte) (int, error) {
+	f.Stats.CollectiveCalls.Add(1)
+	if err := validateSegs(segs, buf); err != nil {
+		return 0, err
+	}
+	if !f.hints.CollectiveBuffering {
+		n, err := f.ReadStrided(segs, buf)
+		f.rank.Barrier()
+		return n, err
+	}
+	lo, _, domain, aggs := f.exchangeExtent(segs)
+
+	// Phase 1: send read requests to domain aggregators.
+	reqs := make([][]byte, f.rank.Size())
+	for _, s := range segs {
+		segOff, segLen := s.Off, s.Len
+		for segLen > 0 {
+			d := domainOf(segOff, lo, domain)
+			if d >= len(aggs) {
+				d = len(aggs) - 1
+			}
+			dEnd := lo + int64(d+1)*domain
+			n := segLen
+			if segOff+n > dEnd {
+				n = dEnd - segOff
+			}
+			agg := aggs[d]
+			reqs[agg] = appendReq(reqs[agg], segOff, n)
+			segOff += n
+			segLen -= n
+		}
+	}
+	gotReqs := f.rank.Alltoallv(reqs)
+
+	// Phase 2: aggregators read their domain in coalesced runs and answer
+	// each requester. As in WriteAll, every rank must reach both the
+	// second Alltoallv and the closing allreduce, so errors are carried,
+	// not returned early.
+	replies := make([][]byte, f.rank.Size())
+	var aggErr error
+	if f.rank.NodeLeader() {
+		aggErr = f.answerReadRequests(gotReqs, replies)
+	}
+	gotData := f.rank.Alltoallv(replies)
+
+	// Reassemble into buf following the original segment order.
+	var localErr error
+	pieceMap := map[int64][]byte{}
+	for _, b := range gotData {
+		ps, err := parsePieces(b, true)
+		if err != nil {
+			localErr = err
+			break
+		}
+		for _, p := range ps {
+			pieceMap[p.off] = p.data
+		}
+	}
+	got := 0
+	cursor := 0
+	if localErr == nil {
+	assemble:
+		for _, s := range segs {
+			segOff, segLen := s.Off, s.Len
+			for segLen > 0 {
+				d := domainOf(segOff, lo, domain)
+				if d >= len(aggs) {
+					d = len(aggs) - 1
+				}
+				dEnd := lo + int64(d+1)*domain
+				n := segLen
+				if segOff+n > dEnd {
+					n = dEnd - segOff
+				}
+				data, ok := pieceMap[segOff]
+				if !ok || int64(len(data)) != n {
+					localErr = fmt.Errorf("mpiio: collective read lost piece at %d (+%d)", segOff, n)
+					break assemble
+				}
+				got += copy(buf[cursor:cursor+int(n)], data)
+				segOff += n
+				segLen -= n
+				cursor += int(n)
+			}
+		}
+	}
+	var flag int64
+	if aggErr != nil || localErr != nil {
+		flag = 1
+	}
+	if f.rank.AllreduceInt64(flag, mpi.OpMax) != 0 {
+		switch {
+		case aggErr != nil:
+			return got, aggErr
+		case localErr != nil:
+			return got, localErr
+		default:
+			return got, fmt.Errorf("mpiio: collective read failed on another rank")
+		}
+	}
+	return got, nil
+}
+
+// answerReadRequests performs the aggregator half of ReadAll: coalesce the
+// requested ranges, read covering runs, slice out each requester's pieces.
+func (f *File) answerReadRequests(gotReqs [][]byte, replies [][]byte) error {
+	type request struct {
+		src      int
+		off, len int64
+	}
+	var all []request
+	for src, b := range gotReqs {
+		ps, err := parsePieces(b, false)
+		if err != nil {
+			return err
+		}
+		for _, p := range ps {
+			all = append(all, request{src: src, off: p.off, len: int64(len(p.data))})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].off < all[j].off })
+	type run struct {
+		off  int64
+		data []byte
+	}
+	var runs []run
+	i := 0
+	for i < len(all) {
+		runOff := all[i].off
+		runEnd := all[i].off + all[i].len
+		j := i + 1
+		for j < len(all) && all[j].off <= runEnd && int(runEnd-runOff) < f.hints.CBBufferSize {
+			if e := all[j].off + all[j].len; e > runEnd {
+				runEnd = e
+			}
+			j++
+		}
+		data := make([]byte, runEnd-runOff)
+		f.Stats.DriverReads.Add(1)
+		n, err := f.df.PreadAt(data, runOff)
+		if err != nil {
+			return err
+		}
+		f.Stats.BytesRead.Add(int64(n))
+		runs = append(runs, run{off: runOff, data: data[:n]})
+		i = j
+	}
+	locate := func(off, length int64) []byte {
+		for _, rn := range runs {
+			if off >= rn.off && off+length <= rn.off+int64(len(rn.data)) {
+				return rn.data[off-rn.off : off-rn.off+length]
+			}
+			// Short read at EOF: return what exists.
+			if off >= rn.off && off < rn.off+int64(len(rn.data)) {
+				return rn.data[off-rn.off:]
+			}
+		}
+		return nil
+	}
+	for _, rq := range all {
+		data := locate(rq.off, rq.len)
+		padded := make([]byte, rq.len)
+		copy(padded, data)
+		replies[rq.src] = appendPiece(replies[rq.src], rq.off, padded)
+	}
+	return nil
+}
+
+// ReadAtAll is the contiguous special case — MPI_File_read_at_all.
+func (f *File) ReadAtAll(buf []byte, off int64) (int, error) {
+	var segs []Segment
+	if len(buf) > 0 {
+		segs = []Segment{{Off: off, Len: int64(len(buf))}}
+	}
+	return f.ReadAll(segs, buf)
+}

@@ -1,0 +1,149 @@
+package plfs
+
+import (
+	"errors"
+	"testing"
+
+	"ldplfs/internal/posix"
+)
+
+// faultPLFS builds a PLFS instance over a fault-injecting MemFS.
+func faultPLFS(t *testing.T) (*FS, *posix.FaultFS, *posix.MemFS) {
+	t.Helper()
+	mem := posix.NewMemFS()
+	if err := mem.Mkdir("/backend", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ffs := posix.NewFaultFS(mem)
+	return New(ffs, Options{NumHostdirs: 2}), ffs, mem
+}
+
+func TestENOSPCDuringDataWrite(t *testing.T) {
+	p, ffs, _ := faultPLFS(t)
+	f, err := p.Open("/backend/full", posix.O_CREAT|posix.O_RDWR, 1, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("fits"), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Inject(&posix.FaultRule{Op: posix.FaultWrite, Err: posix.ENOSPC})
+	if _, err := f.Write([]byte("does not"), 4, 1); !errors.Is(err, posix.ENOSPC) {
+		t.Fatalf("write on full device = %v, want ENOSPC", err)
+	}
+	ffs.Clear()
+	// The successful write survives; no phantom index entry for the
+	// failed one (its payload never reached the dropping).
+	got := make([]byte, 16)
+	n, err := f.Read(got, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || string(got[:n]) != "fits" {
+		t.Fatalf("content after ENOSPC = %q (n=%d)", got[:n], n)
+	}
+	f.Close(1)
+}
+
+func TestCreateContainerFailsCleanly(t *testing.T) {
+	p, ffs, mem := faultPLFS(t)
+	ffs.Inject(&posix.FaultRule{Op: posix.FaultMeta, PathContains: "/backend/no", Err: posix.EACCES})
+	if _, err := p.Open("/backend/no", posix.O_CREAT|posix.O_WRONLY, 1, 0o644); err == nil {
+		t.Fatal("container creation should fail when mkdir is refused")
+	}
+	ffs.Clear()
+	if got := mem.OpenFDs(); got != 0 {
+		t.Fatalf("%d fds leaked from failed container create", got)
+	}
+}
+
+func TestIndexDroppingFailureDetectedOnRead(t *testing.T) {
+	p, _, mem := faultPLFS(t)
+	f, _ := p.Open("/backend/torn", posix.O_CREAT|posix.O_RDWR, 3, 0o644)
+	f.Write(make([]byte, 1000), 0, 3)
+	f.Sync(3)
+
+	// Corrupt the index dropping on disk: flip a byte in a record.
+	idxPath := "/backend/torn/hostdir.1/dropping.index.3"
+	fd, err := mem.Open(idxPath, posix.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte{0xff}
+	if _, err := mem.Pwrite(fd, buf, 20); err != nil { // inside the first record
+		t.Fatal(err)
+	}
+	mem.Close(fd)
+
+	// A fresh reader must refuse the container, not return garbage.
+	g, err := p.Open("/backend/torn", posix.O_RDONLY, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Read(make([]byte, 100), 0); err == nil {
+		t.Fatal("read over a corrupted index succeeded")
+	}
+	g.Close(4)
+	f.Close(3)
+}
+
+func TestTornIndexTailDetected(t *testing.T) {
+	p, _, mem := faultPLFS(t)
+	f, _ := p.Open("/backend/tail", posix.O_CREAT|posix.O_WRONLY, 1, 0o644)
+	f.Write(make([]byte, 64), 0, 1)
+	f.Close(1)
+
+	// Simulate a torn append: the index dropping loses its last 7 bytes
+	// (a crash mid-record).
+	idxPath := "/backend/tail/hostdir.1/dropping.index.1"
+	st, err := mem.Stat(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Truncate(idxPath, st.Size-7); err != nil {
+		t.Fatal(err)
+	}
+	g, err := p.Open("/backend/tail", posix.O_RDONLY, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Read(make([]byte, 10), 0); err == nil {
+		t.Fatal("read over a torn index tail succeeded")
+	}
+	g.Close(2)
+}
+
+func TestFlakyBackendReadRetries(t *testing.T) {
+	p, ffs, _ := faultPLFS(t)
+	f, _ := p.Open("/backend/flaky", posix.O_CREAT|posix.O_RDWR, 1, 0o644)
+	f.Write([]byte("resilient"), 0, 1)
+	// One transient read failure: the first Read errors, a retry works
+	// (PLFS does not mask transient faults; the caller retries).
+	ffs.Inject(&posix.FaultRule{Op: posix.FaultRead, Times: 1, Err: posix.EIO})
+	buf := make([]byte, 9)
+	if _, err := f.Read(buf, 0); err == nil {
+		t.Fatal("flaky read masked")
+	}
+	if n, err := f.Read(buf, 0); err != nil || string(buf[:n]) != "resilient" {
+		t.Fatalf("retry = %q, %v", buf[:n], err)
+	}
+	f.Close(1)
+}
+
+func TestMetaHintWriteFailureIsNotFatal(t *testing.T) {
+	// Dropping the size hint at close is best-effort in PLFS; a failure
+	// there must not fail the close, and stat must still work via the
+	// index merge.
+	p, ffs, _ := faultPLFS(t)
+	f, _ := p.Open("/backend/hintless", posix.O_CREAT|posix.O_WRONLY, 1, 0o644)
+	f.Write(make([]byte, 512), 0, 1)
+	ffs.Inject(&posix.FaultRule{Op: posix.FaultOpen, PathContains: "meta/size", Err: posix.EACCES})
+	if err := f.Close(1); err != nil {
+		t.Fatalf("close failed on best-effort hint: %v", err)
+	}
+	ffs.Clear()
+	st, err := p.Stat("/backend/hintless")
+	if err != nil || st.Size != 512 {
+		t.Fatalf("stat without hint = %+v, %v", st, err)
+	}
+}

@@ -1,0 +1,141 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ldplfs/internal/posix"
+)
+
+// droppingHeader prefixes every index dropping: magic plus a format version.
+const (
+	headerSize = 16
+	version    = 1
+)
+
+// Writer appends index records to an index dropping file through a posix
+// backend. It buffers records and flushes on Sync/Close so that a long run
+// of small writes costs one appended burst, as in PLFS's buffered index.
+type Writer struct {
+	fs  posix.FS
+	fd  int
+	buf []byte
+}
+
+// NewWriter creates (or truncates) the index dropping at path and writes
+// its header.
+func NewWriter(fs posix.FS, path string) (*Writer, error) {
+	fd, err := fs.Open(path, posix.O_CREAT|posix.O_WRONLY|posix.O_TRUNC|posix.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("index: create dropping %s: %w", path, err)
+	}
+	w := &Writer{fs: fs, fd: fd}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], Magic)
+	binary.LittleEndian.PutUint64(hdr[8:], version)
+	if _, err := fs.Write(fd, hdr[:]); err != nil {
+		fs.Close(fd)
+		return nil, fmt.Errorf("index: write header: %w", err)
+	}
+	return w, nil
+}
+
+// Append buffers one entry.
+func (w *Writer) Append(e Entry) {
+	var rec [EntrySize]byte
+	e.Marshal(rec[:])
+	w.buf = append(w.buf, rec[:]...)
+}
+
+// Sync flushes buffered entries to the dropping.
+func (w *Writer) Sync() error {
+	if len(w.buf) > 0 {
+		if _, err := w.fs.Write(w.fd, w.buf); err != nil {
+			return fmt.Errorf("index: flush: %w", err)
+		}
+		w.buf = w.buf[:0]
+	}
+	return w.fs.Fsync(w.fd)
+}
+
+// Close flushes and closes the dropping.
+func (w *Writer) Close() error {
+	if err := w.Sync(); err != nil {
+		w.fs.Close(w.fd)
+		return err
+	}
+	return w.fs.Close(w.fd)
+}
+
+// OpenWriter opens an existing index dropping for appending, after
+// validating its header. New records land after the existing ones.
+func OpenWriter(fs posix.FS, path string) (*Writer, error) {
+	fd, err := fs.Open(path, posix.O_RDWR|posix.O_APPEND, 0)
+	if err != nil {
+		return nil, fmt.Errorf("index: reopen dropping %s: %w", path, err)
+	}
+	var hdr [headerSize]byte
+	if err := posix.ReadFull(fs, fd, hdr[:], 0); err != nil {
+		fs.Close(fd)
+		return nil, fmt.Errorf("index: reopen dropping %s: short header: %w", path, err)
+	}
+	if got := binary.LittleEndian.Uint64(hdr[0:]); got != Magic {
+		fs.Close(fd)
+		return nil, fmt.Errorf("index: reopen dropping %s: bad magic %#x", path, got)
+	}
+	return &Writer{fs: fs, fd: fd}, nil
+}
+
+// ReadDropping loads every entry from the index dropping at path.
+func ReadDropping(fs posix.FS, path string) ([]Entry, error) {
+	fd, err := fs.Open(path, posix.O_RDONLY, 0)
+	if err != nil {
+		return nil, fmt.Errorf("index: open dropping %s: %w", path, err)
+	}
+	defer fs.Close(fd)
+
+	st, err := fs.Fstat(fd)
+	if err != nil {
+		return nil, err
+	}
+	if st.Size < headerSize {
+		return nil, fmt.Errorf("index: dropping %s too short (%d bytes)", path, st.Size)
+	}
+	data := make([]byte, st.Size)
+	if err := posix.ReadFull(fs, fd, data, 0); err != nil {
+		return nil, fmt.Errorf("index: read dropping %s: %w", path, err)
+	}
+	if got := binary.LittleEndian.Uint64(data[0:]); got != Magic {
+		return nil, fmt.Errorf("index: dropping %s: bad magic %#x", path, got)
+	}
+	if got := binary.LittleEndian.Uint64(data[8:]); got != version {
+		return nil, fmt.Errorf("index: dropping %s: unsupported version %d", path, got)
+	}
+	body := data[headerSize:]
+	if len(body)%EntrySize != 0 {
+		return nil, fmt.Errorf("index: dropping %s: torn record (%d trailing bytes)", path, len(body)%EntrySize)
+	}
+	entries := make([]Entry, 0, len(body)/EntrySize)
+	for off := 0; off < len(body); off += EntrySize {
+		var e Entry
+		if err := e.Unmarshal(body[off : off+EntrySize]); err != nil {
+			return nil, fmt.Errorf("index: dropping %s record %d: %w", path, off/EntrySize, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// WriteDropping writes a complete dropping with the given entries,
+// replacing any existing file. Used when a truncate consolidates a
+// container's index.
+func WriteDropping(fs posix.FS, path string, entries []Entry) error {
+	w, err := NewWriter(fs, path)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		w.Append(e)
+	}
+	return w.Close()
+}

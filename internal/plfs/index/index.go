@@ -1,0 +1,292 @@
+// Package index implements the PLFS index: the metadata that maps a
+// container's logical byte space onto the physical byte space of its data
+// droppings.
+//
+// Every write a process performs against a PLFS file appends the payload to
+// that process's data dropping and appends one fixed-size Entry to its index
+// dropping. Reading the file back requires merging every index dropping in
+// the container into a single global index — a set of non-overlapping
+// logical extents where, for overlapping writes, the entry with the highest
+// timestamp wins (last writer wins, as in PLFS proper).
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Entry records a single logical write. It is the in-memory form of one
+// on-disk index record.
+type Entry struct {
+	LogicalOffset  int64  // offset within the PLFS file the application wrote
+	Length         int64  // number of bytes written
+	PhysicalOffset int64  // offset within the data dropping
+	Timestamp      uint64 // logical timestamp; later overwrites earlier
+	Pid            uint32 // writer id, selects the data dropping
+	Dropping       uint32 // dropping id within the container (hostdir-scoped)
+}
+
+// EntrySize is the on-disk size of one index record in bytes.
+const EntrySize = 48
+
+// Magic identifies an index dropping header record.
+const Magic uint64 = 0x504c465349445831 // "PLFSIDX1"
+
+// Marshal encodes the entry into buf, which must be at least EntrySize long.
+func (e Entry) Marshal(buf []byte) {
+	binary.LittleEndian.PutUint64(buf[0:], uint64(e.LogicalOffset))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(e.Length))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(e.PhysicalOffset))
+	binary.LittleEndian.PutUint64(buf[24:], e.Timestamp)
+	binary.LittleEndian.PutUint32(buf[32:], e.Pid)
+	binary.LittleEndian.PutUint32(buf[36:], e.Dropping)
+	binary.LittleEndian.PutUint64(buf[40:], e.checksum())
+}
+
+// Unmarshal decodes an entry from buf and verifies its checksum.
+func (e *Entry) Unmarshal(buf []byte) error {
+	if len(buf) < EntrySize {
+		return fmt.Errorf("index entry: short buffer (%d bytes)", len(buf))
+	}
+	e.LogicalOffset = int64(binary.LittleEndian.Uint64(buf[0:]))
+	e.Length = int64(binary.LittleEndian.Uint64(buf[8:]))
+	e.PhysicalOffset = int64(binary.LittleEndian.Uint64(buf[16:]))
+	e.Timestamp = binary.LittleEndian.Uint64(buf[24:])
+	e.Pid = binary.LittleEndian.Uint32(buf[32:])
+	e.Dropping = binary.LittleEndian.Uint32(buf[36:])
+	if got := binary.LittleEndian.Uint64(buf[40:]); got != e.checksum() {
+		return fmt.Errorf("index entry: checksum mismatch (got %#x want %#x)", got, e.checksum())
+	}
+	return nil
+}
+
+// checksum is a cheap integrity word over the record fields (FNV-1a over
+// the packed fields); it catches torn or misaligned index droppings.
+func (e Entry) checksum() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(e.LogicalOffset))
+	mix(uint64(e.Length))
+	mix(uint64(e.PhysicalOffset))
+	mix(e.Timestamp)
+	mix(uint64(e.Pid)<<32 | uint64(e.Dropping))
+	return h
+}
+
+// Extent is one contiguous piece of the resolved logical file: Length bytes
+// at LogicalOffset live at PhysicalOffset in dropping (Pid, Dropping). A
+// zero-filled hole is represented by Hole=true.
+type Extent struct {
+	LogicalOffset  int64
+	Length         int64
+	PhysicalOffset int64
+	Pid            uint32
+	Dropping       uint32
+	Hole           bool
+}
+
+// Index is the merged, queryable global index of a container. The zero
+// value is an empty index.
+type Index struct {
+	extents []Extent // sorted by LogicalOffset, non-overlapping
+	size    int64    // logical EOF: max(offset+length) over all entries
+	trunc   bool     // whether an explicit truncation capped size
+}
+
+// Build merges entries (from any number of index droppings, in any order)
+// into a queryable index. Overlaps resolve to the highest timestamp; ties
+// break toward the higher (Pid, Dropping) pair so the result is
+// deterministic regardless of input order.
+func Build(entries []Entry) *Index {
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Timestamp != b.Timestamp {
+			return a.Timestamp < b.Timestamp
+		}
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		return a.Dropping < b.Dropping
+	})
+	idx := &Index{}
+	for _, e := range sorted {
+		idx.insert(e)
+	}
+	return idx
+}
+
+// insert overlays one entry onto the index; the entry wins every overlap
+// (callers insert in ascending timestamp order).
+func (idx *Index) insert(e Entry) {
+	if e.Length <= 0 {
+		return
+	}
+	if end := e.LogicalOffset + e.Length; end > idx.size {
+		idx.size = end
+	}
+	newExt := Extent{
+		LogicalOffset:  e.LogicalOffset,
+		Length:         e.Length,
+		PhysicalOffset: e.PhysicalOffset,
+		Pid:            e.Pid,
+		Dropping:       e.Dropping,
+	}
+	lo, hi := e.LogicalOffset, e.LogicalOffset+e.Length
+
+	// Fast path: appending past the current tail (the overwhelmingly
+	// common case — sequential checkpoint streams) costs O(1) instead of
+	// a full splice.
+	if n := len(idx.extents); n == 0 || idx.extents[n-1].LogicalOffset+idx.extents[n-1].Length <= lo {
+		idx.extents = append(idx.extents, newExt)
+		return
+	}
+
+	// Find the first extent that ends after lo.
+	i := sort.Search(len(idx.extents), func(k int) bool {
+		x := idx.extents[k]
+		return x.LogicalOffset+x.Length > lo
+	})
+	out := make([]Extent, 0, len(idx.extents)+2)
+	out = append(out, idx.extents[:i]...)
+
+	// Walk the extents overlapping [lo,hi). At most the first contributes a
+	// surviving left piece and at most the last a right piece; everything
+	// in between is fully shadowed by the new write.
+	var right *Extent
+	j := i
+	for ; j < len(idx.extents); j++ {
+		x := idx.extents[j]
+		if x.LogicalOffset >= hi {
+			break
+		}
+		if x.LogicalOffset < lo {
+			left := x
+			left.Length = lo - x.LogicalOffset
+			out = append(out, left)
+		}
+		if xEnd := x.LogicalOffset + x.Length; xEnd > hi {
+			r := x
+			r.Length = xEnd - hi
+			r.LogicalOffset = hi
+			if !x.Hole {
+				r.PhysicalOffset = x.PhysicalOffset + (hi - x.LogicalOffset)
+			}
+			right = &r
+		}
+	}
+	out = append(out, newExt)
+	if right != nil {
+		out = append(out, *right)
+	}
+	out = append(out, idx.extents[j:]...)
+	idx.extents = out
+}
+
+// Size returns the logical size of the file: the highest written offset
+// plus one (or the truncated size if a truncate capped it).
+func (idx *Index) Size() int64 { return idx.size }
+
+// Truncate drops every extent at or beyond size and clips extents that
+// straddle it, mirroring plfs_trunc.
+func (idx *Index) Truncate(size int64) {
+	if size < 0 {
+		size = 0
+	}
+	var out []Extent
+	for _, x := range idx.extents {
+		switch {
+		case x.LogicalOffset >= size:
+			// dropped entirely
+		case x.LogicalOffset+x.Length > size:
+			x.Length = size - x.LogicalOffset
+			out = append(out, x)
+		default:
+			out = append(out, x)
+		}
+	}
+	idx.extents = out
+	idx.size = size
+	idx.trunc = true
+}
+
+// Extend grows the logical size (a truncate upward), zero-filling.
+func (idx *Index) Extend(size int64) {
+	if size > idx.size {
+		idx.size = size
+	}
+}
+
+// Query resolves the logical range [off, off+length) into a minimal
+// sequence of extents covering it, including Hole extents for unwritten
+// gaps. Ranges beyond EOF are clipped; a query entirely past EOF returns
+// nil.
+func (idx *Index) Query(off, length int64) []Extent {
+	if off < 0 || length <= 0 || off >= idx.size {
+		return nil
+	}
+	if off+length > idx.size {
+		length = idx.size - off
+	}
+	lo, hi := off, off+length
+
+	var out []Extent
+	i := sort.Search(len(idx.extents), func(k int) bool {
+		x := idx.extents[k]
+		return x.LogicalOffset+x.Length > lo
+	})
+	cur := lo
+	for ; i < len(idx.extents) && cur < hi; i++ {
+		x := idx.extents[i]
+		if x.LogicalOffset >= hi {
+			break
+		}
+		if x.LogicalOffset > cur {
+			out = append(out, Extent{LogicalOffset: cur, Length: x.LogicalOffset - cur, Hole: true})
+			cur = x.LogicalOffset
+		}
+		// Clip x to [cur, hi).
+		skip := cur - x.LogicalOffset
+		n := x.Length - skip
+		if rem := hi - cur; n > rem {
+			n = rem
+		}
+		ext := Extent{
+			LogicalOffset:  cur,
+			Length:         n,
+			PhysicalOffset: x.PhysicalOffset + skip,
+			Pid:            x.Pid,
+			Dropping:       x.Dropping,
+			Hole:           x.Hole,
+		}
+		out = append(out, ext)
+		cur += n
+	}
+	if cur < hi {
+		out = append(out, Extent{LogicalOffset: cur, Length: hi - cur, Hole: true})
+	}
+	return out
+}
+
+// Extents returns a copy of the resolved extent list (holes omitted),
+// useful for container inspection tools.
+func (idx *Index) Extents() []Extent {
+	out := make([]Extent, len(idx.extents))
+	copy(out, idx.extents)
+	return out
+}
+
+// NumExtents returns the number of resolved (non-hole) extents.
+func (idx *Index) NumExtents() int { return len(idx.extents) }

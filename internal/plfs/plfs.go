@@ -1,0 +1,869 @@
+// Package plfs is a from-scratch implementation of the Parallel
+// Log-structured File System's user-level library (Bent et al., SC'09) —
+// the substrate LDPLFS retargets POSIX calls onto.
+//
+// A PLFS "file" is really a container directory:
+//
+//	file/                      <- the path the application sees
+//	  .plfsaccess              <- marker distinguishing containers from dirs
+//	  version
+//	  meta/                    <- per-writer size hints dropped at close
+//	  hostdir.K/               <- one bucket per host (hash of writer id)
+//	    dropping.data.<pid>    <- log-structured payload, append-only
+//	    dropping.index.<pid>   <- index records mapping logical->physical
+//
+// Every writer appends payload to its own data dropping — an N-process
+// write to one logical file becomes N independent file streams (file
+// partitioning) and every write is sequential in its dropping (the log
+// structure). Reads merge all index droppings into a global index
+// (internal/plfs/index) and scatter-gather from the data droppings.
+//
+// The API mirrors the C library's plfs_open/plfs_read/plfs_write semantics
+// from Listing 1 of the LDPLFS paper: offsets are explicit, a writer id
+// ("pid") names the dropping, and there is no implicit file pointer — that
+// bookkeeping is exactly what LDPLFS (internal/core) adds on top.
+package plfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	idx "ldplfs/internal/plfs/index"
+	"ldplfs/internal/posix"
+)
+
+const (
+	accessFile   = ".plfsaccess"
+	versionFile  = "version"
+	metaDir      = "meta"
+	openhostsDir = "openhosts"
+	versionText  = "ldplfs-go plfs container v1\n"
+)
+
+// Options configures a PLFS instance.
+type Options struct {
+	// NumHostdirs is the number of hostdir buckets per container (PLFS
+	// default is 32; tests use fewer to exercise collisions).
+	NumHostdirs int
+}
+
+// DefaultOptions mirror PLFS 2.x defaults.
+func DefaultOptions() Options { return Options{NumHostdirs: 32} }
+
+// FS is a PLFS library instance bound to a backing store. It is safe for
+// concurrent use by multiple goroutines (ranks).
+type FS struct {
+	backend posix.FS
+	opts    Options
+	clock   atomic.Uint64 // container-wide write ordering
+}
+
+// New returns a PLFS instance over backend.
+func New(backend posix.FS, opts Options) *FS {
+	if opts.NumHostdirs <= 0 {
+		opts.NumHostdirs = DefaultOptions().NumHostdirs
+	}
+	return &FS{backend: backend, opts: opts}
+}
+
+// Backend returns the posix layer this instance stores containers on.
+func (p *FS) Backend() posix.FS { return p.backend }
+
+func (p *FS) hostdir(path string, pid uint32) string {
+	return fmt.Sprintf("%s/hostdir.%d", path, int(pid)%p.opts.NumHostdirs)
+}
+
+func dataDropping(hostdir string, pid uint32) string {
+	return fmt.Sprintf("%s/dropping.data.%d", hostdir, pid)
+}
+
+func indexDropping(hostdir string, pid uint32) string {
+	return fmt.Sprintf("%s/dropping.index.%d", hostdir, pid)
+}
+
+// IsContainer reports whether path names a PLFS container.
+func (p *FS) IsContainer(path string) bool {
+	st, err := p.backend.Stat(path)
+	if err != nil || !st.IsDir() {
+		return false
+	}
+	_, err = p.backend.Stat(path + "/" + accessFile)
+	return err == nil
+}
+
+// CreateContainer builds an empty container at path. It is idempotent:
+// concurrent creators race benignly on EEXIST, as PLFS containers do on a
+// shared parallel file system.
+func (p *FS) CreateContainer(path string, mode uint32) error {
+	if err := p.backend.Mkdir(path, 0o755); err != nil && !errors.Is(err, posix.EEXIST) {
+		return fmt.Errorf("plfs: create container %s: %w", path, err)
+	}
+	fd, err := p.backend.Open(path+"/"+accessFile, posix.O_CREAT|posix.O_WRONLY, mode)
+	if err != nil && !errors.Is(err, posix.EEXIST) {
+		return fmt.Errorf("plfs: create access file: %w", err)
+	}
+	if err == nil {
+		p.backend.Close(fd)
+	}
+	if fd, err := p.backend.Open(path+"/"+versionFile, posix.O_CREAT|posix.O_EXCL|posix.O_WRONLY, 0o644); err == nil {
+		p.backend.Write(fd, []byte(versionText))
+		p.backend.Close(fd)
+	}
+	if err := p.backend.Mkdir(path+"/"+metaDir, 0o755); err != nil && !errors.Is(err, posix.EEXIST) {
+		return fmt.Errorf("plfs: create meta dir: %w", err)
+	}
+	if err := p.backend.Mkdir(path+"/"+openhostsDir, 0o755); err != nil && !errors.Is(err, posix.EEXIST) {
+		return fmt.Errorf("plfs: create openhosts dir: %w", err)
+	}
+	return nil
+}
+
+// markOpen drops an openhosts record for pid — PLFS's signal that a
+// writer is active, so stat must not trust the meta size hints.
+func (p *FS) markOpen(path string, pid uint32) {
+	// Best effort, like PLFS: a missing record only makes stat cheaper.
+	if err := p.backend.Mkdir(path+"/"+openhostsDir, 0o755); err != nil && !errors.Is(err, posix.EEXIST) {
+		return
+	}
+	name := fmt.Sprintf("%s/%s/host.%d", path, openhostsDir, pid)
+	if fd, err := p.backend.Open(name, posix.O_CREAT|posix.O_WRONLY, 0o644); err == nil {
+		p.backend.Close(fd)
+	}
+}
+
+// clearOpen removes pid's openhosts record.
+func (p *FS) clearOpen(path string, pid uint32) {
+	p.backend.Unlink(fmt.Sprintf("%s/%s/host.%d", path, openhostsDir, pid))
+}
+
+// hasOpenWriters reports whether any writer holds the container open.
+func (p *FS) hasOpenWriters(path string) bool {
+	entries, err := p.backend.Readdir(path + "/" + openhostsDir)
+	return err == nil && len(entries) > 0
+}
+
+// writer is the per-pid append state of an open file.
+type writer struct {
+	dataFD  int
+	idxW    *idx.Writer
+	physOff int64
+	maxEnd  int64 // highest logical offset+len this writer produced
+}
+
+// File is an open PLFS file handle — the analogue of Plfs_fd*. A single
+// File may serve several writer pids (as when LDPLFS funnels multiple
+// POSIX fds onto one container) and any number of readers.
+type File struct {
+	fs    *FS
+	path  string
+	flags int
+
+	mu      sync.Mutex
+	writers map[uint32]*writer
+	index   *idx.Index // lazily built; nil when stale
+	dataFDs map[uint64]int
+	refs    int
+}
+
+// Open opens (and with O_CREAT, creates) the container at path, returning
+// a file handle. pid identifies the calling writer, as in plfs_open.
+func (p *FS) Open(path string, flags int, pid uint32, mode uint32) (*File, error) {
+	exists := p.IsContainer(path)
+	if !exists {
+		if st, err := p.backend.Stat(path); err == nil && st.IsDir() {
+			return nil, posix.EISDIR
+		}
+		if flags&posix.O_CREAT == 0 {
+			return nil, posix.ENOENT
+		}
+		if err := p.CreateContainer(path, mode); err != nil {
+			return nil, err
+		}
+	} else if flags&posix.O_CREAT != 0 && flags&posix.O_EXCL != 0 {
+		return nil, posix.EEXIST
+	}
+
+	f := &File{
+		fs:      p,
+		path:    path,
+		flags:   flags,
+		writers: make(map[uint32]*writer),
+		dataFDs: make(map[uint64]int),
+		refs:    1,
+	}
+	if flags&posix.O_TRUNC != 0 && flags&posix.O_ACCMODE != posix.O_RDONLY {
+		if err := p.truncateContainer(path, 0); err != nil {
+			f.release()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Ref increments the handle's reference count (plfs_open on an already
+// open Plfs_fd does the same).
+func (f *File) Ref() {
+	f.mu.Lock()
+	f.refs++
+	f.mu.Unlock()
+}
+
+// Path returns the container path this handle refers to.
+func (f *File) Path() string { return f.path }
+
+func (f *File) getWriter(pid uint32) (*writer, error) {
+	if w, ok := f.writers[pid]; ok {
+		return w, nil
+	}
+	hostdir := f.fs.hostdir(f.path, pid)
+	if err := f.fs.backend.Mkdir(hostdir, 0o755); err != nil && !errors.Is(err, posix.EEXIST) {
+		return nil, fmt.Errorf("plfs: create hostdir: %w", err)
+	}
+	dataPath := dataDropping(hostdir, pid)
+	fd, err := f.fs.backend.Open(dataPath, posix.O_CREAT|posix.O_WRONLY|posix.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("plfs: open data dropping: %w", err)
+	}
+	st, err := f.fs.backend.Fstat(fd)
+	if err != nil {
+		f.fs.backend.Close(fd)
+		return nil, err
+	}
+	iw, err := openIndexWriter(f.fs.backend, indexDropping(hostdir, pid))
+	if err != nil {
+		f.fs.backend.Close(fd)
+		return nil, err
+	}
+	w := &writer{dataFD: fd, idxW: iw, physOff: st.Size}
+	f.writers[pid] = w
+	f.fs.markOpen(f.path, pid)
+	return w, nil
+}
+
+// openIndexWriter opens an index dropping for appending, creating it if
+// necessary; re-opening an existing dropping resumes after its records.
+func openIndexWriter(fs posix.FS, path string) (*idx.Writer, error) {
+	if _, err := fs.Stat(path); err == nil {
+		return idx.OpenWriter(fs, path)
+	}
+	return idx.NewWriter(fs, path)
+}
+
+// Write appends count bytes at logical offset off on behalf of pid —
+// plfs_write. The payload lands at the end of pid's data dropping and one
+// index record is buffered.
+func (f *File) Write(buf []byte, off int64, pid uint32) (int, error) {
+	if f.flags&posix.O_ACCMODE == posix.O_RDONLY {
+		return 0, posix.EBADF
+	}
+	if off < 0 {
+		return 0, posix.EINVAL
+	}
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w, err := f.getWriter(pid)
+	if err != nil {
+		return 0, err
+	}
+	n, err := f.fs.backend.Write(w.dataFD, buf)
+	if err != nil {
+		return n, fmt.Errorf("plfs: write data dropping: %w", err)
+	}
+	ts := f.fs.clock.Add(1)
+	w.idxW.Append(idx.Entry{
+		LogicalOffset:  off,
+		Length:         int64(n),
+		PhysicalOffset: w.physOff,
+		Timestamp:      ts,
+		Pid:            pid,
+	})
+	w.physOff += int64(n)
+	if end := off + int64(n); end > w.maxEnd {
+		w.maxEnd = end
+	}
+	f.index = nil // stale: our own writes must become visible to our reads
+	return n, nil
+}
+
+// loadIndex builds (or returns the cached) global index. Caller holds f.mu.
+func (f *File) loadIndex() (*idx.Index, error) {
+	if f.index != nil {
+		return f.index, nil
+	}
+	// Flush our buffered index records so they are part of the merge.
+	for _, w := range f.writers {
+		if err := w.idxW.Sync(); err != nil {
+			return nil, err
+		}
+	}
+	entries, err := f.fs.readAllEntries(f.path)
+	if err != nil {
+		return nil, err
+	}
+	f.index = idx.Build(entries)
+	return f.index, nil
+}
+
+// readAllEntries loads every index dropping in the container.
+func (p *FS) readAllEntries(path string) ([]idx.Entry, error) {
+	var entries []idx.Entry
+	dirs, err := p.backend.Readdir(path)
+	if err != nil {
+		return nil, fmt.Errorf("plfs: list container: %w", err)
+	}
+	for _, d := range dirs {
+		if !d.IsDir || len(d.Name) < 8 || d.Name[:8] != "hostdir." {
+			continue
+		}
+		hostdir := path + "/" + d.Name
+		files, err := p.backend.Readdir(hostdir)
+		if err != nil {
+			return nil, err
+		}
+		for _, fe := range files {
+			if len(fe.Name) >= 15 && fe.Name[:15] == "dropping.index." {
+				es, err := idx.ReadDropping(p.backend, hostdir+"/"+fe.Name)
+				if err != nil {
+					return nil, err
+				}
+				entries = append(entries, es...)
+			}
+		}
+	}
+	return entries, nil
+}
+
+// dataFDFor returns a cached read fd for the (hostdir bucket, pid) data
+// dropping. Caller holds f.mu.
+func (f *File) dataFDFor(pid uint32) (int, error) {
+	key := uint64(pid)
+	if fd, ok := f.dataFDs[key]; ok {
+		return fd, nil
+	}
+	path := dataDropping(f.fs.hostdir(f.path, pid), pid)
+	fd, err := f.fs.backend.Open(path, posix.O_RDONLY, 0)
+	if err != nil {
+		return -1, fmt.Errorf("plfs: open data dropping for read: %w", err)
+	}
+	f.dataFDs[key] = fd
+	return fd, nil
+}
+
+// Read fills buf from logical offset off — plfs_read. It scatter-gathers
+// across data droppings according to the merged index; holes read as
+// zeros.
+func (f *File) Read(buf []byte, off int64) (int, error) {
+	if f.flags&posix.O_ACCMODE == posix.O_WRONLY {
+		return 0, posix.EBADF
+	}
+	if off < 0 {
+		return 0, posix.EINVAL
+	}
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	index, err := f.loadIndex()
+	if err != nil {
+		return 0, err
+	}
+	extents := index.Query(off, int64(len(buf)))
+	total := 0
+	for _, x := range extents {
+		dst := buf[x.LogicalOffset-off : x.LogicalOffset-off+x.Length]
+		if x.Hole {
+			for i := range dst {
+				dst[i] = 0
+			}
+			total += len(dst)
+			continue
+		}
+		fd, err := f.dataFDFor(x.Pid)
+		if err != nil {
+			return total, err
+		}
+		if err := posix.ReadFull(f.fs.backend, fd, dst, x.PhysicalOffset); err != nil {
+			return total, fmt.Errorf("plfs: read dropping (pid %d): %w", x.Pid, err)
+		}
+		total += len(dst)
+	}
+	return total, nil
+}
+
+// Size returns the logical file size.
+func (f *File) Size() (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	index, err := f.loadIndex()
+	if err != nil {
+		return 0, err
+	}
+	return index.Size(), nil
+}
+
+// Sync flushes pid's buffered index records and data — plfs_sync.
+func (f *File) Sync(pid uint32) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w, ok := f.writers[pid]
+	if !ok {
+		return nil
+	}
+	if err := w.idxW.Sync(); err != nil {
+		return err
+	}
+	return f.fs.backend.Fsync(w.dataFD)
+}
+
+// Trunc truncates the open file — plfs_trunc on an open handle.
+func (f *File) Trunc(size int64) error {
+	if f.flags&posix.O_ACCMODE == posix.O_RDONLY {
+		return posix.EBADF
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// Flush writers so their records participate, then truncate on disk.
+	for _, w := range f.writers {
+		if err := w.idxW.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := f.fs.truncateContainer(f.path, size); err != nil {
+		return err
+	}
+	// Writers continue appending after the consolidated index; their
+	// physical cursors remain valid because data droppings are untouched
+	// only when size==0 removes them — reset in that case.
+	if size == 0 {
+		for pid, w := range f.writers {
+			f.fs.backend.Close(w.dataFD)
+			w.idxW.Close()
+			delete(f.writers, pid)
+		}
+		for k, fd := range f.dataFDs {
+			f.fs.backend.Close(fd)
+			delete(f.dataFDs, k)
+		}
+	}
+	f.index = nil
+	return nil
+}
+
+// Close drops pid's writer state and decrements the handle refcount —
+// plfs_close. When the last reference closes, every remaining writer is
+// also torn down, size metadata is dropped into meta/ so later stats can
+// avoid a full index merge, and the openhosts records are cleared.
+func (f *File) Close(pid uint32) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.teardownWriterLocked(pid); err != nil {
+		return err
+	}
+	f.refs--
+	if f.refs <= 0 {
+		f.releaseLocked()
+	}
+	return nil
+}
+
+// teardownWriterLocked closes one pid's writer, drops its size hint and
+// clears its openhosts record. Caller holds f.mu.
+func (f *File) teardownWriterLocked(pid uint32) error {
+	w, ok := f.writers[pid]
+	if !ok {
+		return nil
+	}
+	if err := w.idxW.Close(); err != nil {
+		return err
+	}
+	if err := f.fs.backend.Close(w.dataFD); err != nil {
+		return err
+	}
+	// Drop a metadata hint: max logical extent this writer saw.
+	metaPath := fmt.Sprintf("%s/%s/size.%d", f.path, metaDir, pid)
+	if fd, err := f.fs.backend.Open(metaPath, posix.O_CREAT|posix.O_WRONLY|posix.O_TRUNC, 0o644); err == nil {
+		f.fs.backend.Write(fd, []byte(fmt.Sprintf("%d\n", w.maxEnd)))
+		f.fs.backend.Close(fd)
+	}
+	f.fs.clearOpen(f.path, pid)
+	delete(f.writers, pid)
+	f.index = nil
+	return nil
+}
+
+func (f *File) release() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.releaseLocked()
+}
+
+func (f *File) releaseLocked() {
+	for k, fd := range f.dataFDs {
+		f.fs.backend.Close(fd)
+		delete(f.dataFDs, k)
+	}
+	for pid := range f.writers {
+		// Full teardown (hints + openhosts), not just fd closes: the
+		// handle may serve several writer pids and the last reference
+		// retires all of them.
+		f.teardownWriterLocked(pid)
+	}
+	f.index = nil
+}
+
+// Stat describes a container without opening it — plfs_getattr. It prefers
+// the meta/ size hints and falls back to a full index merge when none
+// exist (e.g. the container was never cleanly closed).
+func (p *FS) Stat(path string) (posix.Stat, error) {
+	if !p.IsContainer(path) {
+		return posix.Stat{}, posix.ENOENT
+	}
+	st, err := p.backend.Stat(path)
+	if err != nil {
+		return posix.Stat{}, err
+	}
+	out := posix.Stat{Mode: 0o644, Nlink: 1, Ino: st.Ino, Mtime: st.Mtime}
+
+	var size int64
+	if p.hasOpenWriters(path) {
+		// Active writers: the hints are stale by construction; merge the
+		// on-disk index droppings for a live answer.
+		entries, err := p.readAllEntries(path)
+		if err != nil {
+			return posix.Stat{}, err
+		}
+		size = idx.Build(entries).Size()
+	} else {
+		var ok bool
+		var err error
+		size, ok, err = p.metaSize(path)
+		if err != nil {
+			return posix.Stat{}, err
+		}
+		if !ok {
+			entries, err := p.readAllEntries(path)
+			if err != nil {
+				return posix.Stat{}, err
+			}
+			size = idx.Build(entries).Size()
+		}
+	}
+	out.Size = size
+	return out, nil
+}
+
+// metaSize returns the size recorded by cleanly closed writers. ok is
+// false when no hints exist.
+func (p *FS) metaSize(path string) (int64, bool, error) {
+	entries, err := p.backend.Readdir(path + "/" + metaDir)
+	if err != nil {
+		if errors.Is(err, posix.ENOENT) {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	var size int64
+	found := false
+	for _, e := range entries {
+		if e.IsDir {
+			continue
+		}
+		fd, err := p.backend.Open(path+"/"+metaDir+"/"+e.Name, posix.O_RDONLY, 0)
+		if err != nil {
+			continue
+		}
+		buf := make([]byte, 32)
+		n, _ := p.backend.Read(fd, buf)
+		p.backend.Close(fd)
+		var v int64
+		if _, err := fmt.Sscanf(string(buf[:n]), "%d", &v); err == nil {
+			found = true
+			if v > size {
+				size = v
+			}
+		}
+	}
+	// Meta hints under-report if a writer died before close; a writer that
+	// is still active has no hint at all. Cross-check against index
+	// droppings only when nothing was found.
+	return size, found, nil
+}
+
+// Unlink removes a container and all its droppings — plfs_unlink.
+func (p *FS) Unlink(path string) error {
+	if !p.IsContainer(path) {
+		return posix.ENOENT
+	}
+	return p.removeTree(path)
+}
+
+func (p *FS) removeTree(path string) error {
+	entries, err := p.backend.Readdir(path)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		child := path + "/" + e.Name
+		if e.IsDir {
+			if err := p.removeTree(child); err != nil {
+				return err
+			}
+		} else if err := p.backend.Unlink(child); err != nil {
+			return err
+		}
+	}
+	return p.backend.Rmdir(path)
+}
+
+// Rename moves a container — plfs_rename.
+func (p *FS) Rename(oldpath, newpath string) error {
+	if !p.IsContainer(oldpath) {
+		return posix.ENOENT
+	}
+	if p.IsContainer(newpath) {
+		if err := p.Unlink(newpath); err != nil {
+			return err
+		}
+	}
+	return p.backend.Rename(oldpath, newpath)
+}
+
+// Truncate truncates a closed container to size — plfs_trunc.
+func (p *FS) Truncate(path string, size int64) error {
+	if !p.IsContainer(path) {
+		return posix.ENOENT
+	}
+	return p.truncateContainer(path, size)
+}
+
+// truncateContainer implements truncation the way PLFS does: size zero
+// removes every dropping; a partial truncate consolidates the clipped
+// global index into a single replacement index dropping.
+func (p *FS) truncateContainer(path string, size int64) error {
+	if size < 0 {
+		return posix.EINVAL
+	}
+	dirs, err := p.backend.Readdir(path)
+	if err != nil {
+		return err
+	}
+	if size == 0 {
+		for _, d := range dirs {
+			if d.IsDir && len(d.Name) >= 8 && d.Name[:8] == "hostdir." {
+				if err := p.removeTree(path + "/" + d.Name); err != nil {
+					return err
+				}
+			}
+		}
+		return p.clearMeta(path, 0)
+	}
+
+	entries, err := p.readAllEntries(path)
+	if err != nil {
+		return err
+	}
+	global := idx.Build(entries)
+	global.Truncate(size)
+	if global.Size() < size {
+		global.Extend(size)
+	}
+	// Replace every index dropping with one consolidated dropping holding
+	// the clipped extents (re-timestamped in resolved order).
+	var consolidated []idx.Entry
+	for i, x := range global.Extents() {
+		if x.Hole {
+			continue
+		}
+		consolidated = append(consolidated, idx.Entry{
+			LogicalOffset:  x.LogicalOffset,
+			Length:         x.Length,
+			PhysicalOffset: x.PhysicalOffset,
+			Timestamp:      uint64(i + 1),
+			Pid:            x.Pid,
+		})
+	}
+	for _, d := range dirs {
+		if !d.IsDir || len(d.Name) < 8 || d.Name[:8] != "hostdir." {
+			continue
+		}
+		hostdir := path + "/" + d.Name
+		files, err := p.backend.Readdir(hostdir)
+		if err != nil {
+			return err
+		}
+		for _, fe := range files {
+			if len(fe.Name) >= 15 && fe.Name[:15] == "dropping.index." {
+				if err := p.backend.Unlink(hostdir + "/" + fe.Name); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	hostdir := fmt.Sprintf("%s/hostdir.%d", path, 0)
+	if err := p.backend.Mkdir(hostdir, 0o755); err != nil && !errors.Is(err, posix.EEXIST) {
+		return err
+	}
+	if err := idx.WriteDropping(p.backend, hostdir+"/dropping.index.trunc", consolidated); err != nil {
+		return err
+	}
+	// A sparse tail (truncate upward) needs a zero-length sentinel so Size
+	// sees the extension. Represent it with a zero-filled entry of length
+	// zero is impossible; instead extend via meta hints.
+	return p.clearMeta(path, size)
+}
+
+// clearMeta resets the meta hints to a single authoritative size.
+func (p *FS) clearMeta(path string, size int64) error {
+	metaPath := path + "/" + metaDir
+	entries, err := p.backend.Readdir(metaPath)
+	if err == nil {
+		for _, e := range entries {
+			p.backend.Unlink(metaPath + "/" + e.Name)
+		}
+	}
+	fd, err := p.backend.Open(metaPath+"/size.trunc", posix.O_CREAT|posix.O_WRONLY|posix.O_TRUNC, 0o644)
+	if err != nil {
+		return nil // best effort: stat falls back to index merge
+	}
+	p.backend.Write(fd, []byte(fmt.Sprintf("%d\n", size)))
+	p.backend.Close(fd)
+	return nil
+}
+
+// CompactIndex merges every index dropping in the container into one
+// consolidated dropping — plfs_flatten_index. Read opens afterwards load
+// a single file instead of one per historical writer, which is PLFS's
+// answer to slow first-reads on many-writer containers. The container
+// must have no active writers.
+func (p *FS) CompactIndex(path string) error {
+	if !p.IsContainer(path) {
+		return posix.ENOENT
+	}
+	if p.hasOpenWriters(path) {
+		return fmt.Errorf("plfs: compact %s: container has active writers", path)
+	}
+	entries, err := p.readAllEntries(path)
+	if err != nil {
+		return err
+	}
+	global := idx.Build(entries)
+	var flat []idx.Entry
+	for i, x := range global.Extents() {
+		if x.Hole {
+			continue
+		}
+		flat = append(flat, idx.Entry{
+			LogicalOffset:  x.LogicalOffset,
+			Length:         x.Length,
+			PhysicalOffset: x.PhysicalOffset,
+			Timestamp:      uint64(i + 1),
+			Pid:            x.Pid,
+		})
+	}
+	// Write the consolidated dropping first, then remove the shards, so a
+	// crash between the two steps leaves a readable (if redundant) index.
+	hostdir := fmt.Sprintf("%s/hostdir.%d", path, 0)
+	if err := p.backend.Mkdir(hostdir, 0o755); err != nil && !errors.Is(err, posix.EEXIST) {
+		return err
+	}
+	compacted := hostdir + "/dropping.index.flattened"
+	if err := idx.WriteDropping(p.backend, compacted, flat); err != nil {
+		return err
+	}
+	dirs, err := p.backend.Readdir(path)
+	if err != nil {
+		return err
+	}
+	for _, d := range dirs {
+		if !d.IsDir || len(d.Name) < 8 || d.Name[:8] != "hostdir." {
+			continue
+		}
+		hd := path + "/" + d.Name
+		files, err := p.backend.Readdir(hd)
+		if err != nil {
+			return err
+		}
+		for _, fe := range files {
+			name := hd + "/" + fe.Name
+			if name == compacted {
+				continue
+			}
+			if len(fe.Name) >= 15 && fe.Name[:15] == "dropping.index." {
+				if err := p.backend.Unlink(name); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// IndexDroppings counts the index dropping files in a container.
+func (p *FS) IndexDroppings(path string) (int, error) {
+	dirs, err := p.backend.Readdir(path)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, d := range dirs {
+		if !d.IsDir || len(d.Name) < 8 || d.Name[:8] != "hostdir." {
+			continue
+		}
+		files, err := p.backend.Readdir(path + "/" + d.Name)
+		if err != nil {
+			return 0, err
+		}
+		for _, fe := range files {
+			if len(fe.Name) >= 15 && fe.Name[:15] == "dropping.index." {
+				count++
+			}
+		}
+	}
+	return count, nil
+}
+
+// Flatten materialises the container's logical contents as a plain file at
+// dst on the backend — what "cp" through LDPLFS achieves, packaged as a
+// utility (PLFS ships the same as plfs_flatten_index/"plfs_recover").
+func (p *FS) Flatten(path, dst string) error {
+	f, err := p.Open(path, posix.O_RDONLY, 0, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close(0)
+	size, err := f.Size()
+	if err != nil {
+		return err
+	}
+	out, err := p.backend.Open(dst, posix.O_CREAT|posix.O_WRONLY|posix.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer p.backend.Close(out)
+	const chunk = 4 << 20
+	buf := make([]byte, chunk)
+	for off := int64(0); off < size; {
+		n := chunk
+		if rem := size - off; rem < int64(n) {
+			n = int(rem)
+		}
+		got, err := f.Read(buf[:n], off)
+		if err != nil {
+			return err
+		}
+		if got == 0 {
+			break
+		}
+		if err := posix.WriteFull(p.backend, out, buf[:got], off); err != nil {
+			return err
+		}
+		off += int64(got)
+	}
+	return p.backend.Ftruncate(out, size)
+}

@@ -1,0 +1,241 @@
+package posix
+
+import (
+	"strings"
+	"sync"
+)
+
+// FaultFS wraps an FS and injects failures according to programmable
+// rules — the substrate for the failure-injection tests that check PLFS
+// and LDPLFS degrade cleanly when the backend misbehaves (full file
+// system, flaky metadata server, torn writes).
+type FaultFS struct {
+	inner FS
+
+	mu    sync.Mutex
+	rules []*FaultRule
+}
+
+// FaultOp names an operation class a rule can target.
+type FaultOp string
+
+// Operation classes for fault rules.
+const (
+	FaultOpen  FaultOp = "open"
+	FaultRead  FaultOp = "read"
+	FaultWrite FaultOp = "write"
+	FaultMeta  FaultOp = "meta" // stat/unlink/mkdir/...
+	FaultSync  FaultOp = "sync"
+	FaultAny   FaultOp = "any"
+)
+
+// FaultRule describes one injected failure.
+type FaultRule struct {
+	// Op selects the operation class (FaultAny matches everything).
+	Op FaultOp
+	// PathContains restricts the rule to paths containing the substring
+	// (empty matches all; fd-based ops match the fd's open path).
+	PathContains string
+	// After skips the first N matching operations before firing.
+	After int
+	// Times limits how often the rule fires (0 = forever).
+	Times int
+	// Err is the injected error.
+	Err error
+
+	matched int
+	fired   int
+}
+
+// NewFaultFS wraps inner with no rules (transparent until Inject).
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner}
+}
+
+// Inject adds a rule.
+func (f *FaultFS) Inject(r *FaultRule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, r)
+}
+
+// Clear removes all rules.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+// Fired reports how many times any rule has fired.
+func (f *FaultFS) Fired() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	total := 0
+	for _, r := range f.rules {
+		total += r.fired
+	}
+	return total
+}
+
+// check returns the injected error for (op, path), if any rule fires.
+func (f *FaultFS) check(op FaultOp, path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.rules {
+		if r.Op != FaultAny && r.Op != op {
+			continue
+		}
+		if r.PathContains != "" && !strings.Contains(path, r.PathContains) {
+			continue
+		}
+		r.matched++
+		if r.matched <= r.After {
+			continue
+		}
+		if r.Times > 0 && r.fired >= r.Times {
+			continue
+		}
+		r.fired++
+		return r.Err
+	}
+	return nil
+}
+
+// Open implements FS.
+func (f *FaultFS) Open(path string, flags int, mode uint32) (int, error) {
+	if err := f.check(FaultOpen, path); err != nil {
+		return -1, err
+	}
+	return f.inner.Open(path, flags, mode)
+}
+
+// Close implements FS (never injected: close must stay reliable so tests
+// can clean up).
+func (f *FaultFS) Close(fd int) error { return f.inner.Close(fd) }
+
+// Read implements FS.
+func (f *FaultFS) Read(fd int, p []byte) (int, error) {
+	if err := f.check(FaultRead, ""); err != nil {
+		return 0, err
+	}
+	return f.inner.Read(fd, p)
+}
+
+// Write implements FS.
+func (f *FaultFS) Write(fd int, p []byte) (int, error) {
+	if err := f.check(FaultWrite, ""); err != nil {
+		return 0, err
+	}
+	return f.inner.Write(fd, p)
+}
+
+// Pread implements FS.
+func (f *FaultFS) Pread(fd int, p []byte, off int64) (int, error) {
+	if err := f.check(FaultRead, ""); err != nil {
+		return 0, err
+	}
+	return f.inner.Pread(fd, p, off)
+}
+
+// Pwrite implements FS.
+func (f *FaultFS) Pwrite(fd int, p []byte, off int64) (int, error) {
+	if err := f.check(FaultWrite, ""); err != nil {
+		return 0, err
+	}
+	return f.inner.Pwrite(fd, p, off)
+}
+
+// Lseek implements FS.
+func (f *FaultFS) Lseek(fd int, offset int64, whence int) (int64, error) {
+	return f.inner.Lseek(fd, offset, whence)
+}
+
+// Fsync implements FS.
+func (f *FaultFS) Fsync(fd int) error {
+	if err := f.check(FaultSync, ""); err != nil {
+		return err
+	}
+	return f.inner.Fsync(fd)
+}
+
+// Ftruncate implements FS.
+func (f *FaultFS) Ftruncate(fd int, size int64) error {
+	if err := f.check(FaultMeta, ""); err != nil {
+		return err
+	}
+	return f.inner.Ftruncate(fd, size)
+}
+
+// Fstat implements FS.
+func (f *FaultFS) Fstat(fd int) (Stat, error) {
+	if err := f.check(FaultMeta, ""); err != nil {
+		return Stat{}, err
+	}
+	return f.inner.Fstat(fd)
+}
+
+// Stat implements FS.
+func (f *FaultFS) Stat(path string) (Stat, error) {
+	if err := f.check(FaultMeta, path); err != nil {
+		return Stat{}, err
+	}
+	return f.inner.Stat(path)
+}
+
+// Truncate implements FS.
+func (f *FaultFS) Truncate(path string, size int64) error {
+	if err := f.check(FaultMeta, path); err != nil {
+		return err
+	}
+	return f.inner.Truncate(path, size)
+}
+
+// Unlink implements FS.
+func (f *FaultFS) Unlink(path string) error {
+	if err := f.check(FaultMeta, path); err != nil {
+		return err
+	}
+	return f.inner.Unlink(path)
+}
+
+// Mkdir implements FS.
+func (f *FaultFS) Mkdir(path string, mode uint32) error {
+	if err := f.check(FaultMeta, path); err != nil {
+		return err
+	}
+	return f.inner.Mkdir(path, mode)
+}
+
+// Rmdir implements FS.
+func (f *FaultFS) Rmdir(path string) error {
+	if err := f.check(FaultMeta, path); err != nil {
+		return err
+	}
+	return f.inner.Rmdir(path)
+}
+
+// Readdir implements FS.
+func (f *FaultFS) Readdir(path string) ([]DirEntry, error) {
+	if err := f.check(FaultMeta, path); err != nil {
+		return nil, err
+	}
+	return f.inner.Readdir(path)
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.check(FaultMeta, oldpath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Access implements FS.
+func (f *FaultFS) Access(path string, mode int) error {
+	if err := f.check(FaultMeta, path); err != nil {
+		return err
+	}
+	return f.inner.Access(path, mode)
+}
+
+var _ FS = (*FaultFS)(nil)

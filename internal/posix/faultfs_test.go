@@ -1,0 +1,143 @@
+package posix
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultFSTransparentWithoutRules(t *testing.T) {
+	f := NewFaultFS(NewMemFS())
+	fd, err := f.Open("/x", O_CREAT|O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(fd, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Lseek(fd, 0, SEEK_SET); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if n, err := f.Read(fd, buf); err != nil || n != 2 {
+		t.Fatalf("read = %d, %v", n, err)
+	}
+	if err := f.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if f.Fired() != 0 {
+		t.Fatal("rules fired with none installed")
+	}
+}
+
+func TestFaultRuleAfterAndTimes(t *testing.T) {
+	f := NewFaultFS(NewMemFS())
+	fd, _ := f.Open("/x", O_CREAT|O_WRONLY, 0o644)
+	f.Inject(&FaultRule{Op: FaultWrite, After: 2, Times: 2, Err: ENOSPC})
+	results := make([]error, 6)
+	for i := range results {
+		_, results[i] = f.Write(fd, []byte("a"))
+	}
+	for i, wantErr := range []bool{false, false, true, true, false, false} {
+		if (results[i] != nil) != wantErr {
+			t.Fatalf("write %d: err=%v, want failing=%v", i, results[i], wantErr)
+		}
+	}
+	if f.Fired() != 2 {
+		t.Fatalf("fired %d, want 2", f.Fired())
+	}
+	f.Close(fd)
+}
+
+func TestFaultRulePathFilter(t *testing.T) {
+	f := NewFaultFS(NewMemFS())
+	f.Inject(&FaultRule{Op: FaultOpen, PathContains: "victim", Err: EACCES})
+	if _, err := f.Open("/bystander", O_CREAT|O_WRONLY, 0o644); err != nil {
+		t.Fatalf("bystander affected: %v", err)
+	}
+	if _, err := f.Open("/victim", O_CREAT|O_WRONLY, 0o644); !errors.Is(err, EACCES) {
+		t.Fatalf("victim open = %v, want EACCES", err)
+	}
+	f.Clear()
+	if _, err := f.Open("/victim", O_CREAT|O_WRONLY, 0o644); err != nil {
+		t.Fatalf("after Clear: %v", err)
+	}
+}
+
+func TestFaultAnyMatchesEverything(t *testing.T) {
+	f := NewFaultFS(NewMemFS())
+	f.Inject(&FaultRule{Op: FaultAny, Err: EIO})
+	if _, err := f.Open("/a", O_CREAT|O_WRONLY, 0o644); !errors.Is(err, EIO) {
+		t.Fatal("open passed under FaultAny")
+	}
+	if _, err := f.Stat("/a"); !errors.Is(err, EIO) {
+		t.Fatal("stat passed under FaultAny")
+	}
+	if err := f.Mkdir("/d", 0o755); !errors.Is(err, EIO) {
+		t.Fatal("mkdir passed under FaultAny")
+	}
+}
+
+func TestNullFSLargeScaleWorkload(t *testing.T) {
+	// A paper-scale write volume (8 GiB) through the dataless backend
+	// completes quickly and tracks size exactly — the mechanism that lets
+	// class D BT (136 GB) replay op-for-op.
+	fs := NewNullFS()
+	fd, err := fs.Open("/huge", O_CREAT|O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 8 << 20
+	buf := make([]byte, chunk)
+	var want int64
+	for i := 0; i < 1024; i++ { // 8 GiB
+		n, err := fs.Write(fd, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += int64(n)
+	}
+	st, _ := fs.Fstat(fd)
+	if st.Size != want || want != 8<<30 {
+		t.Fatalf("size = %d, want %d", st.Size, want)
+	}
+	fs.Close(fd)
+}
+
+func TestNullFSSemanticsMatchMemFS(t *testing.T) {
+	// Namespace behaviour (not payload) must match MemFS exactly: same
+	// random op sequence, same errors and sizes.
+	null := NewNullFS()
+	mem := NewMemFS()
+	type op struct {
+		f    func(FS) error
+		name string
+	}
+	ops := []op{
+		{func(f FS) error { return f.Mkdir("/d", 0o755) }, "mkdir"},
+		{func(f FS) error { return f.Mkdir("/d", 0o755) }, "mkdir-again"},
+		{func(f FS) error {
+			fd, err := f.Open("/d/f", O_CREAT|O_WRONLY, 0o644)
+			if err != nil {
+				return err
+			}
+			f.Write(fd, make([]byte, 123))
+			return f.Close(fd)
+		}, "create+write"},
+		{func(f FS) error { return f.Truncate("/d/f", 1000) }, "truncate-up"},
+		{func(f FS) error { return f.Rename("/d/f", "/d/g") }, "rename"},
+		{func(f FS) error { return f.Unlink("/d/missing") }, "unlink-missing"},
+		{func(f FS) error { return f.Rmdir("/d") }, "rmdir-nonempty"},
+	}
+	for _, o := range ops {
+		errN := o.f(null)
+		errM := o.f(mem)
+		if (errN == nil) != (errM == nil) {
+			t.Fatalf("%s: null=%v mem=%v", o.name, errN, errM)
+		}
+	}
+	stN, _ := null.Stat("/d/g")
+	stM, _ := mem.Stat("/d/g")
+	if stN.Size != stM.Size {
+		t.Fatalf("size diverged: null=%d mem=%d", stN.Size, stM.Size)
+	}
+}

@@ -1,0 +1,401 @@
+package posix
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func mustOpen(t *testing.T, fs FS, path string, flags int) int {
+	t.Helper()
+	fd, err := fs.Open(path, flags, 0o644)
+	if err != nil {
+		t.Fatalf("Open(%q, %#x): %v", path, flags, err)
+	}
+	return fd
+}
+
+func TestMemFSCreateWriteRead(t *testing.T) {
+	fs := NewMemFS()
+	fd := mustOpen(t, fs, "/a.txt", O_CREAT|O_RDWR)
+	payload := []byte("hello, plfs")
+	if n, err := fs.Write(fd, payload); err != nil || n != len(payload) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if _, err := fs.Lseek(fd, 0, SEEK_SET); err != nil {
+		t.Fatalf("Lseek: %v", err)
+	}
+	got := make([]byte, 64)
+	n, err := fs.Read(fd, got)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got[:n], payload) {
+		t.Fatalf("Read = %q, want %q", got[:n], payload)
+	}
+	if n, _ := fs.Read(fd, got); n != 0 {
+		t.Fatalf("Read at EOF = %d, want 0", n)
+	}
+	if err := fs.Close(fd); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := fs.Close(fd); !errors.Is(err, EBADF) {
+		t.Fatalf("double Close = %v, want EBADF", err)
+	}
+}
+
+func TestMemFSOpenFlags(t *testing.T) {
+	fs := NewMemFS()
+	if _, err := fs.Open("/missing", O_RDONLY, 0); !errors.Is(err, ENOENT) {
+		t.Fatalf("Open missing = %v, want ENOENT", err)
+	}
+	fd := mustOpen(t, fs, "/f", O_CREAT|O_WRONLY)
+	if _, err := fs.Write(fd, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Close(fd)
+
+	if _, err := fs.Open("/f", O_CREAT|O_EXCL|O_WRONLY, 0o644); !errors.Is(err, EEXIST) {
+		t.Fatalf("O_EXCL on existing = %v, want EEXIST", err)
+	}
+
+	// O_TRUNC empties the file.
+	fd = mustOpen(t, fs, "/f", O_WRONLY|O_TRUNC)
+	fs.Close(fd)
+	st, err := fs.Stat("/f")
+	if err != nil || st.Size != 0 {
+		t.Fatalf("after O_TRUNC size = %d (%v), want 0", st.Size, err)
+	}
+
+	// Write on O_RDONLY fd fails; read on O_WRONLY fd fails.
+	fd = mustOpen(t, fs, "/f", O_RDONLY)
+	if _, err := fs.Write(fd, []byte("x")); !errors.Is(err, EBADF) {
+		t.Fatalf("Write on rdonly = %v, want EBADF", err)
+	}
+	fs.Close(fd)
+	fd = mustOpen(t, fs, "/f", O_WRONLY)
+	if _, err := fs.Read(fd, make([]byte, 1)); !errors.Is(err, EBADF) {
+		t.Fatalf("Read on wronly = %v, want EBADF", err)
+	}
+	fs.Close(fd)
+}
+
+func TestMemFSAppend(t *testing.T) {
+	fs := NewMemFS()
+	fd := mustOpen(t, fs, "/log", O_CREAT|O_WRONLY|O_APPEND)
+	fs.Write(fd, []byte("aa"))
+	// Seeking away must not affect where O_APPEND writes land.
+	fs.Lseek(fd, 0, SEEK_SET)
+	fs.Write(fd, []byte("bb"))
+	fs.Close(fd)
+	st, _ := fs.Stat("/log")
+	if st.Size != 4 {
+		t.Fatalf("append size = %d, want 4", st.Size)
+	}
+	fd = mustOpen(t, fs, "/log", O_RDONLY)
+	buf := make([]byte, 4)
+	if err := ReadFull(fs, fd, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "aabb" {
+		t.Fatalf("content = %q, want aabb", buf)
+	}
+}
+
+func TestMemFSSparseWrite(t *testing.T) {
+	fs := NewMemFS()
+	fd := mustOpen(t, fs, "/sparse", O_CREAT|O_RDWR)
+	if _, err := fs.Pwrite(fd, []byte("end"), 100); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := fs.Fstat(fd)
+	if st.Size != 103 {
+		t.Fatalf("size = %d, want 103", st.Size)
+	}
+	buf := make([]byte, 103)
+	if err := ReadFull(fs, fd, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("hole byte %d = %d, want 0", i, buf[i])
+		}
+	}
+	if string(buf[100:]) != "end" {
+		t.Fatalf("tail = %q", buf[100:])
+	}
+}
+
+func TestMemFSLseek(t *testing.T) {
+	fs := NewMemFS()
+	fd := mustOpen(t, fs, "/f", O_CREAT|O_RDWR)
+	fs.Write(fd, make([]byte, 10))
+	cases := []struct {
+		off    int64
+		whence int
+		want   int64
+	}{
+		{0, SEEK_SET, 0},
+		{5, SEEK_CUR, 5},
+		{-2, SEEK_CUR, 3},
+		{0, SEEK_END, 10},
+		{-10, SEEK_END, 0},
+		{100, SEEK_SET, 100}, // beyond EOF is legal
+	}
+	for _, c := range cases {
+		got, err := fs.Lseek(fd, c.off, c.whence)
+		if err != nil || got != c.want {
+			t.Fatalf("Lseek(%d,%d) = %d, %v; want %d", c.off, c.whence, got, err, c.want)
+		}
+	}
+	if _, err := fs.Lseek(fd, -1, SEEK_SET); !errors.Is(err, EINVAL) {
+		t.Fatalf("negative seek = %v, want EINVAL", err)
+	}
+	if _, err := fs.Lseek(fd, 0, 99); !errors.Is(err, EINVAL) {
+		t.Fatalf("bad whence = %v, want EINVAL", err)
+	}
+}
+
+func TestMemFSUnlinkWhileOpen(t *testing.T) {
+	fs := NewMemFS()
+	fd := mustOpen(t, fs, "/ghost", O_CREAT|O_RDWR)
+	fs.Write(fd, []byte("still here"))
+	if err := fs.Unlink("/ghost"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/ghost"); !errors.Is(err, ENOENT) {
+		t.Fatalf("Stat after unlink = %v, want ENOENT", err)
+	}
+	buf := make([]byte, 10)
+	if err := ReadFull(fs, fd, buf, 0); err != nil {
+		t.Fatalf("read through open fd after unlink: %v", err)
+	}
+	if string(buf) != "still here" {
+		t.Fatalf("content = %q", buf)
+	}
+}
+
+func TestMemFSDirectories(t *testing.T) {
+	fs := NewMemFS()
+	if err := fs.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/d", 0o755); !errors.Is(err, EEXIST) {
+		t.Fatalf("Mkdir twice = %v, want EEXIST", err)
+	}
+	if err := fs.Mkdir("/no/such/parent", 0o755); !errors.Is(err, ENOENT) {
+		t.Fatalf("Mkdir orphan = %v, want ENOENT", err)
+	}
+	fd := mustOpen(t, fs, "/d/x", O_CREAT|O_WRONLY)
+	fs.Close(fd)
+	fd = mustOpen(t, fs, "/d/a", O_CREAT|O_WRONLY)
+	fs.Close(fd)
+	fs.Mkdir("/d/sub", 0o755)
+
+	entries, err := fs.Readdir("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []DirEntry{{"a", false}, {"sub", true}, {"x", false}}
+	if len(entries) != len(want) {
+		t.Fatalf("Readdir = %v", entries)
+	}
+	for i := range want {
+		if entries[i] != want[i] {
+			t.Fatalf("Readdir[%d] = %v, want %v", i, entries[i], want[i])
+		}
+	}
+
+	if err := fs.Rmdir("/d"); !errors.Is(err, ENOTEMPTY) {
+		t.Fatalf("Rmdir nonempty = %v, want ENOTEMPTY", err)
+	}
+	if err := fs.Unlink("/d/sub"); !errors.Is(err, EISDIR) {
+		t.Fatalf("Unlink dir = %v, want EISDIR", err)
+	}
+	if err := fs.Rmdir("/d/x"); !errors.Is(err, ENOTDIR) {
+		t.Fatalf("Rmdir file = %v, want ENOTDIR", err)
+	}
+	fs.Unlink("/d/x")
+	fs.Unlink("/d/a")
+	if err := fs.Rmdir("/d/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := fs.Stat("/")
+	if !st.IsDir() {
+		t.Fatal("root is not a dir")
+	}
+}
+
+func TestMemFSOpenDirSemantics(t *testing.T) {
+	fs := NewMemFS()
+	fs.Mkdir("/d", 0o755)
+	if _, err := fs.Open("/d", O_WRONLY, 0); !errors.Is(err, EISDIR) {
+		t.Fatalf("Open dir for write = %v, want EISDIR", err)
+	}
+	fd, err := fs.Open("/d", O_RDONLY, 0)
+	if err != nil {
+		t.Fatalf("Open dir rdonly: %v", err)
+	}
+	if _, err := fs.Read(fd, make([]byte, 1)); !errors.Is(err, EISDIR) {
+		t.Fatalf("Read dir = %v, want EISDIR", err)
+	}
+	fs.Close(fd)
+}
+
+func TestMemFSRename(t *testing.T) {
+	fs := NewMemFS()
+	fd := mustOpen(t, fs, "/src", O_CREAT|O_WRONLY)
+	fs.Write(fd, []byte("data"))
+	fs.Close(fd)
+	fs.Mkdir("/dir", 0o755)
+
+	if err := fs.Rename("/src", "/dir/dst"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/src"); !errors.Is(err, ENOENT) {
+		t.Fatalf("src survives rename: %v", err)
+	}
+	st, err := fs.Stat("/dir/dst")
+	if err != nil || st.Size != 4 {
+		t.Fatalf("dst stat = %+v, %v", st, err)
+	}
+	// Rename over an existing file replaces it.
+	fd = mustOpen(t, fs, "/other", O_CREAT|O_WRONLY)
+	fs.Close(fd)
+	if err := fs.Rename("/other", "/dir/dst"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = fs.Stat("/dir/dst")
+	if st.Size != 0 {
+		t.Fatalf("replaced dst size = %d, want 0", st.Size)
+	}
+	// Renaming a file over a directory fails.
+	fd = mustOpen(t, fs, "/plain", O_CREAT|O_WRONLY)
+	fs.Close(fd)
+	fs.Mkdir("/destdir", 0o755)
+	if err := fs.Rename("/plain", "/destdir"); !errors.Is(err, EISDIR) {
+		t.Fatalf("file-over-dir rename = %v, want EISDIR", err)
+	}
+}
+
+func TestMemFSTruncate(t *testing.T) {
+	fs := NewMemFS()
+	fd := mustOpen(t, fs, "/t", O_CREAT|O_RDWR)
+	fs.Write(fd, []byte("0123456789"))
+	if err := fs.Ftruncate(fd, 4); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := fs.Fstat(fd)
+	if st.Size != 4 {
+		t.Fatalf("size = %d, want 4", st.Size)
+	}
+	if err := fs.Truncate("/t", 8); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if err := ReadFull(fs, fd, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "0123\x00\x00\x00\x00" {
+		t.Fatalf("content = %q", buf)
+	}
+	if err := fs.Ftruncate(fd, -1); !errors.Is(err, EINVAL) {
+		t.Fatalf("negative truncate = %v, want EINVAL", err)
+	}
+}
+
+func TestNullFSTracksSizesWithoutData(t *testing.T) {
+	fs := NewNullFS()
+	fd := mustOpen(t, fs, "/big", O_CREAT|O_RDWR)
+	const chunk = 1 << 20
+	buf := make([]byte, chunk)
+	for i := 0; i < 64; i++ {
+		if _, err := fs.Write(fd, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ := fs.Fstat(fd)
+	if st.Size != 64*chunk {
+		t.Fatalf("size = %d, want %d", st.Size, 64*chunk)
+	}
+	// Reads succeed and return zeros.
+	got := make([]byte, 16)
+	n, err := fs.Pread(fd, got, 64*chunk-8)
+	if err != nil || n != 8 {
+		t.Fatalf("Pread = %d, %v, want 8", n, err)
+	}
+	for _, b := range got[:n] {
+		if b != 0 {
+			t.Fatal("dataless read returned nonzero byte")
+		}
+	}
+	// Truncate adjusts the virtual size.
+	if err := fs.Ftruncate(fd, 123); err != nil {
+		t.Fatal(err)
+	}
+	if pos, _ := fs.Lseek(fd, 0, SEEK_END); pos != 123 {
+		t.Fatalf("SEEK_END = %d, want 123", pos)
+	}
+}
+
+func TestMemFSPathCleaning(t *testing.T) {
+	fs := NewMemFS()
+	fs.Mkdir("/d", 0o755)
+	fd := mustOpen(t, fs, "/d/../d/./f", O_CREAT|O_WRONLY)
+	fs.Close(fd)
+	if _, err := fs.Stat("/d/f"); err != nil {
+		t.Fatalf("cleaned path not found: %v", err)
+	}
+	if _, err := fs.Stat("d/f"); err != nil {
+		t.Fatalf("relative path should resolve from root: %v", err)
+	}
+}
+
+func TestDispatchInterposition(t *testing.T) {
+	fs := NewMemFS()
+	d := NewDispatch(fs)
+
+	// Install a counting shim over Open, chaining to the previous symbol.
+	snap := d.Snapshot()
+	opens := 0
+	d.OpenFn = func(path string, flags int, mode uint32) (int, error) {
+		opens++
+		return snap.OpenFn(path, flags, mode)
+	}
+	fd, err := d.Open("/x", O_CREAT|O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close(fd)
+	if opens != 1 {
+		t.Fatalf("shim saw %d opens, want 1", opens)
+	}
+
+	// Unloading restores the original symbol.
+	d.Restore(snap)
+	fd, err = d.Open("/y", O_CREAT|O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close(fd)
+	if opens != 1 {
+		t.Fatalf("restored table still routed through shim (%d opens)", opens)
+	}
+}
+
+func TestMemFSOpenFDs(t *testing.T) {
+	fs := NewMemFS()
+	fd1 := mustOpen(t, fs, "/a", O_CREAT|O_WRONLY)
+	fd2 := mustOpen(t, fs, "/b", O_CREAT|O_WRONLY)
+	if got := fs.OpenFDs(); got != 2 {
+		t.Fatalf("OpenFDs = %d, want 2", got)
+	}
+	fs.Close(fd1)
+	fs.Close(fd2)
+	if got := fs.OpenFDs(); got != 0 {
+		t.Fatalf("OpenFDs = %d, want 0", got)
+	}
+}

@@ -1,0 +1,195 @@
+// Package posix defines a POSIX-like virtual file system layer: the FS
+// interface (open/read/write/lseek/... operating on integer file
+// descriptors), a set of interchangeable backends (OSFS, MemFS, NullFS), and
+// the Dispatch symbol table through which every "application" in this
+// repository issues its file operations.
+//
+// Dispatch is the Go analogue of the libc dynamic symbol table: LDPLFS
+// (internal/core) interposes itself by swapping Dispatch entries, exactly as
+// the Linux loader swaps open/read/write symbols when LD_PRELOAD names a
+// shim library.
+package posix
+
+import "fmt"
+
+// Open flags. Values mirror Linux so that traces read naturally; only the
+// flags PLFS and the paper's tools require are defined.
+const (
+	O_RDONLY  = 0x0
+	O_WRONLY  = 0x1
+	O_RDWR    = 0x2
+	O_ACCMODE = 0x3
+
+	O_CREAT  = 0x40
+	O_EXCL   = 0x80
+	O_TRUNC  = 0x200
+	O_APPEND = 0x400
+)
+
+// Whence values for Lseek.
+const (
+	SEEK_SET = 0
+	SEEK_CUR = 1
+	SEEK_END = 2
+)
+
+// Access modes for Access.
+const (
+	F_OK = 0
+	R_OK = 4
+	W_OK = 2
+	X_OK = 1
+)
+
+// Errno is a POSIX-style error number. The zero value is "no error" and is
+// never returned as an error.
+type Errno int
+
+// Error numbers used by the backends. Values match Linux for familiarity.
+const (
+	EPERM     Errno = 1
+	ENOENT    Errno = 2
+	EIO       Errno = 5
+	EBADF     Errno = 9
+	EACCES    Errno = 13
+	EEXIST    Errno = 17
+	ENOTDIR   Errno = 20
+	EISDIR    Errno = 21
+	EINVAL    Errno = 22
+	EMFILE    Errno = 24
+	ENOSPC    Errno = 28
+	ESPIPE    Errno = 29
+	ENOTEMPTY Errno = 39
+	EOVERFLOW Errno = 75
+)
+
+var errnoNames = map[Errno]string{
+	EPERM:     "EPERM: operation not permitted",
+	ENOENT:    "ENOENT: no such file or directory",
+	EIO:       "EIO: input/output error",
+	EBADF:     "EBADF: bad file descriptor",
+	EACCES:    "EACCES: permission denied",
+	EEXIST:    "EEXIST: file exists",
+	ENOTDIR:   "ENOTDIR: not a directory",
+	EISDIR:    "EISDIR: is a directory",
+	EINVAL:    "EINVAL: invalid argument",
+	EMFILE:    "EMFILE: too many open files",
+	ENOSPC:    "ENOSPC: no space left on device",
+	ESPIPE:    "ESPIPE: illegal seek",
+	ENOTEMPTY: "ENOTEMPTY: directory not empty",
+	EOVERFLOW: "EOVERFLOW: value too large",
+}
+
+func (e Errno) Error() string {
+	if s, ok := errnoNames[e]; ok {
+		return s
+	}
+	return fmt.Sprintf("errno %d", int(e))
+}
+
+// Is reports whether target is the same Errno, letting errors.Is work across
+// wrapped errors.
+func (e Errno) Is(target error) bool {
+	t, ok := target.(Errno)
+	return ok && t == e
+}
+
+// Mode bits. Only the file-type distinction and permission bits matter to
+// this layer.
+const (
+	ModeDir  uint32 = 0o40000
+	ModePerm uint32 = 0o7777
+)
+
+// Stat describes a file, directory, or PLFS container as seen through a
+// backend.
+type Stat struct {
+	Size  int64  // logical size in bytes
+	Mode  uint32 // ModeDir for directories, plus permission bits
+	Nlink int    // link count (1 for files, 2+ for directories)
+	Ino   uint64 // backend-unique identity
+	Mtime int64  // modification time, nanoseconds (logical time for MemFS)
+	Atime int64  // access time, nanoseconds
+	Ctime int64  // change time, nanoseconds
+}
+
+// IsDir reports whether the stat describes a directory.
+func (s Stat) IsDir() bool { return s.Mode&ModeDir != 0 }
+
+// DirEntry is a single directory entry returned by Readdir.
+type DirEntry struct {
+	Name  string
+	IsDir bool
+}
+
+// FS is the POSIX-like interface every backend implements. File descriptors
+// are small non-negative integers scoped to the FS instance. All methods
+// are safe for concurrent use.
+type FS interface {
+	// Open opens path, honouring O_CREAT, O_EXCL, O_TRUNC, O_APPEND and the
+	// access mode, and returns a new file descriptor.
+	Open(path string, flags int, mode uint32) (int, error)
+	// Close releases fd.
+	Close(fd int) error
+	// Read reads from the current offset, advancing it.
+	Read(fd int, p []byte) (int, error)
+	// Write writes at the current offset (or EOF under O_APPEND), advancing it.
+	Write(fd int, p []byte) (int, error)
+	// Pread reads at an explicit offset without moving the file pointer.
+	Pread(fd int, p []byte, off int64) (int, error)
+	// Pwrite writes at an explicit offset without moving the file pointer.
+	Pwrite(fd int, p []byte, off int64) (int, error)
+	// Lseek repositions the file pointer and returns the new offset.
+	Lseek(fd int, offset int64, whence int) (int64, error)
+	// Fsync flushes fd's data to the backing store.
+	Fsync(fd int) error
+	// Ftruncate sets the file length.
+	Ftruncate(fd int, size int64) error
+	// Fstat describes an open file.
+	Fstat(fd int) (Stat, error)
+	// Stat describes a path.
+	Stat(path string) (Stat, error)
+	// Truncate sets the length of the file at path.
+	Truncate(path string, size int64) error
+	// Unlink removes a file.
+	Unlink(path string) error
+	// Mkdir creates a directory.
+	Mkdir(path string, mode uint32) error
+	// Rmdir removes an empty directory.
+	Rmdir(path string) error
+	// Readdir lists a directory in name order.
+	Readdir(path string) ([]DirEntry, error)
+	// Rename atomically moves oldpath to newpath.
+	Rename(oldpath, newpath string) error
+	// Access checks whether path exists (and, loosely, is accessible).
+	Access(path string, mode int) error
+}
+
+// ReadFull reads exactly len(p) bytes at off via Pread, or fails.
+func ReadFull(fs FS, fd int, p []byte, off int64) error {
+	got := 0
+	for got < len(p) {
+		n, err := fs.Pread(fd, p[got:], off+int64(got))
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return fmt.Errorf("short read: want %d got %d", len(p), got)
+		}
+		got += n
+	}
+	return nil
+}
+
+// WriteFull writes all of p at off via Pwrite.
+func WriteFull(fs FS, fd int, p []byte, off int64) error {
+	put := 0
+	for put < len(p) {
+		n, err := fs.Pwrite(fd, p[put:], off+int64(put))
+		if err != nil {
+			return err
+		}
+		put += n
+	}
+	return nil
+}

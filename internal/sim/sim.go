@@ -1,0 +1,173 @@
+// Package sim is a small trace-driven discrete-event simulator used by the
+// cluster cost models (internal/fsim). Actors (ranks, aggregators, the
+// FUSE daemon) execute sequences of operations against shared FIFO
+// resources (I/O servers, the Lustre MDS, a file lock); virtual time
+// emerges from queueing, so contention effects — lock convoys, metadata
+// storms, server saturation — fall out of the replay rather than being
+// asserted.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Resource is a single-server FIFO queue: an acquisition starts when both
+// the caller and the resource are free, and occupies the resource for the
+// service time.
+type Resource struct {
+	Name   string
+	freeAt float64
+	busy   float64 // total busy time, for utilisation reporting
+	ops    int64
+}
+
+// Acquire blocks the caller (logically) from start until the resource is
+// free, then holds it for service seconds. It returns the completion time.
+func (r *Resource) Acquire(start, service float64) float64 {
+	if start < r.freeAt {
+		start = r.freeAt
+	}
+	r.freeAt = start + service
+	r.busy += service
+	r.ops++
+	return r.freeAt
+}
+
+// Utilisation returns the fraction of [0,end] the resource was busy.
+func (r *Resource) Utilisation(end float64) float64 {
+	if end <= 0 {
+		return 0
+	}
+	return r.busy / end
+}
+
+// Ops returns the number of acquisitions served.
+func (r *Resource) Ops() int64 { return r.ops }
+
+// FreeAt returns the time the resource next becomes idle.
+func (r *Resource) FreeAt() float64 { return r.freeAt }
+
+// Pool is a set of interchangeable striped resources (e.g. the OSS fleet);
+// Pick selects deterministically by key.
+type Pool struct {
+	Res []*Resource
+}
+
+// NewPool creates n resources named prefix.0 … prefix.n-1.
+func NewPool(prefix string, n int) *Pool {
+	p := &Pool{Res: make([]*Resource, n)}
+	for i := range p.Res {
+		p.Res[i] = &Resource{Name: fmt.Sprintf("%s.%d", prefix, i)}
+	}
+	return p
+}
+
+// Pick returns the resource a key stripes onto.
+func (p *Pool) Pick(key int) *Resource { return p.Res[key%len(p.Res)] }
+
+// LeastLoaded returns the resource that frees up earliest — what a
+// client-side object allocator approximates.
+func (p *Pool) LeastLoaded() *Resource {
+	best := p.Res[0]
+	for _, r := range p.Res[1:] {
+		if r.freeAt < best.freeAt {
+			best = r
+		}
+	}
+	return best
+}
+
+// Op is one step in an actor's program: given the virtual time the actor
+// reaches it, it returns the time it completes (acquiring resources as a
+// side effect).
+type Op func(start float64) float64
+
+// Actor is a sequential program replayed against the shared resources.
+// StartAt sets its release time (use it to model a barrier: replay one
+// phase, then start the next phase's actors at the previous makespan).
+type Actor struct {
+	Name    string
+	StartAt float64
+	Ops     []Op
+	now     float64
+	next    int
+}
+
+// Then appends an op to the actor's program.
+func (a *Actor) Then(op Op) *Actor {
+	a.Ops = append(a.Ops, op)
+	return a
+}
+
+// Delay appends a fixed local delay (compute, think time).
+func (a *Actor) Delay(d float64) *Actor {
+	return a.Then(func(start float64) float64 { return start + d })
+}
+
+// actorHeap orders actors by their local clock so resource acquisitions
+// happen in global time order (a conservative parallel replay).
+type actorHeap []*Actor
+
+func (h actorHeap) Len() int            { return len(h) }
+func (h actorHeap) Less(i, j int) bool  { return h[i].now < h[j].now }
+func (h actorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *actorHeap) Push(x interface{}) { *h = append(*h, x.(*Actor)) }
+func (h *actorHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Replay runs every actor to completion and returns the makespan (the
+// latest completion time) and each actor's finish time.
+func Replay(actors []*Actor) (makespan float64, finish []float64) {
+	h := make(actorHeap, 0, len(actors))
+	for _, a := range actors {
+		a.now, a.next = a.StartAt, 0
+		if len(a.Ops) > 0 {
+			h = append(h, a)
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		a := h[0]
+		a.now = a.Ops[a.next](a.now)
+		a.next++
+		if a.next >= len(a.Ops) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	finish = make([]float64, len(actors))
+	for i, a := range actors {
+		finish[i] = a.now
+		if a.now > makespan {
+			makespan = a.now
+		}
+	}
+	return makespan, finish
+}
+
+// Phases replays a sequence of synchronised phases: every phase's actors
+// start at the previous phase's makespan (a barrier), while resource state
+// (queue backlogs) persists across phases. It returns the final makespan.
+func Phases(n int, build func(step int, startAt float64) []*Actor) float64 {
+	t := 0.0
+	for step := 0; step < n; step++ {
+		actors := build(step, t)
+		for _, a := range actors {
+			if a.StartAt < t {
+				a.StartAt = t
+			}
+		}
+		makespan, _ := Replay(actors)
+		if makespan > t {
+			t = makespan
+		}
+	}
+	return t
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestResourceFIFO(t *testing.T) {
+	r := &Resource{Name: "disk"}
+	if end := r.Acquire(0, 10); end != 10 {
+		t.Fatalf("first acquire end = %v", end)
+	}
+	// Arriving at t=5 while busy until 10: queued, finishes at 15.
+	if end := r.Acquire(5, 5); end != 15 {
+		t.Fatalf("queued acquire end = %v", end)
+	}
+	// Arriving after it frees: no queueing.
+	if end := r.Acquire(100, 1); end != 101 {
+		t.Fatalf("idle acquire end = %v", end)
+	}
+	if r.Ops() != 3 {
+		t.Fatalf("ops = %d", r.Ops())
+	}
+	if u := r.Utilisation(101); !approx(u, 16.0/101, 1e-9) {
+		t.Fatalf("utilisation = %v", u)
+	}
+}
+
+func TestPool(t *testing.T) {
+	p := NewPool("oss", 4)
+	if p.Pick(5) != p.Res[1] || p.Pick(8) != p.Res[0] {
+		t.Fatal("Pick striping wrong")
+	}
+	p.Res[0].Acquire(0, 100)
+	p.Res[1].Acquire(0, 1)
+	p.Res[2].Acquire(0, 50)
+	p.Res[3].Acquire(0, 2)
+	if ll := p.LeastLoaded(); ll != p.Res[1] {
+		t.Fatalf("LeastLoaded = %s", ll.Name)
+	}
+}
+
+func TestReplaySerialisesOnSharedResource(t *testing.T) {
+	// Two actors, each one op of 10s on the same resource: the makespan is
+	// 20 (serialised), not 10.
+	r := &Resource{}
+	a := (&Actor{Name: "a"}).Then(func(s float64) float64 { return r.Acquire(s, 10) })
+	b := (&Actor{Name: "b"}).Then(func(s float64) float64 { return r.Acquire(s, 10) })
+	makespan, finish := Replay([]*Actor{a, b})
+	if makespan != 20 {
+		t.Fatalf("makespan = %v, want 20", makespan)
+	}
+	if finish[0] == finish[1] {
+		t.Fatal("both actors finished simultaneously on a FIFO resource")
+	}
+}
+
+func TestReplayParallelResources(t *testing.T) {
+	// Two actors on two distinct resources run fully in parallel.
+	r1, r2 := &Resource{}, &Resource{}
+	a := (&Actor{}).Then(func(s float64) float64 { return r1.Acquire(s, 10) })
+	b := (&Actor{}).Then(func(s float64) float64 { return r2.Acquire(s, 10) })
+	makespan, _ := Replay([]*Actor{a, b})
+	if makespan != 10 {
+		t.Fatalf("makespan = %v, want 10", makespan)
+	}
+}
+
+func TestReplayGlobalTimeOrder(t *testing.T) {
+	// Actor a has a short first op, actor b a long one; a's second op must
+	// win the shared resource before b's (it arrives earlier).
+	shared := &Resource{}
+	var order []string
+	a := (&Actor{Name: "a"}).Delay(1).Then(func(s float64) float64 {
+		order = append(order, "a")
+		return shared.Acquire(s, 5)
+	})
+	b := (&Actor{Name: "b"}).Delay(3).Then(func(s float64) float64 {
+		order = append(order, "b")
+		return shared.Acquire(s, 5)
+	})
+	Replay([]*Actor{b, a})
+	if len(order) != 2 || order[0] != "a" {
+		t.Fatalf("order = %v", order)
+	}
+	// a acquired at 1 (until 6); b arrives at 3, queued until 6, ends 11.
+	if shared.FreeAt() != 11 {
+		t.Fatalf("freeAt = %v", shared.FreeAt())
+	}
+}
+
+func TestActorStartAt(t *testing.T) {
+	r := &Resource{}
+	a := (&Actor{StartAt: 100}).Then(func(s float64) float64 { return r.Acquire(s, 1) })
+	makespan, _ := Replay([]*Actor{a})
+	if makespan != 101 {
+		t.Fatalf("makespan = %v", makespan)
+	}
+}
+
+func TestPhasesBarrier(t *testing.T) {
+	// Phase 1: actor A takes 10, actor B takes 2 (parallel resources).
+	// Phase 2 starts at the barrier (t=10), so B's second op cannot start
+	// at t=2.
+	rA, rB := &Resource{}, &Resource{}
+	var phase2Start float64
+	total := Phases(2, func(step int, startAt float64) []*Actor {
+		if step == 0 {
+			return []*Actor{
+				(&Actor{}).Then(func(s float64) float64 { return rA.Acquire(s, 10) }),
+				(&Actor{}).Then(func(s float64) float64 { return rB.Acquire(s, 2) }),
+			}
+		}
+		return []*Actor{
+			(&Actor{}).Then(func(s float64) float64 {
+				phase2Start = s
+				return rB.Acquire(s, 3)
+			}),
+		}
+	})
+	if phase2Start != 10 {
+		t.Fatalf("phase 2 started at %v, want 10 (barrier)", phase2Start)
+	}
+	if total != 13 {
+		t.Fatalf("total = %v, want 13", total)
+	}
+}
+
+func TestPhasesResourceBacklogPersists(t *testing.T) {
+	// A resource left busy beyond the phase boundary keeps its backlog: an
+	// async drain from phase 1 delays phase 2's acquisition.
+	disk := &Resource{}
+	total := Phases(2, func(step int, startAt float64) []*Actor {
+		if step == 0 {
+			// Fast cache write (1s for the actor) but schedules a 50s
+			// background drain on the disk.
+			return []*Actor{(&Actor{}).Then(func(s float64) float64 {
+				disk.Acquire(s, 50) // drain queued
+				return s + 1        // actor itself returns quickly
+			})}
+		}
+		return []*Actor{(&Actor{}).Then(func(s float64) float64 {
+			return disk.Acquire(s, 1)
+		})}
+	})
+	if total != 51 {
+		t.Fatalf("total = %v, want 51 (drain backlog)", total)
+	}
+}
+
+func TestReplayManyActorsDeterministic(t *testing.T) {
+	build := func() ([]*Actor, *Resource) {
+		shared := &Resource{}
+		actors := make([]*Actor, 64)
+		for i := range actors {
+			i := i
+			actors[i] = (&Actor{Name: "w"}).Delay(float64(i % 7)).Then(func(s float64) float64 {
+				return shared.Acquire(s, 2)
+			})
+		}
+		return actors, shared
+	}
+	a1, _ := build()
+	a2, _ := build()
+	m1, _ := Replay(a1)
+	m2, _ := Replay(a2)
+	if m1 != m2 {
+		t.Fatalf("nondeterministic replay: %v vs %v", m1, m2)
+	}
+	// 64 ops of 2s on one resource: makespan >= 128.
+	if m1 < 128 {
+		t.Fatalf("makespan %v < serial bound", m1)
+	}
+}

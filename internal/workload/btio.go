@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ldplfs/internal/mpi"
+	"ldplfs/internal/mpiio"
+)
+
+// BTIOConfig configures the NAS BT-IO kernel: a Grid^3 array of cells,
+// each holding five double-precision unknowns, solved on a square process
+// grid using BT's multi-partition decomposition — each rank owns one cell
+// per z-slab, shifted diagonally per slab, so the file access is heavily
+// interleaved (the pattern that makes BT-IO an I/O benchmark).
+type BTIOConfig struct {
+	Grid  int // points per dimension (162 for class C, 408 for class D)
+	Steps int // write timesteps (the paper's runs do 20 "write calls")
+	Hints mpiio.Hints
+}
+
+// vars is BT's five unknowns per grid point.
+const btVars = 5
+
+// BTIOResult reports bytes moved and the decomposition used.
+type BTIOResult struct {
+	BytesWritten int64
+	BytesRead    int64
+	ProcGrid     int // P where ranks = P*P
+	CellWidth    int
+}
+
+// btValue is the deterministic field value at a global point, so any
+// reader can verify any byte.
+func btValue(step int, gx, gy, gz, v int) float64 {
+	return float64(step+1)*1e3 + float64(gz)*7 + float64(gy)*0.5 + float64(gx)*0.25 + float64(v)*0.125
+}
+
+// btDecompose validates ranks and grid, returning the process grid side.
+func btDecompose(ranks, grid int) (int, error) {
+	p := int(math.Round(math.Sqrt(float64(ranks))))
+	if p*p != ranks {
+		return 0, fmt.Errorf("workload: BT needs a square rank count, got %d", ranks)
+	}
+	if grid%p != 0 {
+		return 0, fmt.Errorf("workload: grid %d not divisible by process grid %d", grid, p)
+	}
+	return p, nil
+}
+
+// btSegments generates this rank's file segments and fills payload with
+// the field values for one timestep. The timestep's data occupies a
+// contiguous region of size grid^3*5*8 starting at stepBase.
+func btSegments(rank, p, grid, step int, stepBase int64) ([]mpiio.Segment, []byte) {
+	cw := grid / p
+	ri, ci := rank/p, rank%p
+	rowBytes := int64(cw * btVars * 8)
+
+	var segs []mpiio.Segment
+	payload := make([]byte, 0, int64(p)*int64(cw*cw)*rowBytes)
+
+	// Multi-partition: in z-slab s, this rank owns the cell at
+	// (x-cell, y-cell) = ((ci+s) mod p, ri) — a diagonal march.
+	for s := 0; s < p; s++ {
+		cellX := ((ci + s) % p) * cw
+		cellY := ri * cw
+		cellZ := s * cw
+		for z := 0; z < cw; z++ {
+			for y := 0; y < cw; y++ {
+				gz, gy := cellZ+z, cellY+y
+				off := stepBase + ((int64(gz)*int64(grid)+int64(gy))*int64(grid)+int64(cellX))*btVars*8
+				segs = append(segs, mpiio.Segment{Off: off, Len: rowBytes})
+				for x := 0; x < cw; x++ {
+					for v := 0; v < btVars; v++ {
+						var w [8]byte
+						binary.LittleEndian.PutUint64(w[:], math.Float64bits(btValue(step, cellX+x, gy, gz, v)))
+						payload = append(payload, w[:]...)
+					}
+				}
+			}
+		}
+	}
+	return segs, payload
+}
+
+// RunBTIO executes the BT-IO write phase (and optional verified read-back)
+// collectively. All ranks must call it; the rank count must be square.
+func RunBTIO(r *mpi.Rank, drv mpiio.Driver, path string, cfg BTIOConfig, verify bool) (BTIOResult, error) {
+	p, err := btDecompose(r.Size(), cfg.Grid)
+	if err != nil {
+		return BTIOResult{}, err
+	}
+	res := BTIOResult{ProcGrid: p, CellWidth: cfg.Grid / p}
+	stepBytes := int64(cfg.Grid) * int64(cfg.Grid) * int64(cfg.Grid) * btVars * 8
+
+	fh, err := mpiio.Open(r, drv, path, mpiio.ModeCreate|mpiio.ModeRdwr, cfg.Hints)
+	if err != nil {
+		return res, err
+	}
+	for step := 0; step < cfg.Steps; step++ {
+		segs, payload := btSegments(r.Rank(), p, cfg.Grid, step, int64(step)*stepBytes)
+		n, err := fh.WriteAll(segs, payload)
+		if err != nil {
+			fh.Close()
+			return res, fmt.Errorf("workload: BT step %d: %w", step, err)
+		}
+		res.BytesWritten += int64(n)
+	}
+	if err := fh.Sync(); err != nil {
+		fh.Close()
+		return res, err
+	}
+
+	if verify {
+		// Each rank reads the next rank's segments of the final step and
+		// checks every value.
+		peer := (r.Rank() + 1) % r.Size()
+		lastStep := cfg.Steps - 1
+		segs, want := btSegments(peer, p, cfg.Grid, lastStep, int64(lastStep)*stepBytes)
+		got := make([]byte, len(want))
+		n, err := fh.ReadAll(segs, got)
+		if err != nil {
+			fh.Close()
+			return res, fmt.Errorf("workload: BT verify read: %w", err)
+		}
+		res.BytesRead += int64(n)
+		if n != len(want) {
+			fh.Close()
+			return res, fmt.Errorf("workload: BT verify short read %d/%d", n, len(want))
+		}
+		for i := 0; i < len(want); i += 8 {
+			if binary.LittleEndian.Uint64(got[i:]) != binary.LittleEndian.Uint64(want[i:]) {
+				fh.Close()
+				return res, fmt.Errorf("workload: BT verify mismatch at payload byte %d", i)
+			}
+		}
+	}
+	return res, fh.Close()
+}

@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ldplfs/internal/hdf5"
+	"ldplfs/internal/mpi"
+	"ldplfs/internal/mpiio"
+)
+
+// FlashIOConfig configures the FLASH-IO kernel: a weak-scaled
+// checkpoint of NBlocks adaptive-mesh blocks per process, each NXB^3
+// cells with NVars unknowns, written through the (mini-)HDF5 layer into
+// three files: a checkpoint, a plotfile and a corner plotfile — exactly
+// the benchmark's structure. The paper's configuration is 24^3 blocks
+// giving ~205 MB per process.
+type FlashIOConfig struct {
+	NXB     int // cells per block dimension (paper: 24)
+	NBlocks int // blocks per process (FLASH-IO default: 80)
+	NVars   int // unknowns per cell (FLASH: 24)
+	Hints   mpiio.Hints
+}
+
+// BytesPerProcess returns the approximate checkpoint payload one process
+// contributes (the paper's "approximately 205 MB").
+func (c FlashIOConfig) BytesPerProcess() int64 {
+	cell := int64(c.NXB) * int64(c.NXB) * int64(c.NXB)
+	return int64(c.NBlocks) * cell * int64(c.NVars) * 8
+}
+
+// FlashIOResult reports what the kernel wrote.
+type FlashIOResult struct {
+	BytesWritten int64
+	Files        []string
+}
+
+// flashValue is the deterministic unknown value for verification.
+func flashValue(file, globalBlock, v, cell int) float64 {
+	return float64(file+1)*1e6 + float64(globalBlock)*1e3 + float64(v)*17 + float64(cell)*0.5
+}
+
+// flashFileNames are the three outputs FLASH-IO produces.
+func flashFileNames(base string) []string {
+	return []string{
+		base + "_hdf5_chk_0001",
+		base + "_hdf5_plt_cnt_0001",
+		base + "_hdf5_plt_crn_0001",
+	}
+}
+
+// RunFlashIO executes the checkpoint collectively. All ranks must call it.
+func RunFlashIO(r *mpi.Rank, drv mpiio.Driver, base string, cfg FlashIOConfig) (FlashIOResult, error) {
+	if cfg.NXB <= 0 || cfg.NBlocks <= 0 || cfg.NVars <= 0 {
+		return FlashIOResult{}, fmt.Errorf("workload: bad FLASH-IO config %+v", cfg)
+	}
+	res := FlashIOResult{Files: flashFileNames(base)}
+	totalBlocks := uint64(cfg.NBlocks * r.Size())
+	cells := uint64(cfg.NXB * cfg.NXB * cfg.NXB)
+
+	for fileIdx, path := range res.Files {
+		// Plotfiles carry a subset of variables (FLASH writes plot_var
+		// selections); model that with fewer vars for files 1 and 2.
+		nvars := cfg.NVars
+		if fileIdx > 0 {
+			nvars = (cfg.NVars + 3) / 4
+		}
+		layout, err := hdf5.BuildLayout([]hdf5.Dataset{
+			{Name: "unknowns", ElemSize: 8, Dims: []uint64{totalBlocks, uint64(nvars), cells}},
+			{Name: "coordinates", ElemSize: 8, Dims: []uint64{totalBlocks, 3}},
+			{Name: "refine level", ElemSize: 4, Dims: []uint64{totalBlocks}},
+		})
+		if err != nil {
+			return res, err
+		}
+		fh, err := mpiio.Open(r, drv, path, mpiio.ModeCreate|mpiio.ModeRdwr, cfg.Hints)
+		if err != nil {
+			return res, err
+		}
+		n, err := writeFlashFile(r, fh, layout, cfg, fileIdx, nvars)
+		res.BytesWritten += n
+		if err != nil {
+			fh.Close()
+			return res, fmt.Errorf("workload: FLASH file %s: %w", path, err)
+		}
+		if err := fh.Close(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+func writeFlashFile(r *mpi.Rank, fh *mpiio.File, layout *hdf5.File, cfg FlashIOConfig, fileIdx, nvars int) (int64, error) {
+	var written int64
+	// Rank 0 writes the HDF5 header (the serial metadata phase every
+	// FLASH checkpoint starts with).
+	if r.Rank() == 0 {
+		hdr := layout.Header()
+		n, err := fh.WriteAt(hdr, 0)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	r.Barrier()
+
+	unknowns, err := layout.Lookup("unknowns")
+	if err != nil {
+		return written, err
+	}
+	coords, err := layout.Lookup("coordinates")
+	if err != nil {
+		return written, err
+	}
+	refine, err := layout.Lookup("refine level")
+	if err != nil {
+		return written, err
+	}
+
+	cells := cfg.NXB * cfg.NXB * cfg.NXB
+	firstBlock := r.Rank() * cfg.NBlocks
+
+	// Unknowns: one contiguous slab per process (blocks are distributed
+	// contiguously). FLASH-IO drives HDF5 with independent (not
+	// collective) transfers — the default H5FD_MPIO mode — which is why
+	// the paper sees "multiple files per processor" through PLFS: every
+	// rank writes its own slab and thus owns its own droppings.
+	blockBytes := int64(nvars) * int64(cells) * 8
+	payload := make([]byte, int64(cfg.NBlocks)*blockBytes)
+	pos := 0
+	for b := 0; b < cfg.NBlocks; b++ {
+		gb := firstBlock + b
+		for v := 0; v < nvars; v++ {
+			for c := 0; c < cells; c++ {
+				binary.LittleEndian.PutUint64(payload[pos:], math.Float64bits(flashValue(fileIdx, gb, v, c)))
+				pos += 8
+			}
+		}
+	}
+	off := unknowns.Offset + int64(firstBlock)*blockBytes
+	n, err := fh.WriteAt(payload, off)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+
+	// Coordinates and refine levels: small per-block records, strided
+	// across ranks — the metadata datasets FLASH writes after the bulk.
+	coordPayload := make([]byte, cfg.NBlocks*3*8)
+	for b := 0; b < cfg.NBlocks; b++ {
+		for d := 0; d < 3; d++ {
+			binary.LittleEndian.PutUint64(coordPayload[(b*3+d)*8:], math.Float64bits(float64(firstBlock+b)+float64(d)*0.1))
+		}
+	}
+	n, err = fh.WriteAt(coordPayload, coords.Offset+int64(firstBlock)*3*8)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+
+	refinePayload := make([]byte, cfg.NBlocks*4)
+	for b := 0; b < cfg.NBlocks; b++ {
+		binary.LittleEndian.PutUint32(refinePayload[b*4:], uint32(1+(firstBlock+b)%5))
+	}
+	n, err = fh.WriteAt(refinePayload, refine.Offset+int64(firstBlock)*4)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	// Checkpoint consistency point before close (independent transfers
+	// still end with a collective flush in FLASH).
+	if serr := fh.Sync(); serr != nil {
+		return written, serr
+	}
+	return written, nil
+}
+
+// VerifyFlashFile re-opens one FLASH output and checks every unknown this
+// rank's peer wrote. Collective.
+func VerifyFlashFile(r *mpi.Rank, drv mpiio.Driver, path string, cfg FlashIOConfig, fileIdx int) error {
+	nvars := cfg.NVars
+	if fileIdx > 0 {
+		nvars = (cfg.NVars + 3) / 4
+	}
+	fh, err := mpiio.Open(r, drv, path, mpiio.ModeRdonly, cfg.Hints)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+
+	hdr := make([]byte, 4096)
+	if _, err := fh.ReadAt(hdr, 0); err != nil {
+		return err
+	}
+	layout, err := hdf5.ParseHeader(hdr)
+	if err != nil {
+		return err
+	}
+	unknowns, err := layout.Lookup("unknowns")
+	if err != nil {
+		return err
+	}
+	if got := int(unknowns.Dims[1]); got != nvars {
+		return fmt.Errorf("workload: file %s has %d vars, want %d", path, got, nvars)
+	}
+
+	cells := cfg.NXB * cfg.NXB * cfg.NXB
+	peer := (r.Rank() + 1) % r.Size()
+	firstBlock := peer * cfg.NBlocks
+	blockBytes := int64(nvars) * int64(cells) * 8
+	got := make([]byte, int64(cfg.NBlocks)*blockBytes)
+	n, err := fh.ReadAtAll(got, unknowns.Offset+int64(firstBlock)*blockBytes)
+	if err != nil {
+		return err
+	}
+	if int64(n) != int64(len(got)) {
+		return fmt.Errorf("workload: verify short read %d/%d", n, len(got))
+	}
+	pos := 0
+	for b := 0; b < cfg.NBlocks; b++ {
+		gb := firstBlock + b
+		for v := 0; v < nvars; v++ {
+			for c := 0; c < cells; c++ {
+				want := math.Float64bits(flashValue(fileIdx, gb, v, c))
+				if binary.LittleEndian.Uint64(got[pos:]) != want {
+					return fmt.Errorf("workload: verify mismatch block %d var %d cell %d", gb, v, c)
+				}
+				pos += 8
+			}
+		}
+	}
+	return nil
+}
