@@ -8,6 +8,15 @@
 // and queueing models of the Minerva (GPFS) and Sierra (Lustre) platforms
 // that regenerate every table and figure.
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-versus-measured results.
+// The module builds with a bare Go 1.24 toolchain: `go build ./...`
+// and `go test ./...` cover all packages; CI (.github/workflows/ci.yml)
+// adds vet, gofmt, race-detector and benchmark-smoke jobs.
+//
+// The PLFS read path is a concurrent engine: merged container indexes
+// are cached per instance and shared across opens (generation-based
+// invalidation plus close-to-open signature revalidation), index
+// reconstruction fans out across droppings on a bounded worker pool,
+// and each read scatter-gathers its extents with parallel positional
+// reads through a capped descriptor cache. See README.md ("The read
+// engine") and internal/plfs/readcache.
 package ldplfs

@@ -1,0 +1,3 @@
+module ldplfs
+
+go 1.24

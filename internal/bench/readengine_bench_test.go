@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ldplfs/internal/plfs"
+	"ldplfs/internal/posix"
+)
+
+// Read-engine benchmarks: N-1 read patterns (many writers striped into
+// one logical file, many concurrent readers) over a real OS-backed
+// store, where positional reads are genuinely parallel. The "serial"
+// variants run the pre-engine configuration — per-handle index, one
+// exclusive lock per Read, sequential extent gathers — so the engine's
+// win is measured against the seed behavior, not a strawman.
+const (
+	n1Writers   = 16 // data droppings (≥16 per the acceptance criteria)
+	n1Readers   = 8  // concurrent reader goroutines (≥8)
+	n1Block     = 64 << 10
+	n1BlocksPer = 16 // per writer => 16 MiB logical file
+	n1ReadSize  = 1 << 20
+)
+
+func n1Serial() plfs.Options {
+	return plfs.Options{DisableIndexCache: true, ReadWorkers: 1, IndexWorkers: 1}
+}
+
+func n1Parallel() plfs.Options { return plfs.Options{} }
+
+// setupN1 writes the striped container once and returns the PLFS
+// instance plus the expected logical contents.
+func setupN1(b *testing.B, opts plfs.Options) (*plfs.FS, []byte) {
+	b.Helper()
+	osfs, err := posix.NewOSFS(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := plfs.New(osfs, opts)
+	want := make([]byte, n1Writers*n1BlocksPer*n1Block)
+	f, err := p.Open("/n1", posix.O_CREAT|posix.O_WRONLY, 0, 0o644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for w := 0; w < n1Writers; w++ {
+		payload := bytes.Repeat([]byte{byte(w + 1)}, n1Block)
+		for blk := 0; blk < n1BlocksPer; blk++ {
+			off := int64((blk*n1Writers + w) * n1Block)
+			copy(want[off:], payload)
+			if _, err := f.Write(payload, off, uint32(w)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for w := 0; w < n1Writers; w++ {
+		if err := f.Close(uint32(w)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return p, want
+}
+
+// benchN1Read measures n1Readers goroutines each opening the container
+// and streaming it end to end — the paper's N-1 checkpoint restart.
+func benchN1Read(b *testing.B, opts plfs.Options) {
+	p, want := setupN1(b, opts)
+	b.SetBytes(int64(len(want)) * n1Readers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errc := make(chan error, n1Readers)
+		for r := 0; r < n1Readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				f, err := p.Open("/n1", posix.O_RDONLY, uint32(100+r), 0)
+				if err != nil {
+					errc <- err
+					return
+				}
+				defer f.Close(uint32(100 + r))
+				buf := make([]byte, n1ReadSize)
+				for off := int64(0); off < int64(len(want)); off += n1ReadSize {
+					n, err := f.Read(buf, off)
+					if err != nil || n != n1ReadSize {
+						errc <- fmt.Errorf("read at %d: n=%d err=%v", off, n, err)
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkN1Read_Serial(b *testing.B)   { benchN1Read(b, n1Serial()) }
+func BenchmarkN1Read_Parallel(b *testing.B) { benchN1Read(b, n1Parallel()) }
+
+// benchN1FirstOpen measures the cold "first read after open" path that
+// dominates checkpoint-restart latency: every iteration drops the cache
+// (serial: implicit, each handle rebuilds; parallel: fresh instance) and
+// times n1Readers concurrent open+first-read sequences.
+func benchN1FirstOpen(b *testing.B, opts plfs.Options) {
+	osfs, err := posix.NewOSFS(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := plfs.New(osfs, opts)
+	f, err := seed.Open("/n1", posix.O_CREAT|posix.O_WRONLY, 0, 0o644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, n1Block)
+	for w := 0; w < n1Writers; w++ {
+		for blk := 0; blk < n1BlocksPer; blk++ {
+			off := int64((blk*n1Writers + w) * n1Block)
+			if _, err := f.Write(payload, off, uint32(w)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for w := 0; w < n1Writers; w++ {
+		f.Close(uint32(w))
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := plfs.New(osfs, opts) // cold caches each iteration
+		var wg sync.WaitGroup
+		for r := 0; r < n1Readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				f, err := p.Open("/n1", posix.O_RDONLY, uint32(100+r), 0)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer f.Close(uint32(100 + r))
+				buf := make([]byte, n1Block)
+				if n, err := f.Read(buf, 0); err != nil || n != n1Block {
+					b.Errorf("first read: n=%d err=%v", n, err)
+				}
+			}(r)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkN1FirstOpen_Serial(b *testing.B)   { benchN1FirstOpen(b, n1Serial()) }
+func BenchmarkN1FirstOpen_Parallel(b *testing.B) { benchN1FirstOpen(b, n1Parallel()) }
+
+// TestN1BenchCorrectness keeps the benchmark honest: both configurations
+// must produce identical bytes. Runs in the normal test suite.
+func TestN1BenchCorrectness(t *testing.T) {
+	for name, opts := range map[string]plfs.Options{"serial": n1Serial(), "parallel": n1Parallel()} {
+		t.Run(name, func(t *testing.T) {
+			osfs, err := posix.NewOSFS(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := plfs.New(osfs, opts)
+			f, err := p.Open("/n1", posix.O_CREAT|posix.O_RDWR, 0, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]byte, 4*8*1024)
+			for w := 0; w < 4; w++ {
+				payload := bytes.Repeat([]byte{byte(w + 1)}, 1024)
+				for blk := 0; blk < 8; blk++ {
+					off := int64((blk*4 + w) * 1024)
+					copy(want[off:], payload)
+					if _, err := f.Write(payload, off, uint32(w)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			got := make([]byte, len(want))
+			if n, err := f.Read(got, 0); err != nil || n != len(want) {
+				t.Fatalf("read = %d, %v", n, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal("benchmark workload corrupted data")
+			}
+			for w := 0; w < 4; w++ {
+				f.Close(uint32(w))
+			}
+		})
+	}
+}

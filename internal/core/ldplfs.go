@@ -75,7 +75,10 @@ type LDPLFS struct {
 	plfs  *plfs.FS
 	cfg   Config
 
-	mu    sync.Mutex
+	// mu guards files. Lookups (the hot path of every read/write) take
+	// it shared, so concurrent preads through the shim reach the PLFS
+	// read engine in parallel instead of serializing here.
+	mu    sync.RWMutex
 	files map[int]*openFile // the paper's fd -> Plfs_fd lookup table
 
 	Stats Stats
@@ -190,8 +193,8 @@ func (l *LDPLFS) resolve(path string) (backend string, ok bool) {
 }
 
 func (l *LDPLFS) lookup(fd int) (*openFile, bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	of, ok := l.files[fd]
 	return of, ok
 }
@@ -319,6 +322,10 @@ func (l *LDPLFS) write(fd int, p []byte) (int, error) {
 	return n, nil
 }
 
+// pread is the shim's read fast path: no shadow-offset bookkeeping, one
+// shared-lock table lookup, then straight into plfs.File.Read — whose
+// scatter-gather runs concurrently with every other reader of the
+// container (the File serializes only writers).
 func (l *LDPLFS) pread(fd int, p []byte, off int64) (int, error) {
 	of, ok := l.lookup(fd)
 	if !ok {

@@ -40,6 +40,10 @@ func NewWriter(fs posix.FS, path string) (*Writer, error) {
 	return w, nil
 }
 
+// Buffered returns the number of bytes of appended records not yet
+// flushed to the dropping.
+func (w *Writer) Buffered() int { return len(w.buf) }
+
 // Append buffers one entry.
 func (w *Writer) Append(e Entry) {
 	var rec [EntrySize]byte

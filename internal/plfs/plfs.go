@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	idx "ldplfs/internal/plfs/index"
+	"ldplfs/internal/plfs/readcache"
 	"ldplfs/internal/posix"
 )
 
@@ -47,6 +48,30 @@ type Options struct {
 	// NumHostdirs is the number of hostdir buckets per container (PLFS
 	// default is 32; tests use fewer to exercise collisions).
 	NumHostdirs int
+
+	// ReadWorkers bounds the number of concurrent preads one Read
+	// scatter-gathers across data droppings. 0 picks a default from
+	// GOMAXPROCS; 1 reads extents serially.
+	ReadWorkers int
+
+	// IndexWorkers bounds the number of concurrent dropping loads during
+	// index reconstruction. 0 picks a default from GOMAXPROCS; 1 loads
+	// droppings serially.
+	IndexWorkers int
+
+	// MaxReadFDs caps the shared cache of read-only data-dropping
+	// descriptors (0 = readcache.DefaultMaxFDs). Wide containers with
+	// thousands of historical writers stay bounded.
+	MaxReadFDs int
+
+	// MaxCachedIndexes caps how many containers keep a cached merged
+	// index (0 = readcache.DefaultMaxContainers).
+	MaxCachedIndexes int
+
+	// DisableIndexCache reverts to the pre-cache behavior — every File
+	// handle merges and holds its own private index, and Read serializes
+	// under one exclusive lock. Kept as the benchmark baseline.
+	DisableIndexCache bool
 }
 
 // DefaultOptions mirror PLFS 2.x defaults.
@@ -58,6 +83,18 @@ type FS struct {
 	backend posix.FS
 	opts    Options
 	clock   atomic.Uint64 // container-wide write ordering
+
+	// cache is the shared per-container merged-index cache (nil when
+	// Options.DisableIndexCache). fds is the shared read-descriptor
+	// cache; both are the read-engine state shared by every File.
+	cache *readcache.IndexCache
+	fds   *readcache.FDCache
+
+	// handles counts open File handles per container so the read-fd
+	// cache can be drained when the last one closes (PLFS closes data
+	// descriptors at plfs_close).
+	hmu     sync.Mutex
+	handles map[string]int
 }
 
 // New returns a PLFS instance over backend.
@@ -65,7 +102,62 @@ func New(backend posix.FS, opts Options) *FS {
 	if opts.NumHostdirs <= 0 {
 		opts.NumHostdirs = DefaultOptions().NumHostdirs
 	}
-	return &FS{backend: backend, opts: opts}
+	p := &FS{
+		backend: backend,
+		opts:    opts,
+		fds:     readcache.NewFDCache(backend, opts.MaxReadFDs),
+		handles: make(map[string]int),
+	}
+	if !opts.DisableIndexCache {
+		p.cache = readcache.NewIndexCache(opts.MaxCachedIndexes)
+	}
+	return p
+}
+
+// IndexCacheStats reports the shared index cache's counters (zero value
+// when the cache is disabled).
+func (p *FS) IndexCacheStats() readcache.Stats {
+	if p.cache == nil {
+		return readcache.Stats{}
+	}
+	return p.cache.Stats()
+}
+
+// CachedReadFDs returns the number of read descriptors currently cached.
+func (p *FS) CachedReadFDs() int { return p.fds.Len() }
+
+// invalidateIndex marks path's cached merged index stale. Call after any
+// operation that changes the on-backend index droppings.
+func (p *FS) invalidateIndex(path string) {
+	if p.cache != nil {
+		p.cache.Invalidate(path)
+	}
+}
+
+// dropIndex removes path's cache entry outright (unlink/rename).
+func (p *FS) dropIndex(path string) {
+	if p.cache != nil {
+		p.cache.Drop(path)
+	}
+}
+
+func (p *FS) retainContainer(path string) {
+	p.hmu.Lock()
+	p.handles[path]++
+	p.hmu.Unlock()
+}
+
+func (p *FS) releaseContainer(path string) {
+	p.hmu.Lock()
+	p.handles[path]--
+	drop := p.handles[path] <= 0
+	if drop {
+		delete(p.handles, path)
+	}
+	p.hmu.Unlock()
+	if drop {
+		p.fds.DropPrefix(path + "/")
+	}
 }
 
 // Backend returns the posix layer this instance stores containers on.
@@ -154,16 +246,22 @@ type writer struct {
 
 // File is an open PLFS file handle — the analogue of Plfs_fd*. A single
 // File may serve several writer pids (as when LDPLFS funnels multiple
-// POSIX fds onto one container) and any number of readers.
+// POSIX fds onto one container) and any number of readers. Reads take
+// the lock shared, so concurrent readers proceed in parallel; writes and
+// handle lifecycle take it exclusive.
 type File struct {
 	fs    *FS
 	path  string
 	flags int
 
-	mu      sync.Mutex
+	// validated records whether this handle has revalidated the shared
+	// index cache against the backend (close-to-open consistency: the
+	// first read of a fresh handle checks the dropping signature).
+	validated atomic.Bool
+
+	mu      sync.RWMutex
 	writers map[uint32]*writer
-	index   *idx.Index // lazily built; nil when stale
-	dataFDs map[uint64]int
+	index   *idx.Index // private index, used only with DisableIndexCache
 	refs    int
 }
 
@@ -190,7 +288,6 @@ func (p *FS) Open(path string, flags int, pid uint32, mode uint32) (*File, error
 		path:    path,
 		flags:   flags,
 		writers: make(map[uint32]*writer),
-		dataFDs: make(map[uint64]int),
 		refs:    1,
 	}
 	if flags&posix.O_TRUNC != 0 && flags&posix.O_ACCMODE != posix.O_RDONLY {
@@ -199,6 +296,7 @@ func (p *FS) Open(path string, flags int, pid uint32, mode uint32) (*File, error
 			return nil, err
 		}
 	}
+	p.retainContainer(path)
 	return f, nil
 }
 
@@ -290,8 +388,10 @@ func (f *File) Write(buf []byte, off int64, pid uint32) (int, error) {
 	return n, nil
 }
 
-// loadIndex builds (or returns the cached) global index. Caller holds f.mu.
-func (f *File) loadIndex() (*idx.Index, error) {
+// loadIndexLocked builds (or returns) this handle's private index — the
+// pre-cache path, used only with Options.DisableIndexCache. Caller holds
+// f.mu exclusive.
+func (f *File) loadIndexLocked() (*idx.Index, error) {
 	if f.index != nil {
 		return f.index, nil
 	}
@@ -309,54 +409,57 @@ func (f *File) loadIndex() (*idx.Index, error) {
 	return f.index, nil
 }
 
-// readAllEntries loads every index dropping in the container.
-func (p *FS) readAllEntries(path string) ([]idx.Entry, error) {
-	var entries []idx.Entry
-	dirs, err := p.backend.Readdir(path)
-	if err != nil {
-		return nil, fmt.Errorf("plfs: list container: %w", err)
+// readIndex returns the merged index for this handle's container via the
+// shared cache, flushing this handle's buffered index records first so
+// its own writes are visible to its reads. The first call on a fresh
+// handle revalidates the cached index against the backend (close-to-open
+// consistency); after that, same-instance generation tracking suffices.
+func (f *File) readIndex() (*idx.Index, error) {
+	f.mu.RLock()
+	dirty := false
+	for _, w := range f.writers {
+		if w.idxW.Buffered() > 0 {
+			dirty = true
+			break
+		}
 	}
-	for _, d := range dirs {
-		if !d.IsDir || len(d.Name) < 8 || d.Name[:8] != "hostdir." {
-			continue
-		}
-		hostdir := path + "/" + d.Name
-		files, err := p.backend.Readdir(hostdir)
-		if err != nil {
-			return nil, err
-		}
-		for _, fe := range files {
-			if len(fe.Name) >= 15 && fe.Name[:15] == "dropping.index." {
-				es, err := idx.ReadDropping(p.backend, hostdir+"/"+fe.Name)
-				if err != nil {
-					return nil, err
-				}
-				entries = append(entries, es...)
+	f.mu.RUnlock()
+	if dirty {
+		f.mu.Lock()
+		var ferr error
+		for _, w := range f.writers {
+			if err := w.idxW.Sync(); err != nil && ferr == nil {
+				ferr = err
 			}
 		}
+		f.mu.Unlock()
+		f.fs.invalidateIndex(f.path)
+		if ferr != nil {
+			return nil, ferr
+		}
 	}
-	return entries, nil
-}
-
-// dataFDFor returns a cached read fd for the (hostdir bucket, pid) data
-// dropping. Caller holds f.mu.
-func (f *File) dataFDFor(pid uint32) (int, error) {
-	key := uint64(pid)
-	if fd, ok := f.dataFDs[key]; ok {
-		return fd, nil
-	}
-	path := dataDropping(f.fs.hostdir(f.path, pid), pid)
-	fd, err := f.fs.backend.Open(path, posix.O_RDONLY, 0)
+	index, _, err := f.fs.cache.Get(f.path, !f.validated.Load(),
+		func() (readcache.Signature, error) { return f.fs.indexSignature(f.path) },
+		func() (*idx.Index, readcache.Signature, error) { return f.fs.buildIndex(f.path) })
 	if err != nil {
-		return -1, fmt.Errorf("plfs: open data dropping for read: %w", err)
+		return nil, err
 	}
-	f.dataFDs[key] = fd
-	return fd, nil
+	f.validated.Store(true)
+	return index, nil
 }
 
 // Read fills buf from logical offset off — plfs_read. It scatter-gathers
 // across data droppings according to the merged index; holes read as
-// zeros.
+// zeros. Reads do not exclude each other: concurrent Reads on one handle
+// (or many handles over one container) proceed in parallel, and the
+// per-extent preads of a single Read are themselves issued concurrently
+// across droppings (Options.ReadWorkers).
+//
+// Short-read semantics: with no error, n is the number of requested
+// bytes that lie below EOF (n < len(buf) only at end of file). On error,
+// n is the length of the contiguous error-free prefix of the request —
+// bytes buf[:n] are valid, bytes beyond n are unspecified — and the
+// error describes the first failing extent.
 func (f *File) Read(buf []byte, off int64) (int, error) {
 	if f.flags&posix.O_ACCMODE == posix.O_WRONLY {
 		return 0, posix.EBADF
@@ -367,40 +470,36 @@ func (f *File) Read(buf []byte, off int64) (int, error) {
 	if len(buf) == 0 {
 		return 0, nil
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	index, err := f.loadIndex()
+	if f.fs.opts.DisableIndexCache {
+		// Legacy serialized path: one exclusive lock across merge and
+		// gather, exactly the seed behavior. Benchmark baseline.
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		index, err := f.loadIndexLocked()
+		if err != nil {
+			return 0, err
+		}
+		return f.fs.scatterGather(f.path, buf, off, index.Query(off, int64(len(buf))))
+	}
+	index, err := f.readIndex()
 	if err != nil {
 		return 0, err
 	}
-	extents := index.Query(off, int64(len(buf)))
-	total := 0
-	for _, x := range extents {
-		dst := buf[x.LogicalOffset-off : x.LogicalOffset-off+x.Length]
-		if x.Hole {
-			for i := range dst {
-				dst[i] = 0
-			}
-			total += len(dst)
-			continue
-		}
-		fd, err := f.dataFDFor(x.Pid)
-		if err != nil {
-			return total, err
-		}
-		if err := posix.ReadFull(f.fs.backend, fd, dst, x.PhysicalOffset); err != nil {
-			return total, fmt.Errorf("plfs: read dropping (pid %d): %w", x.Pid, err)
-		}
-		total += len(dst)
-	}
-	return total, nil
+	return f.fs.scatterGather(f.path, buf, off, index.Query(off, int64(len(buf))))
 }
 
 // Size returns the logical file size.
 func (f *File) Size() (int64, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	index, err := f.loadIndex()
+	if f.fs.opts.DisableIndexCache {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		index, err := f.loadIndexLocked()
+		if err != nil {
+			return 0, err
+		}
+		return index.Size(), nil
+	}
+	index, err := f.readIndex()
 	if err != nil {
 		return 0, err
 	}
@@ -410,15 +509,26 @@ func (f *File) Size() (int64, error) {
 // Sync flushes pid's buffered index records and data — plfs_sync.
 func (f *File) Sync(pid uint32) error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	w, ok := f.writers[pid]
 	if !ok {
+		f.mu.Unlock()
 		return nil
 	}
-	if err := w.idxW.Sync(); err != nil {
-		return err
+	serr := w.idxW.Sync()
+	var ferr error
+	if serr == nil {
+		ferr = f.fs.backend.Fsync(w.dataFD)
 	}
-	return f.fs.backend.Fsync(w.dataFD)
+	f.mu.Unlock()
+	// Stale out the shared index even on error: the record flush may
+	// have reached the backend before the fsync failed, and the writer's
+	// buffer is empty either way, so readIndex's dirty check would never
+	// re-trigger the invalidation.
+	f.fs.invalidateIndex(f.path)
+	if serr != nil {
+		return serr
+	}
+	return ferr
 }
 
 // Trunc truncates the open file — plfs_trunc on an open handle.
@@ -446,10 +556,6 @@ func (f *File) Trunc(size int64) error {
 			w.idxW.Close()
 			delete(f.writers, pid)
 		}
-		for k, fd := range f.dataFDs {
-			f.fs.backend.Close(fd)
-			delete(f.dataFDs, k)
-		}
 	}
 	f.index = nil
 	return nil
@@ -461,13 +567,18 @@ func (f *File) Trunc(size int64) error {
 // avoid a full index merge, and the openhosts records are cleared.
 func (f *File) Close(pid uint32) error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if err := f.teardownWriterLocked(pid); err != nil {
+		f.mu.Unlock()
 		return err
 	}
 	f.refs--
-	if f.refs <= 0 {
+	last := f.refs <= 0
+	if last {
 		f.releaseLocked()
+	}
+	f.mu.Unlock()
+	if last {
+		f.fs.releaseContainer(f.path)
 	}
 	return nil
 }
@@ -479,6 +590,9 @@ func (f *File) teardownWriterLocked(pid uint32) error {
 	if !ok {
 		return nil
 	}
+	// Invalidate even if the close errors below: its internal flush may
+	// have put records on the backend before failing.
+	defer f.fs.invalidateIndex(f.path)
 	if err := w.idxW.Close(); err != nil {
 		return err
 	}
@@ -504,10 +618,6 @@ func (f *File) release() {
 }
 
 func (f *File) releaseLocked() {
-	for k, fd := range f.dataFDs {
-		f.fs.backend.Close(fd)
-		delete(f.dataFDs, k)
-	}
 	for pid := range f.writers {
 		// Full teardown (hints + openhosts), not just fd closes: the
 		// handle may serve several writer pids and the last reference
@@ -534,11 +644,11 @@ func (p *FS) Stat(path string) (posix.Stat, error) {
 	if p.hasOpenWriters(path) {
 		// Active writers: the hints are stale by construction; merge the
 		// on-disk index droppings for a live answer.
-		entries, err := p.readAllEntries(path)
+		index, err := p.mergedIndex(path)
 		if err != nil {
 			return posix.Stat{}, err
 		}
-		size = idx.Build(entries).Size()
+		size = index.Size()
 	} else {
 		var ok bool
 		var err error
@@ -547,15 +657,32 @@ func (p *FS) Stat(path string) (posix.Stat, error) {
 			return posix.Stat{}, err
 		}
 		if !ok {
-			entries, err := p.readAllEntries(path)
+			index, err := p.mergedIndex(path)
 			if err != nil {
 				return posix.Stat{}, err
 			}
-			size = idx.Build(entries).Size()
+			size = index.Size()
 		}
 	}
 	out.Size = size
 	return out, nil
+}
+
+// mergedIndex returns the container's merged index, through the shared
+// cache when enabled (revalidated against the backend, since no handle
+// tracks freshness for path-level operations).
+func (p *FS) mergedIndex(path string) (*idx.Index, error) {
+	if p.cache == nil {
+		entries, err := p.readAllEntries(path)
+		if err != nil {
+			return nil, err
+		}
+		return idx.Build(entries), nil
+	}
+	index, _, err := p.cache.Get(path, true,
+		func() (readcache.Signature, error) { return p.indexSignature(path) },
+		func() (*idx.Index, readcache.Signature, error) { return p.buildIndex(path) })
+	return index, err
 }
 
 // metaSize returns the size recorded by cleanly closed writers. ok is
@@ -600,7 +727,14 @@ func (p *FS) Unlink(path string) error {
 	if !p.IsContainer(path) {
 		return posix.ENOENT
 	}
-	return p.removeTree(path)
+	p.dropIndex(path)
+	p.fds.DropPrefix(path + "/")
+	err := p.removeTree(path)
+	// As in truncate-to-zero: drop state a racing reader cached while
+	// the tree was coming down.
+	p.fds.DropPrefix(path + "/")
+	p.dropIndex(path)
+	return err
 }
 
 func (p *FS) removeTree(path string) error {
@@ -631,6 +765,9 @@ func (p *FS) Rename(oldpath, newpath string) error {
 			return err
 		}
 	}
+	p.dropIndex(oldpath)
+	p.dropIndex(newpath)
+	p.fds.DropPrefix(oldpath + "/")
 	return p.backend.Rename(oldpath, newpath)
 }
 
@@ -654,6 +791,10 @@ func (p *FS) truncateContainer(path string, size int64) error {
 		return err
 	}
 	if size == 0 {
+		// The droppings are about to disappear: cached read fds point at
+		// doomed files and the cached index at doomed entries.
+		p.fds.DropPrefix(path + "/")
+		p.invalidateIndex(path)
 		for _, d := range dirs {
 			if d.IsDir && len(d.Name) >= 8 && d.Name[:8] == "hostdir." {
 				if err := p.removeTree(path + "/" + d.Name); err != nil {
@@ -661,6 +802,11 @@ func (p *FS) truncateContainer(path string, size int64) error {
 				}
 			}
 		}
+		// Drop again: a reader racing with the deletion may have cached a
+		// descriptor for a dropping — or rebuilt and cached a pre-truncate
+		// index — between the first drop and the unlinks.
+		p.fds.DropPrefix(path + "/")
+		p.invalidateIndex(path)
 		return p.clearMeta(path, 0)
 	}
 
@@ -688,21 +834,13 @@ func (p *FS) truncateContainer(path string, size int64) error {
 			Pid:            x.Pid,
 		})
 	}
-	for _, d := range dirs {
-		if !d.IsDir || len(d.Name) < 8 || d.Name[:8] != "hostdir." {
-			continue
-		}
-		hostdir := path + "/" + d.Name
-		files, err := p.backend.Readdir(hostdir)
-		if err != nil {
+	droppings, err := p.listIndexDroppings(path)
+	if err != nil {
+		return err
+	}
+	for _, d := range droppings {
+		if err := p.backend.Unlink(d); err != nil {
 			return err
-		}
-		for _, fe := range files {
-			if len(fe.Name) >= 15 && fe.Name[:15] == "dropping.index." {
-				if err := p.backend.Unlink(hostdir + "/" + fe.Name); err != nil {
-					return err
-				}
-			}
 		}
 	}
 	hostdir := fmt.Sprintf("%s/hostdir.%d", path, 0)
@@ -715,6 +853,7 @@ func (p *FS) truncateContainer(path string, size int64) error {
 	// A sparse tail (truncate upward) needs a zero-length sentinel so Size
 	// sees the extension. Represent it with a zero-filled entry of length
 	// zero is impossible; instead extend via meta hints.
+	p.invalidateIndex(path)
 	return p.clearMeta(path, size)
 }
 
@@ -776,56 +915,29 @@ func (p *FS) CompactIndex(path string) error {
 	if err := idx.WriteDropping(p.backend, compacted, flat); err != nil {
 		return err
 	}
-	dirs, err := p.backend.Readdir(path)
+	droppings, err := p.listIndexDroppings(path)
 	if err != nil {
 		return err
 	}
-	for _, d := range dirs {
-		if !d.IsDir || len(d.Name) < 8 || d.Name[:8] != "hostdir." {
+	for _, d := range droppings {
+		if d == compacted {
 			continue
 		}
-		hd := path + "/" + d.Name
-		files, err := p.backend.Readdir(hd)
-		if err != nil {
+		if err := p.backend.Unlink(d); err != nil {
 			return err
 		}
-		for _, fe := range files {
-			name := hd + "/" + fe.Name
-			if name == compacted {
-				continue
-			}
-			if len(fe.Name) >= 15 && fe.Name[:15] == "dropping.index." {
-				if err := p.backend.Unlink(name); err != nil {
-					return err
-				}
-			}
-		}
 	}
+	p.invalidateIndex(path)
 	return nil
 }
 
 // IndexDroppings counts the index dropping files in a container.
 func (p *FS) IndexDroppings(path string) (int, error) {
-	dirs, err := p.backend.Readdir(path)
+	droppings, err := p.listIndexDroppings(path)
 	if err != nil {
 		return 0, err
 	}
-	count := 0
-	for _, d := range dirs {
-		if !d.IsDir || len(d.Name) < 8 || d.Name[:8] != "hostdir." {
-			continue
-		}
-		files, err := p.backend.Readdir(path + "/" + d.Name)
-		if err != nil {
-			return 0, err
-		}
-		for _, fe := range files {
-			if len(fe.Name) >= 15 && fe.Name[:15] == "dropping.index." {
-				count++
-			}
-		}
-	}
-	return count, nil
+	return len(droppings), nil
 }
 
 // Flatten materialises the container's logical contents as a plain file at

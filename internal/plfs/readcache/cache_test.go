@@ -1,0 +1,165 @@
+package readcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	idx "ldplfs/internal/plfs/index"
+)
+
+func loader(builds *atomic.Int64, sig Signature) Loader {
+	return func() (*idx.Index, Signature, error) {
+		builds.Add(1)
+		return idx.Build(nil), sig, nil
+	}
+}
+
+func sigFn(s Signature) SigFunc {
+	return func() (Signature, error) { return s, nil }
+}
+
+func TestGetBuildsOnceAndHits(t *testing.T) {
+	c := NewIndexCache(0)
+	var builds atomic.Int64
+	for i := 0; i < 5; i++ {
+		index, built, err := c.Get("/c", false, sigFn("s"), loader(&builds, "s"))
+		if err != nil || index == nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if want := i == 0; built != want {
+			t.Fatalf("iteration %d: built = %v, want %v", i, built, want)
+		}
+	}
+	if builds.Load() != 1 {
+		t.Fatalf("builds = %d, want 1", builds.Load())
+	}
+	if s := c.Stats(); s.Hits != 4 || s.Builds != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestInvalidateForcesRebuild(t *testing.T) {
+	c := NewIndexCache(0)
+	var builds atomic.Int64
+	c.Get("/c", false, sigFn("s"), loader(&builds, "s"))
+	c.Invalidate("/c")
+	_, built, _ := c.Get("/c", false, sigFn("s"), loader(&builds, "s"))
+	if !built || builds.Load() != 2 {
+		t.Fatalf("built=%v builds=%d after invalidation", built, builds.Load())
+	}
+	// Invalidating an uncached path must not create entries.
+	c.Invalidate("/never-seen")
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after no-op invalidate", c.Len())
+	}
+}
+
+func TestRevalidationDetectsBackendChange(t *testing.T) {
+	c := NewIndexCache(0)
+	var builds atomic.Int64
+	cur := Signature("v1")
+	sig := func() (Signature, error) { return cur, nil }
+	load := func() (*idx.Index, Signature, error) {
+		builds.Add(1)
+		return idx.Build(nil), cur, nil
+	}
+
+	c.Get("/c", true, sig, load)
+	// Unchanged backend: revalidation hits.
+	if _, built, _ := c.Get("/c", true, sig, load); built {
+		t.Fatal("rebuilt with unchanged signature")
+	}
+	// Generation untouched but the backend moved (another process wrote):
+	// a revalidating Get rebuilds, a trusting Get does not.
+	cur = "v2"
+	if _, built, _ := c.Get("/c", false, sig, load); built {
+		t.Fatal("non-revalidating Get rebuilt")
+	}
+	if _, built, _ := c.Get("/c", true, sig, load); !built {
+		t.Fatal("revalidating Get served a stale index")
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("builds = %d, want 2", builds.Load())
+	}
+}
+
+func TestLoadErrorNotCached(t *testing.T) {
+	c := NewIndexCache(0)
+	boom := errors.New("boom")
+	fail := func() (*idx.Index, Signature, error) { return nil, "", boom }
+	if _, _, err := c.Get("/c", false, sigFn("s"), fail); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	var builds atomic.Int64
+	if _, built, err := c.Get("/c", false, sigFn("s"), loader(&builds, "s")); err != nil || !built {
+		t.Fatalf("recovery Get: built=%v err=%v", built, err)
+	}
+}
+
+func TestDropRemovesEntry(t *testing.T) {
+	c := NewIndexCache(0)
+	var builds atomic.Int64
+	c.Get("/c", false, sigFn("s"), loader(&builds, "s"))
+	c.Drop("/c")
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Drop", c.Len())
+	}
+	c.Get("/c", false, sigFn("s"), loader(&builds, "s"))
+	if builds.Load() != 2 {
+		t.Fatalf("builds = %d, want rebuild after Drop", builds.Load())
+	}
+}
+
+func TestLRUEvictionBoundsContainers(t *testing.T) {
+	c := NewIndexCache(4)
+	var builds atomic.Int64
+	for i := 0; i < 10; i++ {
+		path := fmt.Sprintf("/c%d", i)
+		c.Get(path, false, sigFn("s"), loader(&builds, "s"))
+	}
+	if c.Len() > 4 {
+		t.Fatalf("Len = %d, want <= 4", c.Len())
+	}
+	// The most recent container is still cached.
+	if _, built, _ := c.Get("/c9", false, sigFn("s"), loader(&builds, "s")); built {
+		t.Fatal("most recent entry was evicted")
+	}
+}
+
+func TestConcurrentGetSingleflight(t *testing.T) {
+	c := NewIndexCache(0)
+	var builds atomic.Int64
+	var inFlight, maxInFlight atomic.Int64
+	load := func() (*idx.Index, Signature, error) {
+		n := inFlight.Add(1)
+		for {
+			m := maxInFlight.Load()
+			if n <= m || maxInFlight.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		builds.Add(1)
+		inFlight.Add(-1)
+		return idx.Build(nil), "s", nil
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := c.Get("/c", false, sigFn("s"), load); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("builds = %d, want 1 (singleflight)", builds.Load())
+	}
+	if maxInFlight.Load() != 1 {
+		t.Fatalf("max concurrent builds = %d, want 1", maxInFlight.Load())
+	}
+}

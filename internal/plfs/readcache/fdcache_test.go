@@ -1,0 +1,149 @@
+package readcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ldplfs/internal/posix"
+)
+
+func fdFixture(t *testing.T, n int) (*posix.MemFS, []string) {
+	t.Helper()
+	mem := posix.NewMemFS()
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/d%d", i)
+		fd, err := mem.Open(paths[i], posix.O_CREAT|posix.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem.Write(fd, []byte("x"))
+		mem.Close(fd)
+	}
+	return mem, paths
+}
+
+func TestAcquireSharesDescriptor(t *testing.T) {
+	mem, paths := fdFixture(t, 1)
+	c := NewFDCache(mem, 0)
+	fd1, rel1, err := c.Acquire(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd2, rel2, err := c.Acquire(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd1 != fd2 {
+		t.Fatalf("same dropping produced two fds: %d vs %d", fd1, fd2)
+	}
+	rel1()
+	rel2()
+	if got := c.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1 (release keeps the entry cached)", got)
+	}
+	if got := mem.OpenFDs(); got != 1 {
+		t.Fatalf("backend fds = %d, want 1", got)
+	}
+}
+
+func TestCapEvictsOldestUnpinned(t *testing.T) {
+	mem, paths := fdFixture(t, 6)
+	c := NewFDCache(mem, 4)
+	for _, p := range paths {
+		_, rel, err := c.Acquire(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel()
+	}
+	if got := c.Len(); got != 4 {
+		t.Fatalf("Len = %d, want cap 4", got)
+	}
+	if got := mem.OpenFDs(); got != 4 {
+		t.Fatalf("backend fds = %d, want 4 (evicted fds closed)", got)
+	}
+}
+
+func TestEvictionDefersUntilRelease(t *testing.T) {
+	mem, paths := fdFixture(t, 3)
+	c := NewFDCache(mem, 1)
+	// Pin the first descriptor, then blow past the cap: the pinned fd
+	// must stay open and readable until its release.
+	fd0, rel0, err := c.Acquire(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths[1:] {
+		_, rel, err := c.Acquire(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel()
+	}
+	buf := make([]byte, 1)
+	if _, err := mem.Pread(fd0, buf, 0); err != nil {
+		t.Fatalf("pinned fd unusable: %v", err)
+	}
+	c.DropPrefix("/") // kill everything; fd0 still pinned
+	if _, err := mem.Pread(fd0, buf, 0); err != nil {
+		t.Fatalf("pinned fd closed by DropPrefix: %v", err)
+	}
+	rel0()
+	rel0() // double release must be a no-op
+	if got := mem.OpenFDs(); got != 0 {
+		t.Fatalf("backend fds = %d, want 0 after final release", got)
+	}
+}
+
+func TestDropPrefixScopesToContainer(t *testing.T) {
+	mem := posix.NewMemFS()
+	mem.Mkdir("/a", 0o755)
+	mem.Mkdir("/ab", 0o755)
+	for _, p := range []string{"/a/d", "/ab/d"} {
+		fd, _ := mem.Open(p, posix.O_CREAT|posix.O_WRONLY, 0o644)
+		mem.Close(fd)
+	}
+	c := NewFDCache(mem, 0)
+	for _, p := range []string{"/a/d", "/ab/d"} {
+		_, rel, err := c.Acquire(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel()
+	}
+	c.DropPrefix("/a/")
+	if got := c.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1 (/ab/d must survive /a/'s drop)", got)
+	}
+}
+
+func TestAcquireConcurrent(t *testing.T) {
+	mem, paths := fdFixture(t, 8)
+	c := NewFDCache(mem, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p := paths[(g+i)%len(paths)]
+				fd, rel, err := c.Acquire(p)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				buf := make([]byte, 1)
+				if _, err := mem.Pread(fd, buf, 0); err != nil {
+					t.Errorf("pread via cached fd: %v", err)
+				}
+				rel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Len(); got > 4 {
+		t.Fatalf("Len = %d, want <= 4 after churn", got)
+	}
+}

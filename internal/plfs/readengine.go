@@ -1,0 +1,279 @@
+// The concurrent read engine: parallel index reconstruction across a
+// container's hostdirs and droppings, and parallel scatter-gather of one
+// logical read across its data droppings.
+//
+// A PLFS read has two phases with very different shapes. Reconstruction
+// is "read and parse every index dropping" — embarrassingly parallel
+// per dropping, done once per container thanks to the shared cache in
+// internal/plfs/readcache. The gather is "pread each resolved extent
+// from its data dropping" — parallel per extent, since positional reads
+// carry no file pointer (posix.FS requires concurrent-pread safety) and
+// each extent lands in a disjoint slice of the caller's buffer.
+package plfs
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	idx "ldplfs/internal/plfs/index"
+	"ldplfs/internal/plfs/readcache"
+	"ldplfs/internal/posix"
+)
+
+// defaultWorkerCap bounds the default fan-out: beyond ~8 concurrent
+// preads the backends in this repository stop scaling (MemFS serializes
+// internally; OSFS saturates the page cache's memcpy bandwidth).
+const defaultWorkerCap = 8
+
+func defaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > defaultWorkerCap {
+		n = defaultWorkerCap
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (p *FS) readWorkers() int {
+	if p.opts.ReadWorkers > 0 {
+		return p.opts.ReadWorkers
+	}
+	return defaultWorkers()
+}
+
+func (p *FS) indexWorkers() int {
+	if p.opts.IndexWorkers > 0 {
+		return p.opts.IndexWorkers
+	}
+	return defaultWorkers()
+}
+
+// runParallel invokes fn(0..n-1) on a bounded pool of workers and waits
+// for all of them. workers <= 1 degrades to a plain loop.
+func runParallel(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// listIndexDroppings returns every index dropping path in the container,
+// in deterministic (hostdir, name) order. The per-hostdir listings fan
+// out across the index worker pool.
+func (p *FS) listIndexDroppings(path string) ([]string, error) {
+	dirs, err := p.backend.Readdir(path)
+	if err != nil {
+		return nil, fmt.Errorf("plfs: list container: %w", err)
+	}
+	var hostdirs []string
+	for _, d := range dirs {
+		if d.IsDir && strings.HasPrefix(d.Name, "hostdir.") {
+			hostdirs = append(hostdirs, path+"/"+d.Name)
+		}
+	}
+	lists := make([][]string, len(hostdirs))
+	errs := make([]error, len(hostdirs))
+	runParallel(len(hostdirs), p.indexWorkers(), func(i int) {
+		files, err := p.backend.Readdir(hostdirs[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		for _, fe := range files {
+			if strings.HasPrefix(fe.Name, "dropping.index.") {
+				lists[i] = append(lists[i], hostdirs[i]+"/"+fe.Name)
+			}
+		}
+	})
+	var droppings []string
+	for i := range hostdirs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		droppings = append(droppings, lists[i]...)
+	}
+	return droppings, nil
+}
+
+// readAllEntries loads every index dropping in the container, fanning
+// the loads out across the index worker pool. Entry order across
+// droppings is unspecified; idx.Build resolves by timestamp.
+func (p *FS) readAllEntries(path string) ([]idx.Entry, error) {
+	droppings, err := p.listIndexDroppings(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.loadDroppings(droppings)
+}
+
+func (p *FS) loadDroppings(droppings []string) ([]idx.Entry, error) {
+	results := make([][]idx.Entry, len(droppings))
+	errs := make([]error, len(droppings))
+	runParallel(len(droppings), p.indexWorkers(), func(i int) {
+		results[i], errs[i] = idx.ReadDropping(p.backend, droppings[i])
+	})
+	total := 0
+	for i := range droppings {
+		if errs[i] != nil {
+			// Deterministic: the first failing dropping in list order
+			// wins, however the pool interleaved.
+			return nil, errs[i]
+		}
+		total += len(results[i])
+	}
+	entries := make([]idx.Entry, 0, total)
+	for _, r := range results {
+		entries = append(entries, r...)
+	}
+	return entries, nil
+}
+
+// indexSignature summarises the container's index droppings (path, size,
+// mtime per dropping) without parsing them — the cheap freshness check
+// behind the cache's close-to-open revalidation.
+func (p *FS) indexSignature(path string) (readcache.Signature, error) {
+	droppings, err := p.listIndexDroppings(path)
+	if err != nil {
+		return "", err
+	}
+	sig, err := p.signatureOf(droppings)
+	if err != nil {
+		return "", err
+	}
+	return sig, nil
+}
+
+func (p *FS) signatureOf(droppings []string) (readcache.Signature, error) {
+	stats := make([]posix.Stat, len(droppings))
+	errs := make([]error, len(droppings))
+	runParallel(len(droppings), p.indexWorkers(), func(i int) {
+		stats[i], errs[i] = p.backend.Stat(droppings[i])
+	})
+	var sb strings.Builder
+	for i, d := range droppings {
+		if errs[i] != nil {
+			return "", errs[i]
+		}
+		fmt.Fprintf(&sb, "%s|%d|%d\n", d, stats[i].Size, stats[i].Mtime)
+	}
+	return readcache.Signature(sb.String()), nil
+}
+
+// buildIndex is the cache loader: one full reconstruction — list, stat
+// (for the signature), parse in parallel, merge.
+func (p *FS) buildIndex(path string) (*idx.Index, readcache.Signature, error) {
+	droppings, err := p.listIndexDroppings(path)
+	if err != nil {
+		return nil, "", err
+	}
+	sig, err := p.signatureOf(droppings)
+	if err != nil {
+		return nil, "", err
+	}
+	entries, err := p.loadDroppings(droppings)
+	if err != nil {
+		return nil, "", err
+	}
+	return idx.Build(entries), sig, nil
+}
+
+// scatterGather fills buf (whose logical origin is off) from the
+// resolved extents: holes zero-fill inline, data extents pread from
+// their droppings — concurrently when more than one extent and the
+// configured fan-out allow. Returns the number of bytes of the
+// contiguous error-free prefix and the error of the lowest failing
+// extent, per File.Read's short-read contract.
+func (p *FS) scatterGather(container string, buf []byte, off int64, extents []idx.Extent) (int, error) {
+	covered := 0
+	type job struct {
+		x   idx.Extent
+		dst []byte
+	}
+	var jobs []job
+	for _, x := range extents {
+		dst := buf[x.LogicalOffset-off : x.LogicalOffset-off+x.Length]
+		covered += len(dst)
+		if x.Hole {
+			for i := range dst {
+				dst[i] = 0
+			}
+			continue
+		}
+		jobs = append(jobs, job{x, dst})
+	}
+	if len(jobs) == 0 {
+		return covered, nil
+	}
+
+	workers := p.readWorkers()
+	if workers <= 1 || len(jobs) == 1 {
+		for _, j := range jobs {
+			if err := p.preadExtent(container, j.x, j.dst); err != nil {
+				return int(j.x.LogicalOffset - off), err
+			}
+		}
+		return covered, nil
+	}
+
+	errOffs := make([]int64, len(jobs))
+	errs := make([]error, len(jobs))
+	runParallel(len(jobs), workers, func(i int) {
+		if err := p.preadExtent(container, jobs[i].x, jobs[i].dst); err != nil {
+			errOffs[i], errs[i] = jobs[i].x.LogicalOffset, err
+		}
+	})
+	firstErr := -1
+	for i := range jobs {
+		if errs[i] != nil && (firstErr < 0 || errOffs[i] < errOffs[firstErr]) {
+			firstErr = i
+		}
+	}
+	if firstErr >= 0 {
+		// Every data extent below the failing offset succeeded (it would
+		// otherwise be the lower failing extent), and holes were filled
+		// inline — the prefix is intact.
+		return int(errOffs[firstErr] - off), errs[firstErr]
+	}
+	return covered, nil
+}
+
+// preadExtent reads one resolved extent from its data dropping through
+// the shared read-fd cache.
+func (p *FS) preadExtent(container string, x idx.Extent, dst []byte) error {
+	path := dataDropping(p.hostdir(container, x.Pid), x.Pid)
+	fd, release, err := p.fds.Acquire(path)
+	if err != nil {
+		return fmt.Errorf("plfs: open data dropping for read: %w", err)
+	}
+	defer release()
+	if err := posix.ReadFull(p.backend, fd, dst, x.PhysicalOffset); err != nil {
+		return fmt.Errorf("plfs: read dropping (pid %d): %w", x.Pid, err)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package posix
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// The PLFS read engine fans one logical read out across goroutines that
+// share a cached read descriptor per data dropping. That is only sound
+// if Pread is safe — and correct — under concurrent use of a single fd,
+// for every backend. Run with -race in CI.
+func testConcurrentPread(t *testing.T, fs FS) {
+	t.Helper()
+	const (
+		chunk  = 4096
+		chunks = 64
+		fanout = 8 // goroutines per chunk, all hammering the same fd
+	)
+	data := make([]byte, chunk*chunks)
+	for i := range data {
+		data[i] = byte(i / chunk)
+	}
+	fd, err := fs.Open("/pread-contract", O_CREAT|O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFull(fs, fd, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+
+	fd, err = fs.Open("/pread-contract", O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close(fd)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, chunks*fanout)
+	for c := 0; c < chunks; c++ {
+		for g := 0; g < fanout; g++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				buf := make([]byte, chunk)
+				if err := ReadFull(fs, fd, buf, int64(c*chunk)); err != nil {
+					errc <- err
+					return
+				}
+				want := bytes.Repeat([]byte{byte(c)}, chunk)
+				if !bytes.Equal(buf, want) {
+					errc <- EIO
+				}
+			}(c)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatalf("concurrent pread: %v", err)
+	}
+}
+
+func TestMemFSConcurrentPread(t *testing.T) {
+	testConcurrentPread(t, NewMemFS())
+}
+
+func TestOSFSConcurrentPread(t *testing.T) {
+	fs, err := NewOSFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testConcurrentPread(t, fs)
+}

@@ -14,6 +14,7 @@ type FaultFS struct {
 
 	mu    sync.Mutex
 	rules []*FaultRule
+	fds   map[int]string // open path per fd, so fd-based ops match PathContains
 }
 
 // FaultOp names an operation class a rule can target.
@@ -49,7 +50,14 @@ type FaultRule struct {
 
 // NewFaultFS wraps inner with no rules (transparent until Inject).
 func NewFaultFS(inner FS) *FaultFS {
-	return &FaultFS{inner: inner}
+	return &FaultFS{inner: inner, fds: make(map[int]string)}
+}
+
+// pathOf returns the path fd was opened under ("" if unknown).
+func (f *FaultFS) pathOf(fd int) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fds[fd]
 }
 
 // Inject adds a rule.
@@ -106,16 +114,27 @@ func (f *FaultFS) Open(path string, flags int, mode uint32) (int, error) {
 	if err := f.check(FaultOpen, path); err != nil {
 		return -1, err
 	}
-	return f.inner.Open(path, flags, mode)
+	fd, err := f.inner.Open(path, flags, mode)
+	if err == nil {
+		f.mu.Lock()
+		f.fds[fd] = path
+		f.mu.Unlock()
+	}
+	return fd, err
 }
 
 // Close implements FS (never injected: close must stay reliable so tests
 // can clean up).
-func (f *FaultFS) Close(fd int) error { return f.inner.Close(fd) }
+func (f *FaultFS) Close(fd int) error {
+	f.mu.Lock()
+	delete(f.fds, fd)
+	f.mu.Unlock()
+	return f.inner.Close(fd)
+}
 
 // Read implements FS.
 func (f *FaultFS) Read(fd int, p []byte) (int, error) {
-	if err := f.check(FaultRead, ""); err != nil {
+	if err := f.check(FaultRead, f.pathOf(fd)); err != nil {
 		return 0, err
 	}
 	return f.inner.Read(fd, p)
@@ -123,7 +142,7 @@ func (f *FaultFS) Read(fd int, p []byte) (int, error) {
 
 // Write implements FS.
 func (f *FaultFS) Write(fd int, p []byte) (int, error) {
-	if err := f.check(FaultWrite, ""); err != nil {
+	if err := f.check(FaultWrite, f.pathOf(fd)); err != nil {
 		return 0, err
 	}
 	return f.inner.Write(fd, p)
@@ -131,7 +150,7 @@ func (f *FaultFS) Write(fd int, p []byte) (int, error) {
 
 // Pread implements FS.
 func (f *FaultFS) Pread(fd int, p []byte, off int64) (int, error) {
-	if err := f.check(FaultRead, ""); err != nil {
+	if err := f.check(FaultRead, f.pathOf(fd)); err != nil {
 		return 0, err
 	}
 	return f.inner.Pread(fd, p, off)
@@ -139,7 +158,7 @@ func (f *FaultFS) Pread(fd int, p []byte, off int64) (int, error) {
 
 // Pwrite implements FS.
 func (f *FaultFS) Pwrite(fd int, p []byte, off int64) (int, error) {
-	if err := f.check(FaultWrite, ""); err != nil {
+	if err := f.check(FaultWrite, f.pathOf(fd)); err != nil {
 		return 0, err
 	}
 	return f.inner.Pwrite(fd, p, off)
@@ -152,7 +171,7 @@ func (f *FaultFS) Lseek(fd int, offset int64, whence int) (int64, error) {
 
 // Fsync implements FS.
 func (f *FaultFS) Fsync(fd int) error {
-	if err := f.check(FaultSync, ""); err != nil {
+	if err := f.check(FaultSync, f.pathOf(fd)); err != nil {
 		return err
 	}
 	return f.inner.Fsync(fd)
@@ -160,7 +179,7 @@ func (f *FaultFS) Fsync(fd int) error {
 
 // Ftruncate implements FS.
 func (f *FaultFS) Ftruncate(fd int, size int64) error {
-	if err := f.check(FaultMeta, ""); err != nil {
+	if err := f.check(FaultMeta, f.pathOf(fd)); err != nil {
 		return err
 	}
 	return f.inner.Ftruncate(fd, size)
@@ -168,7 +187,7 @@ func (f *FaultFS) Ftruncate(fd int, size int64) error {
 
 // Fstat implements FS.
 func (f *FaultFS) Fstat(fd int) (Stat, error) {
-	if err := f.check(FaultMeta, ""); err != nil {
+	if err := f.check(FaultMeta, f.pathOf(fd)); err != nil {
 		return Stat{}, err
 	}
 	return f.inner.Fstat(fd)

@@ -236,7 +236,9 @@ func (fs *MemFS) Write(fd int, p []byte) (int, error) {
 	return n, err
 }
 
-// Pread implements FS.
+// Pread implements FS. Positional reads are safe to issue concurrently
+// on one descriptor: the FS-wide mutex serializes them internally, so
+// callers (the PLFS scatter-gather engine) may fan out freely.
 func (fs *MemFS) Pread(fd int, p []byte, off int64) (int, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()

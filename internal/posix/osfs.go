@@ -161,7 +161,9 @@ func (o *OSFS) Write(fd int, p []byte) (int, error) {
 	return n, mapOSError(werr)
 }
 
-// Pread implements FS.
+// Pread implements FS. os.File.ReadAt maps to pread(2), which is safe
+// and genuinely parallel across goroutines sharing one descriptor — the
+// backend the read engine's concurrency actually pays off on.
 func (o *OSFS) Pread(fd int, p []byte, off int64) (int, error) {
 	h, err := o.fd(fd)
 	if err != nil {

@@ -125,6 +125,16 @@ type DirEntry struct {
 // FS is the POSIX-like interface every backend implements. File descriptors
 // are small non-negative integers scoped to the FS instance. All methods
 // are safe for concurrent use.
+//
+// Concurrent-pread contract: Pread and Pwrite take explicit offsets and
+// MUST be safe to issue concurrently on the same descriptor — they carry
+// no file-pointer state, exactly like pread(2)/pwrite(2). The PLFS read
+// engine relies on this to scatter-gather one logical read across many
+// goroutines sharing cached descriptors. MemFS satisfies it by
+// serializing internally; OSFS delegates to the kernel's positional I/O,
+// which is concurrent by specification. Read/Write/Lseek, by contrast,
+// share the descriptor's file pointer: concurrent use on one fd races
+// benignly (some interleaving wins) but is not coordinated.
 type FS interface {
 	// Open opens path, honouring O_CREAT, O_EXCL, O_TRUNC, O_APPEND and the
 	// access mode, and returns a new file descriptor.
