@@ -14,6 +14,7 @@ import (
 	"ldplfs/internal/harness"
 	"ldplfs/internal/mpi"
 	"ldplfs/internal/mpiio"
+	"ldplfs/internal/plfs"
 	"ldplfs/internal/workload"
 )
 
@@ -23,16 +24,22 @@ func main() {
 	grid := flag.Int("grid", 24, "grid points per dimension")
 	steps := flag.Int("steps", 5, "write timesteps")
 	method := flag.String("method", "ldplfs", "access method: mpiio|fuse|romio|ldplfs")
+	epio := flag.Bool("epio", false, "epio subtype: N-N write phase, one file per rank (default: collective N-1)")
+	indexBatch := flag.Int("index-batch", 0, "PLFS index group-flush threshold in records (0 = default, <0 = flush only on sync)")
+	writeWorkers := flag.Int("write-workers", 0, "PLFS parallel pwrites per vectored write (0 = default)")
 	verify := flag.Bool("verify", true, "read back and verify the final step")
 	flag.Parse()
 
 	store := harness.NewStore()
-	cfg := workload.BTIOConfig{Grid: *grid, Steps: *steps, Hints: mpiio.DefaultHints()}
+	cfg := workload.BTIOConfig{Grid: *grid, Steps: *steps, EPIO: *epio, Hints: mpiio.DefaultHints()}
+	popts := plfs.DefaultOptions()
+	popts.IndexBatch = *indexBatch
+	popts.WriteWorkers = *writeWorkers
 
 	start := time.Now()
 	var wrote int64
 	err := mpi.Run(*np, *ppn, func(r *mpi.Rank) {
-		drv, pathFor, err := harness.DriverFor(*method, store, r.Rank())
+		drv, pathFor, err := harness.DriverForOpts(*method, store, r.Rank(), popts)
 		if err != nil {
 			panic(err)
 		}
@@ -49,8 +56,12 @@ func main() {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start).Seconds()
-	fmt.Printf("bt-io: method=%s np=%d grid=%d steps=%d wrote=%d bytes in %.3fs (%.1f MB/s)\n",
-		*method, *np, *grid, *steps, wrote, elapsed, float64(wrote)/elapsed/1e6)
+	subtype := "full"
+	if *epio {
+		subtype = "epio"
+	}
+	fmt.Printf("bt-io: method=%s subtype=%s np=%d grid=%d steps=%d wrote=%d bytes in %.3fs (%.1f MB/s)\n",
+		*method, subtype, *np, *grid, *steps, wrote, elapsed, float64(wrote)/elapsed/1e6)
 	if *verify {
 		fmt.Println("verification: OK")
 	}

@@ -14,6 +14,7 @@ import (
 	"ldplfs/internal/harness"
 	"ldplfs/internal/mpi"
 	"ldplfs/internal/mpiio"
+	"ldplfs/internal/plfs"
 	"ldplfs/internal/workload"
 )
 
@@ -24,17 +25,23 @@ func main() {
 	nblocks := flag.Int("nblocks", 4, "blocks per process (FLASH default: 80)")
 	nvars := flag.Int("nvars", 8, "unknowns per cell (FLASH: 24)")
 	method := flag.String("method", "ldplfs", "access method: mpiio|fuse|romio|ldplfs")
+	split := flag.Bool("split", false, "split checkpoints: N-N write phase, one file triplet per rank (default: shared N-1)")
+	indexBatch := flag.Int("index-batch", 0, "PLFS index group-flush threshold in records (0 = default, <0 = flush only on sync)")
+	writeWorkers := flag.Int("write-workers", 0, "PLFS parallel pwrites per vectored write (0 = default)")
 	verify := flag.Bool("verify", true, "read back and verify all files")
 	flag.Parse()
 
 	store := harness.NewStore()
-	cfg := workload.FlashIOConfig{NXB: *nxb, NBlocks: *nblocks, NVars: *nvars, Hints: mpiio.DefaultHints()}
+	cfg := workload.FlashIOConfig{NXB: *nxb, NBlocks: *nblocks, NVars: *nvars, SplitFiles: *split, Hints: mpiio.DefaultHints()}
 	fmt.Printf("flash-io: ~%.1f MB per process\n", float64(cfg.BytesPerProcess())/1e6)
+	popts := plfs.DefaultOptions()
+	popts.IndexBatch = *indexBatch
+	popts.WriteWorkers = *writeWorkers
 
 	start := time.Now()
 	var wrote int64
 	err := mpi.Run(*np, *ppn, func(r *mpi.Rank) {
-		drv, pathFor, err := harness.DriverFor(*method, store, r.Rank())
+		drv, pathFor, err := harness.DriverForOpts(*method, store, r.Rank(), popts)
 		if err != nil {
 			panic(err)
 		}

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"ldplfs/internal/core"
+	"ldplfs/internal/plfs"
 	"ldplfs/internal/posix"
 	"ldplfs/internal/unixtools"
 )
@@ -27,6 +28,9 @@ func main() {
 	preload := flag.Bool("preload", false, "preload LDPLFS into the symbol table")
 	mnt := flag.String("mnt", "/mnt/plfs=/backend", "mount spec (point=backend[,point=backend])")
 	pid := flag.Uint("pid", uint(os.Getpid()), "writer id passed to PLFS")
+	indexBatch := flag.Int("index-batch", 0, "PLFS index group-flush threshold in records (0 = default, <0 = flush only on sync)")
+	writeWorkers := flag.Int("write-workers", 0, "PLFS parallel pwrites per vectored write (0 = default)")
+	readWorkers := flag.Int("read-workers", 0, "PLFS parallel preads per scatter-gather read (0 = default)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -46,7 +50,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := core.Preload(d, core.Config{Mounts: mounts, Pid: uint32(*pid)}); err != nil {
+		popts := plfs.DefaultOptions()
+		popts.IndexBatch = *indexBatch
+		popts.WriteWorkers = *writeWorkers
+		popts.ReadWorkers = *readWorkers
+		if _, err := core.Preload(d, core.Config{Mounts: mounts, Pid: uint32(*pid), PlfsOptions: popts}); err != nil {
 			log.Fatalf("ldrun: preload: %v", err)
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"ldplfs/internal/harness"
 	"ldplfs/internal/mpi"
 	"ldplfs/internal/mpiio"
+	"ldplfs/internal/plfs"
 	"ldplfs/internal/workload"
 )
 
@@ -23,6 +24,9 @@ func main() {
 	method := flag.String("method", "ldplfs", "access method: mpiio|fuse|romio|ldplfs")
 	size := flag.Int64("size", 8<<20, "bytes per process")
 	block := flag.Int64("block", 1<<20, "block size per collective call")
+	nn := flag.Bool("nn", false, "N-N write phase: each rank writes its own file (default: strided N-1)")
+	indexBatch := flag.Int("index-batch", 0, "PLFS index group-flush threshold in records (0 = default, <0 = flush only on sync)")
+	writeWorkers := flag.Int("write-workers", 0, "PLFS parallel pwrites per vectored write (0 = default)")
 	verify := flag.Bool("verify", true, "read back and verify")
 	flag.Parse()
 
@@ -30,14 +34,18 @@ func main() {
 	cfg := workload.MPIIOTestConfig{
 		BytesPerProc: *size,
 		BlockSize:    *block,
+		FilePerProc:  *nn,
 		Verify:       *verify,
 		Hints:        mpiio.DefaultHints(),
 	}
+	popts := plfs.DefaultOptions()
+	popts.IndexBatch = *indexBatch
+	popts.WriteWorkers = *writeWorkers
 
 	start := time.Now()
 	var wrote, read int64
 	err := mpi.Run(*np, *ppn, func(r *mpi.Rank) {
-		drv, pathFor, err := harness.DriverFor(*method, store, r.Rank())
+		drv, pathFor, err := harness.DriverForOpts(*method, store, r.Rank(), popts)
 		if err != nil {
 			panic(err)
 		}
@@ -54,8 +62,12 @@ func main() {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start).Seconds()
-	fmt.Printf("mpiio-test: method=%s np=%d ppn=%d wrote=%d read=%d in %.3fs (%.1f MB/s end-to-end)\n",
-		*method, *np, *ppn, wrote, read, elapsed, float64(wrote+read)/elapsed/1e6)
+	shape := "n-1 strided"
+	if *nn {
+		shape = "n-n file-per-proc"
+	}
+	fmt.Printf("mpiio-test: method=%s shape=%s np=%d ppn=%d wrote=%d read=%d in %.3fs (%.1f MB/s end-to-end)\n",
+		*method, shape, *np, *ppn, wrote, read, elapsed, float64(wrote+read)/elapsed/1e6)
 	if *verify {
 		fmt.Println("verification: OK (every rank validated its neighbour's blocks)")
 	}

@@ -6,6 +6,8 @@
 //	plfsctl -root /tmp/store index /backend/data       # dump merged index
 //	plfsctl -root /tmp/store flatten /backend/data /backend/data.flat
 //	plfsctl -root /tmp/store compact /backend/data  # merge index droppings
+//	plfsctl -root /tmp/store doctor /backend/data   # flag stale openhosts
+//	plfsctl -root /tmp/store -fix doctor /backend/data
 //	plfsctl -root /tmp/store rm /backend/data
 package main
 
@@ -23,10 +25,11 @@ import (
 func main() {
 	root := flag.String("root", ".", "host directory backing the tree")
 	hostdirs := flag.Int("hostdirs", 32, "hostdir buckets (must match the writer's setting)")
+	fix := flag.Bool("fix", false, "doctor: remove the stale openhosts records it finds")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: plfsctl [flags] {info|index|flatten|compact|rm} CONTAINER [DST]")
+		fmt.Fprintln(os.Stderr, "usage: plfsctl [flags] {info|index|flatten|compact|doctor|rm} CONTAINER [DST]")
 		os.Exit(2)
 	}
 
@@ -84,6 +87,38 @@ func main() {
 		}
 		after, _ := p.IndexDroppings(path)
 		fmt.Printf("compacted %s: %d -> %d index droppings\n", path, before, after)
+	case "doctor":
+		// Stale openhosts records are the symptom of a writer that never
+		// cleanly closed (a crash, or the historical Trunc(0) leak):
+		// they pin Stat on the slow merged-index path and make compact
+		// refuse the container, so operators want them surfaced.
+		recs, err := p.OpenHosts(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		live, stale := 0, 0
+		for _, r := range recs {
+			if r.Stale {
+				stale++
+				fmt.Printf("stale openhosts record: pid %d (no data dropping — writer state lost)\n", r.Pid)
+			} else {
+				live++
+			}
+		}
+		fmt.Printf("doctor %s: %d openhosts records (%d live, %d stale)\n", path, len(recs), live, stale)
+		if stale > 0 {
+			if *fix {
+				removed, err := p.ScrubOpenHosts(path)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("removed %d stale records; stat fast path and compact restored\n", removed)
+			} else {
+				fmt.Println("container degraded: stat takes the slow merged-index path and compact is refused")
+				fmt.Println("re-run with -fix to clear the stale records")
+				os.Exit(1)
+			}
+		}
 	case "rm":
 		if err := p.Unlink(path); err != nil {
 			log.Fatal(err)

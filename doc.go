@@ -19,4 +19,12 @@
 // and each read scatter-gathers its extents with parallel positional
 // reads through a capped descriptor cache. See README.md ("The read
 // engine") and internal/plfs/readcache.
+//
+// The write path is its twin: per-writer sharded locking (writes and
+// syncs for distinct pids proceed fully in parallel under a shared
+// handle lock), batched index appends (Options.IndexBatch), and
+// vectored multi-extent writes (File.WriteV, Options.WriteWorkers)
+// that reserve a physical range up front and fan segment pwrites out
+// concurrently. Partial writes are always indexed to exactly the
+// durable prefix. See README.md ("The write engine").
 package ldplfs

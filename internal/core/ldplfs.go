@@ -76,8 +76,9 @@ type LDPLFS struct {
 	cfg   Config
 
 	// mu guards files. Lookups (the hot path of every read/write) take
-	// it shared, so concurrent preads through the shim reach the PLFS
-	// read engine in parallel instead of serializing here.
+	// it shared, so concurrent preads and pwrites through the shim reach
+	// the PLFS read and write engines in parallel instead of serializing
+	// here — the table mutates only at open/close.
 	mu    sync.RWMutex
 	files map[int]*openFile // the paper's fd -> Plfs_fd lookup table
 
@@ -336,6 +337,11 @@ func (l *LDPLFS) pread(fd int, p []byte, off int64) (int, error) {
 	return of.file.Read(p, off)
 }
 
+// pwrite is the shim's write fast path, the twin of pread: no
+// shadow-offset bookkeeping, one shared-lock table lookup, then straight
+// into plfs.File.Write — which serializes only against same-pid writes,
+// so concurrent pwrites through the shim stream their droppings in
+// parallel (the File takes its handle lock shared).
 func (l *LDPLFS) pwrite(fd int, p []byte, off int64) (int, error) {
 	of, ok := l.lookup(fd)
 	if !ok {

@@ -49,15 +49,23 @@ func PrepareStore(fs posix.FS) error {
 	return nil
 }
 
-// DriverFor builds the per-rank ADIO driver for a named method over fs,
-// and returns the application-visible path for the given file name.
+// DriverFor builds the per-rank ADIO driver for a named method over fs
+// with default PLFS options, and returns the application-visible path
+// for the given file name.
 func DriverFor(method string, fs posix.FS, rank int) (mpiio.Driver, func(name string) string, error) {
+	return DriverForOpts(method, fs, rank, plfs.DefaultOptions())
+}
+
+// DriverForOpts is DriverFor with explicit PLFS options, so the CLI
+// tools can thread engine tuning (ReadWorkers, WriteWorkers, IndexBatch,
+// ...) down to whichever methods run over PLFS.
+func DriverForOpts(method string, fs posix.FS, rank int, opts plfs.Options) (mpiio.Driver, func(name string) string, error) {
 	switch method {
 	case "mpiio":
 		return mpiio.NewUFS(posix.NewDispatch(fs)),
 			func(name string) string { return ScratchDir + "/" + name }, nil
 	case "romio":
-		p := plfs.New(fs, plfs.DefaultOptions())
+		p := plfs.New(fs, opts)
 		drv := mpiio.NewPLFSDriver(p, func(path string) (string, bool) {
 			if strings.HasPrefix(path, MountPoint+"/") {
 				return BackendDir + path[len(MountPoint):], true
@@ -68,15 +76,16 @@ func DriverFor(method string, fs posix.FS, rank int) (mpiio.Driver, func(name st
 	case "ldplfs":
 		d := posix.NewDispatch(fs)
 		if _, err := core.Preload(d, core.Config{
-			Mounts: []core.Mount{{Point: MountPoint, Backend: BackendDir}},
-			Pid:    uint32(rank),
+			Mounts:      []core.Mount{{Point: MountPoint, Backend: BackendDir}},
+			Pid:         uint32(rank),
+			PlfsOptions: opts,
 		}); err != nil {
 			return nil, nil, err
 		}
 		return mpiio.NewUFS(d),
 			func(name string) string { return MountPoint + "/" + name }, nil
 	case "fuse":
-		return mpiio.NewUFS(fuse.Mount(fs, MountPoint, BackendDir, plfs.DefaultOptions())),
+		return mpiio.NewUFS(fuse.Mount(fs, MountPoint, BackendDir, opts)),
 			func(name string) string { return MountPoint + "/" + name }, nil
 	}
 	return nil, nil, fmt.Errorf("harness: unknown method %q (want one of %v)", method, Methods)

@@ -75,6 +75,17 @@ type DriverFile interface {
 	Close() error
 }
 
+// VectorWriter is an optional DriverFile extension: drivers that can
+// commit a whole flattened datatype in one call implement it, and
+// WriteStrided hands them the segment list instead of looping pwrites.
+// The PLFS driver maps it onto plfs.File.WriteV, whose write engine
+// fans the segments out in parallel within one index transaction.
+type VectorWriter interface {
+	// PwritevAt writes buf scattered across segs (ascending, disjoint,
+	// covering exactly len(buf) bytes), returning bytes written.
+	PwritevAt(segs []Segment, buf []byte) (int, error)
+}
+
 // --- ufs: the POSIX ADIO driver -----------------------------------------
 
 // UFS routes through a posix.FS — typically a *posix.Dispatch, so that a
@@ -189,7 +200,21 @@ type plfsFile struct {
 
 func (f *plfsFile) PreadAt(p []byte, off int64) (int, error)  { return f.f.Read(p, off) }
 func (f *plfsFile) PwriteAt(p []byte, off int64) (int, error) { return f.f.Write(p, off, f.pid) }
-func (f *plfsFile) Truncate(size int64) error                 { return f.f.Trunc(size) }
-func (f *plfsFile) Sync() error                               { return f.f.Sync(f.pid) }
-func (f *plfsFile) Close() error                              { return f.f.Close(f.pid) }
-func (f *plfsFile) Size() (int64, error)                      { return f.f.Size() }
+
+// PwritevAt implements VectorWriter over the PLFS write engine: the
+// whole strided access becomes one WriteV — one writer-lock acquisition,
+// segment pwrites fanned out in parallel, index records batched.
+func (f *plfsFile) PwritevAt(segs []Segment, buf []byte) (int, error) {
+	vec := make([]plfs.WriteSeg, len(segs))
+	cursor := int64(0)
+	for i, s := range segs {
+		vec[i] = plfs.WriteSeg{Off: s.Off, Data: buf[cursor : cursor+s.Len]}
+		cursor += s.Len
+	}
+	n, err := f.f.WriteV(vec, f.pid)
+	return int(n), err
+}
+func (f *plfsFile) Truncate(size int64) error { return f.f.Trunc(size) }
+func (f *plfsFile) Sync() error               { return f.f.Sync(f.pid) }
+func (f *plfsFile) Close() error              { return f.f.Close(f.pid) }
+func (f *plfsFile) Size() (int64, error)      { return f.f.Size() }

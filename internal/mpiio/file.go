@@ -173,6 +173,14 @@ func (f *File) WriteStrided(segs []Segment, buf []byte) (int, error) {
 		span <= int64(f.hints.SieveBufferSize) && span < 2*total
 
 	if !useSieve {
+		// Vector-capable drivers (PLFS) take the whole flattened access
+		// in one call instead of a pwrite per segment.
+		if vw, ok := f.df.(VectorWriter); ok && len(segs) > 1 {
+			f.Stats.DriverWrites.Add(1)
+			n, err := vw.PwritevAt(segs, buf[:total])
+			f.Stats.BytesWritten.Add(int64(n))
+			return n, err
+		}
 		written := 0
 		cursor := 0
 		for _, s := range segs {

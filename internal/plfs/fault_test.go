@@ -1,6 +1,7 @@
 package plfs
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 
@@ -41,6 +42,56 @@ func TestENOSPCDuringDataWrite(t *testing.T) {
 	}
 	if n != 4 || string(got[:n]) != "fits" {
 		t.Fatalf("content after ENOSPC = %q (n=%d)", got[:n], n)
+	}
+	f.Close(1)
+}
+
+// TestPartialWriteKeepsIndexInSync is the regression test for the
+// partial-write desync: when the backend lands n > 0 bytes and then
+// errors, the dropping grew by n, so the durable prefix must be indexed
+// and the physical cursor advanced — or every subsequent write's index
+// entry points n bytes before its real payload.
+func TestPartialWriteKeepsIndexInSync(t *testing.T) {
+	p, ffs, _ := faultPLFS(t)
+	f, err := p.Open("/backend/torn-write", posix.O_CREAT|posix.O_RDWR, 1, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The device fills after 40 of the 100 bytes.
+	ffs.Inject(&posix.FaultRule{
+		Op: posix.FaultWrite, PathContains: "dropping.data",
+		Partial: 40, Times: 1, Err: posix.ENOSPC,
+	})
+	first := bytes.Repeat([]byte{'p'}, 100)
+	n, err := f.Write(first, 0, 1)
+	if !errors.Is(err, posix.ENOSPC) {
+		t.Fatalf("write on filling device = %d, %v (want ENOSPC)", n, err)
+	}
+	if n != 40 {
+		t.Fatalf("partial write landed %d bytes, want 40", n)
+	}
+	ffs.Clear()
+	// The durable prefix must read back...
+	got := make([]byte, 40)
+	if rn, err := f.Read(got, 0); err != nil || rn != 40 {
+		t.Fatalf("read durable prefix: n=%d err=%v", rn, err)
+	}
+	if !bytes.Equal(got, first[:40]) {
+		t.Fatal("durable prefix not indexed after partial write")
+	}
+	// ...and the next successful write must not be shifted by the
+	// unrecorded 40 bytes (the original bug: stale physOff).
+	second := bytes.Repeat([]byte{'s'}, 60)
+	if wn, err := f.Write(second, 40, 1); err != nil || wn != 60 {
+		t.Fatalf("follow-up write: n=%d err=%v", wn, err)
+	}
+	full := make([]byte, 100)
+	if rn, err := f.Read(full, 0); err != nil || rn != 100 {
+		t.Fatalf("full read: n=%d err=%v", rn, err)
+	}
+	want := append(append([]byte{}, first[:40]...), second...)
+	if !bytes.Equal(full, want) {
+		t.Fatal("write after partial failure reads back shifted payload (physOff desync)")
 	}
 	f.Close(1)
 }
@@ -87,14 +138,19 @@ func TestIndexDroppingFailureDetectedOnRead(t *testing.T) {
 	f.Close(3)
 }
 
-func TestTornIndexTailDetected(t *testing.T) {
+func TestTornIndexTailDegradesGracefully(t *testing.T) {
+	// A torn tail (crash mid-append, or a short group flush awaiting its
+	// retry) drops exactly the unfinished record — which was never
+	// promised durable — instead of poisoning the whole container.
+	// Records before the tear stay readable, and a writer resuming the
+	// dropping trims the tear so its appends stay record-aligned.
 	p, _, mem := faultPLFS(t)
 	f, _ := p.Open("/backend/tail", posix.O_CREAT|posix.O_WRONLY, 1, 0o644)
 	f.Write(make([]byte, 64), 0, 1)
+	f.Write([]byte("second record"), 64, 1)
 	f.Close(1)
 
-	// Simulate a torn append: the index dropping loses its last 7 bytes
-	// (a crash mid-record).
+	// Tear the second record: the dropping loses its last 7 bytes.
 	idxPath := "/backend/tail/hostdir.1/dropping.index.1"
 	st, err := mem.Stat(idxPath)
 	if err != nil {
@@ -107,10 +163,32 @@ func TestTornIndexTailDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := g.Read(make([]byte, 10), 0); err == nil {
-		t.Fatal("read over a torn index tail succeeded")
+	if size, err := g.Size(); err != nil || size != 64 {
+		t.Fatalf("size over torn tail = %d, %v (want the 64 intact bytes)", size, err)
+	}
+	if n, err := g.Read(make([]byte, 64), 0); err != nil || n != 64 {
+		t.Fatalf("read of intact prefix = %d, %v", n, err)
 	}
 	g.Close(2)
+
+	// A resumed writer must trim the tear before appending.
+	h, err := p.Open("/backend/tail", posix.O_WRONLY, 1, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("healed"), 64, 1); err != nil {
+		t.Fatal(err)
+	}
+	h.Close(1)
+	r, err := p.Open("/backend/tail", posix.O_RDONLY, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if n, err := r.Read(buf, 64); err != nil || n != 6 || string(buf) != "healed" {
+		t.Fatalf("read after resumed append = %q (n=%d, %v)", buf[:n], n, err)
+	}
+	r.Close(3)
 }
 
 func TestFlakyBackendReadRetries(t *testing.T) {

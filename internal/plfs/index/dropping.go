@@ -44,6 +44,10 @@ func NewWriter(fs posix.FS, path string) (*Writer, error) {
 // flushed to the dropping.
 func (w *Writer) Buffered() int { return len(w.buf) }
 
+// BufferedRecords returns the number of whole records not yet flushed —
+// the unit the write engine's group-flush threshold counts in.
+func (w *Writer) BufferedRecords() int { return len(w.buf) / EntrySize }
+
 // Append buffers one entry.
 func (w *Writer) Append(e Entry) {
 	var rec [EntrySize]byte
@@ -51,13 +55,34 @@ func (w *Writer) Append(e Entry) {
 	w.buf = append(w.buf, rec[:]...)
 }
 
-// Sync flushes buffered entries to the dropping.
-func (w *Writer) Sync() error {
-	if len(w.buf) > 0 {
-		if _, err := w.fs.Write(w.fd, w.buf); err != nil {
-			return fmt.Errorf("index: flush: %w", err)
+// Flush appends the buffered records to the dropping without forcing
+// them to stable storage (the write engine's group flush; Sync adds the
+// fsync). It returns the number of bytes that reached the dropping. On a
+// short write the durable prefix is dropped from the buffer, so a retry
+// continues exactly where the backend stopped instead of duplicating
+// record bytes and tearing the dropping.
+func (w *Writer) Flush() (int, error) {
+	flushed := 0
+	for len(w.buf) > 0 {
+		n, err := w.fs.Write(w.fd, w.buf)
+		if n > 0 {
+			w.buf = w.buf[:copy(w.buf, w.buf[n:])]
+			flushed += n
 		}
-		w.buf = w.buf[:0]
+		if err != nil {
+			return flushed, fmt.Errorf("index: flush: %w", err)
+		}
+		if n <= 0 {
+			return flushed, fmt.Errorf("index: flush: zero-length write")
+		}
+	}
+	return flushed, nil
+}
+
+// Sync flushes buffered entries to the dropping and forces them down.
+func (w *Writer) Sync() error {
+	if _, err := w.Flush(); err != nil {
+		return err
 	}
 	return w.fs.Fsync(w.fd)
 }
@@ -72,7 +97,10 @@ func (w *Writer) Close() error {
 }
 
 // OpenWriter opens an existing index dropping for appending, after
-// validating its header. New records land after the existing ones.
+// validating its header. New records land after the existing ones. A
+// trailing partial record (a flush that died mid-record, or a crashed
+// writer's torn tail) is truncated away first, so resumed appends stay
+// record-aligned instead of corrupting everything written after them.
 func OpenWriter(fs posix.FS, path string) (*Writer, error) {
 	fd, err := fs.Open(path, posix.O_RDWR|posix.O_APPEND, 0)
 	if err != nil {
@@ -87,10 +115,29 @@ func OpenWriter(fs posix.FS, path string) (*Writer, error) {
 		fs.Close(fd)
 		return nil, fmt.Errorf("index: reopen dropping %s: bad magic %#x", path, got)
 	}
+	st, err := fs.Fstat(fd)
+	if err != nil {
+		fs.Close(fd)
+		return nil, err
+	}
+	if torn := (st.Size - headerSize) % EntrySize; torn != 0 {
+		if err := fs.Ftruncate(fd, st.Size-torn); err != nil {
+			fs.Close(fd)
+			return nil, fmt.Errorf("index: reopen dropping %s: trim torn tail: %w", path, err)
+		}
+	}
 	return &Writer{fs: fs, fd: fd}, nil
 }
 
-// ReadDropping loads every entry from the index dropping at path.
+// ReadDropping loads every entry from the index dropping at path. A
+// trailing partial record is ignored, not an error: the write engine
+// group-flushes record batches, and a short flush (or a crash mid-
+// append) legitimately leaves a record prefix on the backend that the
+// writer completes on its next flush — readers racing that window must
+// see the whole records, not fail the container. Durability is not
+// weakened: a record is only promised once plfs_sync succeeded, and a
+// torn record by definition never did. Corruption inside whole records
+// is still caught by the per-record checksum.
 func ReadDropping(fs posix.FS, path string) ([]Entry, error) {
 	fd, err := fs.Open(path, posix.O_RDONLY, 0)
 	if err != nil {
@@ -116,9 +163,7 @@ func ReadDropping(fs posix.FS, path string) ([]Entry, error) {
 		return nil, fmt.Errorf("index: dropping %s: unsupported version %d", path, got)
 	}
 	body := data[headerSize:]
-	if len(body)%EntrySize != 0 {
-		return nil, fmt.Errorf("index: dropping %s: torn record (%d trailing bytes)", path, len(body)%EntrySize)
-	}
+	body = body[:len(body)-len(body)%EntrySize] // drop an in-flight partial tail
 	entries := make([]Entry, 0, len(body)/EntrySize)
 	for off := 0; off < len(body); off += EntrySize {
 		var e Entry

@@ -27,6 +27,7 @@ package plfs
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -72,7 +73,33 @@ type Options struct {
 	// handle merges and holds its own private index, and Read serializes
 	// under one exclusive lock. Kept as the benchmark baseline.
 	DisableIndexCache bool
+
+	// WriteWorkers bounds the number of concurrent pwrites one WriteV
+	// fans across its segments. 0 picks a default from GOMAXPROCS; 1
+	// writes segments serially.
+	WriteWorkers int
+
+	// IndexBatch is the group-flush threshold of the per-writer index
+	// buffer, in records: once a writer has buffered this many index
+	// records they are appended to its index dropping in one backend
+	// write (no fsync), so a long run of small writes costs
+	// O(writes/batch) index I/Os. 0 picks DefaultIndexBatch; negative
+	// disables auto-flushing entirely (records accumulate until
+	// Sync/Close/read, the pre-engine behavior).
+	IndexBatch int
+
+	// DisableWriteSharding reverts to the pre-engine write path: every
+	// Write and Sync on a File takes one exclusive handle lock, so
+	// writers serialize however many pids share the handle. Kept as the
+	// benchmark baseline.
+	DisableWriteSharding bool
 }
+
+// DefaultIndexBatch is the per-writer index group-flush threshold used
+// when Options.IndexBatch is zero. 512 records is one 24 KiB append per
+// flush — large enough to amortize the backend call, small enough that a
+// crashed writer loses at most a modest index tail.
+const DefaultIndexBatch = 512
 
 // DefaultOptions mirror PLFS 2.x defaults.
 func DefaultOptions() Options { return Options{NumHostdirs: 32} }
@@ -90,11 +117,19 @@ type FS struct {
 	cache *readcache.IndexCache
 	fds   *readcache.FDCache
 
-	// handles counts open File handles per container so the read-fd
-	// cache can be drained when the last one closes (PLFS closes data
-	// descriptors at plfs_close).
+	// handles registers the open File handles per container, so the
+	// read-fd cache can be drained when the last one closes (PLFS
+	// closes data descriptors at plfs_close) and container-level
+	// truncation can quiesce and rebind every handle's writers, not
+	// just the one it was issued through.
 	hmu     sync.Mutex
-	handles map[string]int
+	handles map[string]map[*File]struct{}
+	fileSeq uint64 // next File.seq; lock-order tiebreak for handles
+
+	// seeded tracks containers whose on-backend timestamps this
+	// instance has folded into its clock (see seedClock).
+	smu    sync.Mutex
+	seeded map[string]bool
 }
 
 // New returns a PLFS instance over backend.
@@ -106,7 +141,8 @@ func New(backend posix.FS, opts Options) *FS {
 		backend: backend,
 		opts:    opts,
 		fds:     readcache.NewFDCache(backend, opts.MaxReadFDs),
-		handles: make(map[string]int),
+		handles: make(map[string]map[*File]struct{}),
+		seeded:  make(map[string]bool),
 	}
 	if !opts.DisableIndexCache {
 		p.cache = readcache.NewIndexCache(opts.MaxCachedIndexes)
@@ -141,16 +177,21 @@ func (p *FS) dropIndex(path string) {
 	}
 }
 
-func (p *FS) retainContainer(path string) {
+func (p *FS) retainContainer(path string, f *File) {
 	p.hmu.Lock()
-	p.handles[path]++
+	p.fileSeq++
+	f.seq = p.fileSeq
+	if p.handles[path] == nil {
+		p.handles[path] = make(map[*File]struct{})
+	}
+	p.handles[path][f] = struct{}{}
 	p.hmu.Unlock()
 }
 
-func (p *FS) releaseContainer(path string) {
+func (p *FS) releaseContainer(path string, f *File) {
 	p.hmu.Lock()
-	p.handles[path]--
-	drop := p.handles[path] <= 0
+	delete(p.handles[path], f)
+	drop := len(p.handles[path]) == 0
 	if drop {
 		delete(p.handles, path)
 	}
@@ -158,6 +199,20 @@ func (p *FS) releaseContainer(path string) {
 	if drop {
 		p.fds.DropPrefix(path + "/")
 	}
+}
+
+// openHandles snapshots the container's registered handles in lock
+// order (File.seq ascending) — the deterministic order every
+// cross-handle operation must acquire their locks in.
+func (p *FS) openHandles(path string) []*File {
+	p.hmu.Lock()
+	out := make([]*File, 0, len(p.handles[path]))
+	for f := range p.handles[path] {
+		out = append(out, f)
+	}
+	p.hmu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
 }
 
 // Backend returns the posix layer this instance stores containers on.
@@ -236,8 +291,125 @@ func (p *FS) hasOpenWriters(path string) bool {
 	return err == nil && len(entries) > 0
 }
 
-// writer is the per-pid append state of an open file.
+// OpenHostRecord describes one openhosts entry — the marker an active
+// writer drops at open and clears at close.
+type OpenHostRecord struct {
+	Pid uint32
+	// Stale marks a record whose pid has no data dropping: the writer's
+	// state is gone (a pre-fix Trunc(0) leak, or a crash between
+	// container truncation and close), so nothing can still be writing
+	// under it. Stale records pin Stat on the slow merged-index path and
+	// make CompactIndex refuse the container.
+	Stale bool
+}
+
+// OpenHosts lists the container's openhosts records and diagnoses stale
+// ones — the check behind `plfsctl doctor`.
+func (p *FS) OpenHosts(path string) ([]OpenHostRecord, error) {
+	if !p.IsContainer(path) {
+		return nil, posix.ENOENT
+	}
+	entries, err := p.backend.Readdir(path + "/" + openhostsDir)
+	if err != nil {
+		if errors.Is(err, posix.ENOENT) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []OpenHostRecord
+	for _, e := range entries {
+		var pid uint32
+		if e.IsDir {
+			continue
+		}
+		if _, err := fmt.Sscanf(e.Name, "host.%d", &pid); err != nil {
+			continue
+		}
+		rec := OpenHostRecord{Pid: pid}
+		if _, err := p.backend.Stat(dataDropping(p.hostdir(path, pid), pid)); errors.Is(err, posix.ENOENT) {
+			rec.Stale = true
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// ScrubOpenHosts removes the container's stale openhosts records (see
+// OpenHostRecord.Stale), returning how many were actually unlinked.
+// Live records are left alone; a record that cannot be removed is not
+// counted and the first failure is reported, so a repair tool never
+// claims success over a still-degraded container.
+func (p *FS) ScrubOpenHosts(path string) (int, error) {
+	recs, err := p.OpenHosts(path)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	var ferr error
+	for _, r := range recs {
+		if !r.Stale {
+			continue
+		}
+		name := fmt.Sprintf("%s/%s/host.%d", path, openhostsDir, r.Pid)
+		if err := p.backend.Unlink(name); err != nil {
+			if ferr == nil {
+				ferr = fmt.Errorf("plfs: scrub %s: %w", name, err)
+			}
+			continue
+		}
+		removed++
+	}
+	return removed, ferr
+}
+
+// bumpClock raises the logical clock to at least min, so entries written
+// after an index consolidation (truncate, compact) cannot lose a
+// timestamp race against the re-stamped consolidated records.
+func (p *FS) bumpClock(min uint64) {
+	for {
+		cur := p.clock.Load()
+		if cur >= min || p.clock.CompareAndSwap(cur, min) {
+			return
+		}
+	}
+}
+
+// seedClock raises this instance's logical clock past every timestamp
+// already recorded in path's index droppings — once per container per
+// instance, before the container's first writer is created. A fresh FS
+// starts its clock at zero, so without the seed, new writes (from any
+// pid, including one with no dropping of its own) would lose the
+// last-writer-wins merge against records from a previous run.
+func (p *FS) seedClock(path string) error {
+	p.smu.Lock()
+	done := p.seeded[path]
+	p.smu.Unlock()
+	if done {
+		return nil
+	}
+	entries, err := p.readAllEntries(path)
+	if err != nil {
+		return fmt.Errorf("plfs: seed clock for %s: %w", path, err)
+	}
+	for _, e := range entries {
+		p.bumpClock(e.Timestamp)
+	}
+	p.smu.Lock()
+	p.seeded[path] = true
+	p.smu.Unlock()
+	return nil
+}
+
+// writer is the per-pid append state of an open file. Each writer owns
+// its own lock: writes by distinct pids touch distinct droppings and
+// proceed fully in parallel (the point of PLFS's file partitioning),
+// synchronizing only on the handle's shared lock and the atomic clock.
+//
+// Lock order: File.mu (shared or exclusive) before writer.mu. Paths
+// holding File.mu exclusive (Trunc, Close, release) own every writer
+// outright and skip writer.mu.
 type writer struct {
+	mu      sync.Mutex
 	dataFD  int
 	idxW    *idx.Writer
 	physOff int64
@@ -246,23 +418,33 @@ type writer struct {
 
 // File is an open PLFS file handle — the analogue of Plfs_fd*. A single
 // File may serve several writer pids (as when LDPLFS funnels multiple
-// POSIX fds onto one container) and any number of readers. Reads take
-// the lock shared, so concurrent readers proceed in parallel; writes and
-// handle lifecycle take it exclusive.
+// POSIX fds onto one container) and any number of readers. Reads and
+// writes take the handle lock shared — concurrent readers proceed in
+// parallel, and writers for distinct pids do too, serializing only on
+// their own per-writer lock. Handle lifecycle and cross-writer
+// operations (Trunc, Close, release) take it exclusive.
 type File struct {
 	fs    *FS
 	path  string
 	flags int
+	seq   uint64 // registration order; cross-handle lock-acquisition order
 
 	// validated records whether this handle has revalidated the shared
 	// index cache against the backend (close-to-open consistency: the
 	// first read of a fresh handle checks the dropping signature).
 	validated atomic.Bool
 
-	mu      sync.RWMutex
-	writers map[uint32]*writer
-	index   *idx.Index // private index, used only with DisableIndexCache
-	refs    int
+	// wgen counts this handle's writes: the private index (below) is
+	// stale whenever its build generation trails wgen. A per-handle
+	// generation bump replaces the pre-engine global stale-out (index =
+	// nil under an exclusive lock) that every write used to pay.
+	wgen atomic.Uint64
+
+	mu       sync.RWMutex
+	writers  map[uint32]*writer
+	index    *idx.Index // private index, used only with DisableIndexCache
+	indexGen uint64     // wgen value the private index was built at
+	refs     int
 }
 
 // Open opens (and with O_CREAT, creates) the container at path, returning
@@ -291,12 +473,15 @@ func (p *FS) Open(path string, flags int, pid uint32, mode uint32) (*File, error
 		refs:    1,
 	}
 	if flags&posix.O_TRUNC != 0 && flags&posix.O_ACCMODE != posix.O_RDONLY {
-		if err := p.truncateContainer(path, 0); err != nil {
+		// Shared truncate: handles already open on this container must
+		// have their writers retired, not left appending to unlinked
+		// droppings. The new handle has no writers yet.
+		if err := p.truncateShared(path, 0); err != nil {
 			f.release()
 			return nil, err
 		}
 	}
-	p.retainContainer(path)
+	p.retainContainer(path, f)
 	return f, nil
 }
 
@@ -311,16 +496,25 @@ func (f *File) Ref() {
 // Path returns the container path this handle refers to.
 func (f *File) Path() string { return f.path }
 
-func (f *File) getWriter(pid uint32) (*writer, error) {
+// getWriterLocked returns (creating if needed) pid's writer. Caller
+// holds f.mu exclusive.
+func (f *File) getWriterLocked(pid uint32) (*writer, error) {
 	if w, ok := f.writers[pid]; ok {
 		return w, nil
+	}
+	if err := f.fs.seedClock(f.path); err != nil {
+		return nil, err
 	}
 	hostdir := f.fs.hostdir(f.path, pid)
 	if err := f.fs.backend.Mkdir(hostdir, 0o755); err != nil && !errors.Is(err, posix.EEXIST) {
 		return nil, fmt.Errorf("plfs: create hostdir: %w", err)
 	}
+	// The data dropping is opened without O_APPEND: the write engine
+	// tracks the append cursor (physOff) itself and lands payload with
+	// positional writes, so WriteV can reserve a physical range and fan
+	// its segment pwrites out concurrently.
 	dataPath := dataDropping(hostdir, pid)
-	fd, err := f.fs.backend.Open(dataPath, posix.O_CREAT|posix.O_WRONLY|posix.O_APPEND, 0o644)
+	fd, err := f.fs.backend.Open(dataPath, posix.O_CREAT|posix.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("plfs: open data dropping: %w", err)
 	}
@@ -329,7 +523,7 @@ func (f *File) getWriter(pid uint32) (*writer, error) {
 		f.fs.backend.Close(fd)
 		return nil, err
 	}
-	iw, err := openIndexWriter(f.fs.backend, indexDropping(hostdir, pid))
+	iw, err := openIndexWriter(f.fs, indexDropping(hostdir, pid))
 	if err != nil {
 		f.fs.backend.Close(fd)
 		return nil, err
@@ -342,16 +536,22 @@ func (f *File) getWriter(pid uint32) (*writer, error) {
 
 // openIndexWriter opens an index dropping for appending, creating it if
 // necessary; re-opening an existing dropping resumes after its records.
-func openIndexWriter(fs posix.FS, path string) (*idx.Writer, error) {
-	if _, err := fs.Stat(path); err == nil {
-		return idx.OpenWriter(fs, path)
+func openIndexWriter(p *FS, path string) (*idx.Writer, error) {
+	if _, err := p.backend.Stat(path); err == nil {
+		return idx.OpenWriter(p.backend, path)
 	}
-	return idx.NewWriter(fs, path)
+	return idx.NewWriter(p.backend, path)
 }
 
 // Write appends count bytes at logical offset off on behalf of pid —
 // plfs_write. The payload lands at the end of pid's data dropping and one
-// index record is buffered.
+// index record is buffered (group-flushed per Options.IndexBatch).
+// Writes for distinct pids proceed fully in parallel.
+//
+// Partial-write semantics: n is the number of payload bytes that reached
+// the data dropping. Those n bytes are always indexed — even when err is
+// non-nil — so the logical file reflects exactly the durable prefix and
+// the writer's physical cursor never desynchronizes from the dropping.
 func (f *File) Write(buf []byte, off int64, pid uint32) (int, error) {
 	if f.flags&posix.O_ACCMODE == posix.O_RDONLY {
 		return 0, posix.EBADF
@@ -362,37 +562,31 @@ func (f *File) Write(buf []byte, off int64, pid uint32) (int, error) {
 	if len(buf) == 0 {
 		return 0, nil
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	w, err := f.getWriter(pid)
+	w, unlock, err := f.lockWriter(pid)
 	if err != nil {
 		return 0, err
 	}
-	n, err := f.fs.backend.Write(w.dataFD, buf)
-	if err != nil {
-		return n, fmt.Errorf("plfs: write data dropping: %w", err)
+	defer unlock()
+	n, werr := w.writeData(f.fs.backend, buf)
+	if n > 0 {
+		// Record the durable extent even on error: the dropping grew by
+		// n bytes, so skipping the entry would leave physOff pointing n
+		// bytes before the next write's real payload.
+		f.recordExtentLocked(w, off, int64(n), pid)
 	}
-	ts := f.fs.clock.Add(1)
-	w.idxW.Append(idx.Entry{
-		LogicalOffset:  off,
-		Length:         int64(n),
-		PhysicalOffset: w.physOff,
-		Timestamp:      ts,
-		Pid:            pid,
-	})
-	w.physOff += int64(n)
-	if end := off + int64(n); end > w.maxEnd {
-		w.maxEnd = end
+	if werr != nil {
+		return n, fmt.Errorf("plfs: write data dropping: %w", werr)
 	}
-	f.index = nil // stale: our own writes must become visible to our reads
 	return n, nil
 }
 
 // loadIndexLocked builds (or returns) this handle's private index — the
 // pre-cache path, used only with Options.DisableIndexCache. Caller holds
-// f.mu exclusive.
+// f.mu exclusive, so no writer is mid-flight and their buffers can be
+// flushed without taking per-writer locks.
 func (f *File) loadIndexLocked() (*idx.Index, error) {
-	if f.index != nil {
+	gen := f.wgen.Load()
+	if f.index != nil && f.indexGen == gen {
 		return f.index, nil
 	}
 	// Flush our buffered index records so they are part of the merge.
@@ -405,7 +599,9 @@ func (f *File) loadIndexLocked() (*idx.Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	f.index = idx.Build(entries)
+	// gen was sampled before the flush: a write racing with the merge
+	// bumps wgen past it and the next read rebuilds.
+	f.index, f.indexGen = idx.Build(entries), gen
 	return f.index, nil
 }
 
@@ -418,25 +614,32 @@ func (f *File) readIndex() (*idx.Index, error) {
 	f.mu.RLock()
 	dirty := false
 	for _, w := range f.writers {
-		if w.idxW.Buffered() > 0 {
+		w.mu.Lock()
+		buffered := w.idxW.Buffered()
+		w.mu.Unlock()
+		if buffered > 0 {
 			dirty = true
 			break
 		}
 	}
-	f.mu.RUnlock()
 	if dirty {
-		f.mu.Lock()
+		// Writers stay concurrent during the flush — each is quiesced
+		// under its own lock, not the handle's.
 		var ferr error
 		for _, w := range f.writers {
+			w.mu.Lock()
 			if err := w.idxW.Sync(); err != nil && ferr == nil {
 				ferr = err
 			}
+			w.mu.Unlock()
 		}
-		f.mu.Unlock()
+		f.mu.RUnlock()
 		f.fs.invalidateIndex(f.path)
 		if ferr != nil {
 			return nil, ferr
 		}
+	} else {
+		f.mu.RUnlock()
 	}
 	index, _, err := f.fs.cache.Get(f.path, !f.validated.Load(),
 		func() (readcache.Signature, error) { return f.fs.indexSignature(f.path) },
@@ -506,20 +709,23 @@ func (f *File) Size() (int64, error) {
 	return index.Size(), nil
 }
 
-// Sync flushes pid's buffered index records and data — plfs_sync.
+// Sync flushes pid's buffered index records and data — plfs_sync. Syncs
+// for distinct pids proceed in parallel, like the writes they flush.
 func (f *File) Sync(pid uint32) error {
-	f.mu.Lock()
+	f.mu.RLock()
 	w, ok := f.writers[pid]
 	if !ok {
-		f.mu.Unlock()
+		f.mu.RUnlock()
 		return nil
 	}
+	w.mu.Lock()
 	serr := w.idxW.Sync()
 	var ferr error
 	if serr == nil {
 		ferr = f.fs.backend.Fsync(w.dataFD)
 	}
-	f.mu.Unlock()
+	w.mu.Unlock()
+	f.mu.RUnlock()
 	// Stale out the shared index even on error: the record flush may
 	// have reached the backend before the fsync failed, and the writer's
 	// buffer is empty either way, so readIndex's dirty check would never
@@ -531,34 +737,106 @@ func (f *File) Sync(pid uint32) error {
 	return ferr
 }
 
-// Trunc truncates the open file — plfs_trunc on an open handle.
+// Trunc truncates the open file — plfs_trunc on an open handle. The
+// truncate is container-level: every handle this instance holds on the
+// container is quiesced and has its writers retired or rebound, not
+// just the handle it was issued through.
 func (f *File) Trunc(size int64) error {
 	if f.flags&posix.O_ACCMODE == posix.O_RDONLY {
 		return posix.EBADF
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	// Flush writers so their records participate, then truncate on disk.
-	for _, w := range f.writers {
-		if err := w.idxW.Sync(); err != nil {
-			return err
+	return f.fs.truncateShared(f.path, size)
+}
+
+// truncateShared truncates a container while quiescing every open
+// handle this instance holds on it: all handle locks are acquired (in
+// registration order, so concurrent truncates cannot deadlock), every
+// writer's buffered records are flushed so they participate in the
+// consolidation, and afterwards each handle's writers are retired
+// (size 0) or rebound to fresh index droppings (size > 0) — a truncate
+// through one handle, a path-based Truncate, or an O_TRUNC open must
+// not leave another handle's writers appending to unlinked droppings.
+// Handles held by other FS instances over the same backend are out of
+// reach, exactly as other processes are for PLFS proper.
+func (p *FS) truncateShared(path string, size int64) error {
+	files := p.openHandles(path)
+	for _, f := range files {
+		f.mu.Lock()
+	}
+	defer func() {
+		for _, f := range files {
+			f.mu.Unlock()
+		}
+	}()
+	for _, f := range files {
+		for _, w := range f.writers {
+			if err := w.idxW.Sync(); err != nil {
+				return err
+			}
 		}
 	}
-	if err := f.fs.truncateContainer(f.path, size); err != nil {
+	if err := p.truncateContainer(path, size); err != nil {
 		return err
 	}
-	// Writers continue appending after the consolidated index; their
-	// physical cursors remain valid because data droppings are untouched
-	// only when size==0 removes them — reset in that case.
+	var rerr error
+	for _, f := range files {
+		if err := f.rebindWritersLocked(size); err != nil && rerr == nil {
+			rerr = err
+		}
+		f.index = nil
+		f.wgen.Add(1)
+	}
+	return rerr
+}
+
+// rebindWritersLocked repairs this handle's writers after the
+// container's droppings were replaced by a truncate. Caller holds f.mu
+// exclusive.
+func (f *File) rebindWritersLocked(size int64) error {
 	if size == 0 {
+		// The droppings are gone; retire every writer outright. Each
+		// pid's openhosts record goes with it — leaving it behind would
+		// make hasOpenWriters report true for the container's remaining
+		// lifetime, pinning Stat on the slow merged-index path and
+		// making CompactIndex refuse the container forever.
 		for pid, w := range f.writers {
 			f.fs.backend.Close(w.dataFD)
 			w.idxW.Close()
+			f.fs.clearOpen(f.path, pid)
 			delete(f.writers, pid)
 		}
+		return nil
 	}
-	f.index = nil
-	return nil
+	// truncateContainer replaced every index dropping with one
+	// consolidated dropping — including the droppings live writers
+	// still hold open. Rebind each surviving writer to a fresh index
+	// dropping, or its post-truncate records would keep landing in the
+	// unlinked file, invisible to every reader. Data droppings are
+	// untouched, so physical cursors remain valid. Every writer is
+	// visited even after a rebind failure: a writer that cannot be
+	// rebound is retired (its future writes would otherwise vanish),
+	// and the first error is reported.
+	var rerr error
+	for pid, w := range f.writers {
+		w.idxW.Close()
+		iw, err := openIndexWriter(f.fs, indexDropping(f.fs.hostdir(f.path, pid), pid))
+		if err != nil {
+			f.fs.backend.Close(w.dataFD)
+			f.fs.clearOpen(f.path, pid)
+			delete(f.writers, pid)
+			if rerr == nil {
+				rerr = fmt.Errorf("plfs: rebind index dropping after trunc: %w", err)
+			}
+			continue
+		}
+		w.idxW = iw
+		if w.maxEnd > size {
+			// Clamp the close-time size hint: this writer's extents
+			// beyond size were just clipped away.
+			w.maxEnd = size
+		}
+	}
+	return rerr
 }
 
 // Close drops pid's writer state and decrements the handle refcount —
@@ -578,7 +856,7 @@ func (f *File) Close(pid uint32) error {
 	}
 	f.mu.Unlock()
 	if last {
-		f.fs.releaseContainer(f.path)
+		f.fs.releaseContainer(f.path, f)
 	}
 	return nil
 }
@@ -771,12 +1049,14 @@ func (p *FS) Rename(oldpath, newpath string) error {
 	return p.backend.Rename(oldpath, newpath)
 }
 
-// Truncate truncates a closed container to size — plfs_trunc.
+// Truncate truncates a container by path — plfs_trunc. Handles this
+// instance holds open on the container are quiesced and repaired, as
+// through File.Trunc.
 func (p *FS) Truncate(path string, size int64) error {
 	if !p.IsContainer(path) {
 		return posix.ENOENT
 	}
-	return p.truncateContainer(path, size)
+	return p.truncateShared(path, size)
 }
 
 // truncateContainer implements truncation the way PLFS does: size zero
@@ -850,6 +1130,10 @@ func (p *FS) truncateContainer(path string, size int64) error {
 	if err := idx.WriteDropping(p.backend, hostdir+"/dropping.index.trunc", consolidated); err != nil {
 		return err
 	}
+	// Consolidation can mint more timestamps than writes ever happened
+	// (overlaps split entries into several extents); keep the clock ahead
+	// of them so post-truncate writes still win last-writer-wins.
+	p.bumpClock(uint64(len(consolidated)))
 	// A sparse tail (truncate upward) needs a zero-length sentinel so Size
 	// sees the extension. Represent it with a zero-filled entry of length
 	// zero is impossible; instead extend via meta hints.
@@ -915,6 +1199,7 @@ func (p *FS) CompactIndex(path string) error {
 	if err := idx.WriteDropping(p.backend, compacted, flat); err != nil {
 		return err
 	}
+	p.bumpClock(uint64(len(flat)))
 	droppings, err := p.listIndexDroppings(path)
 	if err != nil {
 		return err

@@ -1,0 +1,227 @@
+// The concurrent write engine: per-writer sharded locking, batched index
+// appends, and parallel multi-extent vectored writes.
+//
+// A PLFS write has none of the read path's cross-writer coupling — every
+// pid appends payload to its own data dropping and index records to its
+// own index dropping. The engine makes the client side match that shape:
+// Write/Sync hold the File lock *shared* and serialize only on the
+// owning writer's lock, so N pids funneled through one handle stream N
+// droppings fully in parallel; the logical clock is a lone atomic; and
+// index records group-flush per Options.IndexBatch instead of hitting
+// the backend per record. WriteV goes further: it reserves one physical
+// range in the dropping up front and fans the per-segment pwrites out
+// across Options.WriteWorkers (positional writes carry no file pointer —
+// posix.FS requires concurrent-pwrite safety).
+package plfs
+
+import (
+	"fmt"
+
+	idx "ldplfs/internal/plfs/index"
+	"ldplfs/internal/posix"
+)
+
+func (p *FS) writeWorkers() int {
+	if p.opts.WriteWorkers > 0 {
+		return p.opts.WriteWorkers
+	}
+	return defaultWorkers()
+}
+
+// indexBatchRecords returns the group-flush threshold in records, or 0
+// when auto-flushing is disabled (Options.IndexBatch < 0).
+func (p *FS) indexBatchRecords() int {
+	switch {
+	case p.opts.IndexBatch > 0:
+		return p.opts.IndexBatch
+	case p.opts.IndexBatch < 0:
+		return 0
+	}
+	return DefaultIndexBatch
+}
+
+// lockWriter returns pid's writer with the handle lock held shared and
+// the writer's own lock held, creating the writer on first use. unlock
+// releases both. With Options.DisableWriteSharding the handle lock is
+// taken exclusive instead — the pre-engine serialized baseline.
+func (f *File) lockWriter(pid uint32) (*writer, func(), error) {
+	if f.fs.opts.DisableWriteSharding {
+		f.mu.Lock()
+		w, err := f.getWriterLocked(pid)
+		if err != nil {
+			f.mu.Unlock()
+			return nil, nil, err
+		}
+		return w, f.mu.Unlock, nil
+	}
+	for {
+		f.mu.RLock()
+		if w, ok := f.writers[pid]; ok {
+			w.mu.Lock()
+			return w, func() { w.mu.Unlock(); f.mu.RUnlock() }, nil
+		}
+		f.mu.RUnlock()
+		// First write from this pid: create the writer under the
+		// exclusive lock, then loop back to the shared fast path (a
+		// concurrent Trunc/Close may retire it before we re-acquire).
+		f.mu.Lock()
+		_, err := f.getWriterLocked(pid)
+		f.mu.Unlock()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+}
+
+// pwriteAll lands buf at off with positional writes, returning how many
+// bytes reached the file — the durable prefix, even on error.
+func pwriteAll(backend posix.FS, fd int, buf []byte, off int64) (int, error) {
+	put := 0
+	for put < len(buf) {
+		n, err := backend.Pwrite(fd, buf[put:], off+int64(put))
+		if n > 0 {
+			put += n
+		}
+		if err != nil {
+			return put, err
+		}
+		if n <= 0 {
+			return put, fmt.Errorf("pwrite returned %d", n)
+		}
+	}
+	return put, nil
+}
+
+// writeData lands buf at the writer's physical cursor. Caller holds the
+// writer's lock; the cursor itself is advanced by the caller once the
+// durable extent is recorded.
+func (w *writer) writeData(backend posix.FS, buf []byte) (int, error) {
+	return pwriteAll(backend, w.dataFD, buf, w.physOff)
+}
+
+// appendEntryLocked buffers one index record for n bytes at logical
+// offset off whose payload landed at physOff, stamping the clock and
+// the writer's size hint. Caller holds the writer's lock (or the handle
+// lock exclusive).
+func (f *File) appendEntryLocked(w *writer, off, n, physOff int64, pid uint32) {
+	w.idxW.Append(idx.Entry{
+		LogicalOffset:  off,
+		Length:         n,
+		PhysicalOffset: physOff,
+		Timestamp:      f.fs.clock.Add(1),
+		Pid:            pid,
+	})
+	if end := off + n; end > w.maxEnd {
+		w.maxEnd = end
+	}
+}
+
+// recordExtentLocked buffers one index record for n bytes at logical
+// offset off, advances the writer's cursor, bumps the handle's write
+// generation, and group-flushes the index buffer at the batch
+// threshold. Caller holds the writer's lock (or the handle lock
+// exclusive).
+func (f *File) recordExtentLocked(w *writer, off, n int64, pid uint32) {
+	f.appendEntryLocked(w, off, n, w.physOff, pid)
+	w.physOff += n
+	f.wgen.Add(1)
+	f.maybeFlushIndexLocked(w)
+}
+
+// maybeFlushIndexLocked group-flushes the writer's buffered index
+// records once they reach the batch threshold. The flush is an append
+// without fsync; a failure leaves the unwritten records buffered for the
+// next flush or Sync, which will surface a persistent error. Flushed
+// records are on the backend, so the shared index generation is bumped —
+// readers of other handles see them, exactly as after a Sync.
+func (f *File) maybeFlushIndexLocked(w *writer) {
+	batch := f.fs.indexBatchRecords()
+	if batch <= 0 || w.idxW.BufferedRecords() < batch {
+		return
+	}
+	// Invalidate whenever bytes reached the backend, error or not: a
+	// short flush still made records visible to rebuilds.
+	if n, _ := w.idxW.Flush(); n > 0 {
+		f.fs.invalidateIndex(f.path)
+	}
+}
+
+// WriteSeg is one extent of a vectored write: Data lands at logical
+// offset Off.
+type WriteSeg struct {
+	Off  int64
+	Data []byte
+}
+
+// WriteV appends every segment's payload to pid's data dropping and
+// buffers one index record per segment — a vectored plfs_write for
+// strided access patterns (one MPI-IO flattened datatype = one WriteV).
+// The physical range for the whole vector is reserved up front, so the
+// per-segment pwrites land at precomputed dropping offsets concurrently
+// (Options.WriteWorkers) while the writer's lock is held once for the
+// whole vector rather than once per segment.
+//
+// Partial-failure semantics mirror Read's short-read contract: every
+// byte that reached the dropping is indexed — including a failing
+// segment's durable prefix and any segments past the failure — so the
+// logical file always reflects exactly the durable data. The returned
+// count is the length of the contiguous error-free prefix of the vector,
+// and the error describes the first failing segment.
+func (f *File) WriteV(segs []WriteSeg, pid uint32) (int64, error) {
+	if f.flags&posix.O_ACCMODE == posix.O_RDONLY {
+		return 0, posix.EBADF
+	}
+	var total int64
+	for _, s := range segs {
+		if s.Off < 0 {
+			return 0, posix.EINVAL
+		}
+		total += int64(len(s.Data))
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	w, unlock, err := f.lockWriter(pid)
+	if err != nil {
+		return 0, err
+	}
+	defer unlock()
+
+	// Reserve [base, base+total) in the dropping: each segment's
+	// physical home is fixed before any byte moves, which is what makes
+	// the fan-out safe. The cursor advances by the full reservation even
+	// on error — a failed segment leaves an unreferenced gap, never a
+	// desynchronized cursor.
+	base := w.physOff
+	offs := make([]int64, len(segs))
+	cursor := base
+	for i, s := range segs {
+		offs[i] = cursor
+		cursor += int64(len(s.Data))
+	}
+
+	ns := make([]int, len(segs))
+	errs := make([]error, len(segs))
+	runParallel(len(segs), f.fs.writeWorkers(), func(i int) {
+		ns[i], errs[i] = pwriteAll(f.fs.backend, w.dataFD, segs[i].Data, offs[i])
+	})
+
+	for i, s := range segs {
+		if ns[i] == 0 {
+			continue
+		}
+		f.appendEntryLocked(w, s.Off, int64(ns[i]), offs[i], pid)
+	}
+	w.physOff = base + total
+	f.wgen.Add(1)
+	f.maybeFlushIndexLocked(w)
+
+	var written int64
+	for i := range segs {
+		written += int64(ns[i])
+		if errs[i] != nil {
+			return written, fmt.Errorf("plfs: writev segment %d (logical %d): %w", i, segs[i].Off, errs[i])
+		}
+	}
+	return written, nil
+}

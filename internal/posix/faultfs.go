@@ -43,6 +43,10 @@ type FaultRule struct {
 	Times int
 	// Err is the injected error.
 	Err error
+	// Partial, on write rules, lets the first Partial bytes reach the
+	// inner FS before the error fires — the kernel's short-write-then-
+	// error shape (e.g. ENOSPC after a page). Zero fails the whole op.
+	Partial int
 
 	matched int
 	fired   int
@@ -87,6 +91,13 @@ func (f *FaultFS) Fired() int {
 
 // check returns the injected error for (op, path), if any rule fires.
 func (f *FaultFS) check(op FaultOp, path string) error {
+	err, _ := f.checkPartial(op, path)
+	return err
+}
+
+// checkPartial is check plus the firing rule's Partial byte budget, for
+// the write paths that can honor a short-write-then-error injection.
+func (f *FaultFS) checkPartial(op FaultOp, path string) (error, int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for _, r := range f.rules {
@@ -104,9 +115,9 @@ func (f *FaultFS) check(op FaultOp, path string) error {
 			continue
 		}
 		r.fired++
-		return r.Err
+		return r.Err, r.Partial
 	}
-	return nil
+	return nil, 0
 }
 
 // Open implements FS.
@@ -140,10 +151,28 @@ func (f *FaultFS) Read(fd int, p []byte) (int, error) {
 	return f.inner.Read(fd, p)
 }
 
-// Write implements FS.
+// injectPartial applies a firing write rule: the first partial bytes
+// (clamped to the request) land through write, and the injected error is
+// returned with the short count — the kernel's short-write-then-error
+// shape shared by Write and Pwrite.
+func injectPartial(p []byte, partial int, injected error, write func([]byte) (int, error)) (int, error) {
+	if partial > len(p) {
+		partial = len(p)
+	}
+	if partial > 0 {
+		n, _ := write(p[:partial])
+		return n, injected
+	}
+	return 0, injected
+}
+
+// Write implements FS. A firing rule with Partial > 0 lets that many
+// bytes (clamped to the request) through before surfacing the error.
 func (f *FaultFS) Write(fd int, p []byte) (int, error) {
-	if err := f.check(FaultWrite, f.pathOf(fd)); err != nil {
-		return 0, err
+	if err, partial := f.checkPartial(FaultWrite, f.pathOf(fd)); err != nil {
+		return injectPartial(p, partial, err, func(q []byte) (int, error) {
+			return f.inner.Write(fd, q)
+		})
 	}
 	return f.inner.Write(fd, p)
 }
@@ -156,10 +185,12 @@ func (f *FaultFS) Pread(fd int, p []byte, off int64) (int, error) {
 	return f.inner.Pread(fd, p, off)
 }
 
-// Pwrite implements FS.
+// Pwrite implements FS. Partial rules behave as in Write.
 func (f *FaultFS) Pwrite(fd int, p []byte, off int64) (int, error) {
-	if err := f.check(FaultWrite, f.pathOf(fd)); err != nil {
-		return 0, err
+	if err, partial := f.checkPartial(FaultWrite, f.pathOf(fd)); err != nil {
+		return injectPartial(p, partial, err, func(q []byte) (int, error) {
+			return f.inner.Pwrite(fd, q, off)
+		})
 	}
 	return f.inner.Pwrite(fd, p, off)
 }

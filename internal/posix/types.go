@@ -126,15 +126,21 @@ type DirEntry struct {
 // are small non-negative integers scoped to the FS instance. All methods
 // are safe for concurrent use.
 //
-// Concurrent-pread contract: Pread and Pwrite take explicit offsets and
-// MUST be safe to issue concurrently on the same descriptor — they carry
-// no file-pointer state, exactly like pread(2)/pwrite(2). The PLFS read
-// engine relies on this to scatter-gather one logical read across many
-// goroutines sharing cached descriptors. MemFS satisfies it by
-// serializing internally; OSFS delegates to the kernel's positional I/O,
-// which is concurrent by specification. Read/Write/Lseek, by contrast,
-// share the descriptor's file pointer: concurrent use on one fd races
-// benignly (some interleaving wins) but is not coordinated.
+// Concurrent positional-I/O contract: Pread and Pwrite take explicit
+// offsets and MUST be safe to issue concurrently on the same descriptor
+// — they carry no file-pointer state, exactly like pread(2)/pwrite(2).
+// The PLFS read engine relies on this to scatter-gather one logical read
+// across many goroutines sharing cached descriptors, and the write
+// engine relies on it to fan one vectored write's segments out across
+// disjoint, pre-reserved ranges of a data dropping (which is also why
+// droppings are written at explicit offsets rather than under O_APPEND —
+// pwrite(2) on an O_APPEND descriptor ignores its offset on Linux).
+// Pwrite past EOF MUST extend the file, zero-filling any gap. MemFS
+// satisfies all of this by serializing internally; OSFS delegates to the
+// kernel's positional I/O, which is concurrent by specification.
+// Read/Write/Lseek, by contrast, share the descriptor's file pointer:
+// concurrent use on one fd races benignly (some interleaving wins) but
+// is not coordinated.
 type FS interface {
 	// Open opens path, honouring O_CREAT, O_EXCL, O_TRUNC, O_APPEND and the
 	// access mode, and returns a new file descriptor.

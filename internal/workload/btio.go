@@ -17,6 +17,12 @@ import (
 type BTIOConfig struct {
 	Grid  int // points per dimension (162 for class C, 408 for class D)
 	Steps int // write timesteps (the paper's runs do 20 "write calls")
+	// EPIO selects the benchmark's "epio" subtype: instead of the
+	// collective strided N-1 write phase into one shared solution file,
+	// each rank appends its cells contiguously to a file of its own
+	// (N-N) with independent calls — the embarrassingly parallel bound
+	// the full subtype is compared against.
+	EPIO  bool
 	Hints mpiio.Hints
 }
 
@@ -87,6 +93,9 @@ func btSegments(rank, p, grid, step int, stepBase int64) ([]mpiio.Segment, []byt
 // RunBTIO executes the BT-IO write phase (and optional verified read-back)
 // collectively. All ranks must call it; the rank count must be square.
 func RunBTIO(r *mpi.Rank, drv mpiio.Driver, path string, cfg BTIOConfig, verify bool) (BTIOResult, error) {
+	if cfg.EPIO {
+		return runBTEpio(r, drv, path, cfg, verify)
+	}
 	p, err := btDecompose(r.Size(), cfg.Grid)
 	if err != nil {
 		return BTIOResult{}, err
@@ -137,4 +146,70 @@ func RunBTIO(r *mpi.Rank, drv mpiio.Driver, path string, cfg BTIOConfig, verify 
 		}
 	}
 	return res, fh.Close()
+}
+
+// runBTEpio is the N-N write phase: each rank streams its per-step cell
+// payload contiguously into its own file with independent writes. The
+// file layout is the rank's timestep payloads back to back — the epio
+// subtype trades the shared solution file for pure appends.
+func runBTEpio(r *mpi.Rank, drv mpiio.Driver, path string, cfg BTIOConfig, verify bool) (BTIOResult, error) {
+	p, err := btDecompose(r.Size(), cfg.Grid)
+	if err != nil {
+		return BTIOResult{}, err
+	}
+	res := BTIOResult{ProcGrid: p, CellWidth: cfg.Grid / p}
+
+	fh, err := mpiio.Open(r, drv, nnPath(path, r.Rank()), mpiio.ModeCreate|mpiio.ModeRdwr, cfg.Hints)
+	if err != nil {
+		return res, err
+	}
+	var stepLen int64
+	for step := 0; step < cfg.Steps; step++ {
+		_, payload := btSegments(r.Rank(), p, cfg.Grid, step, 0)
+		stepLen = int64(len(payload))
+		n, err := fh.WriteAt(payload, int64(step)*stepLen)
+		if err != nil {
+			fh.Close()
+			return res, fmt.Errorf("workload: BT epio step %d: %w", step, err)
+		}
+		res.BytesWritten += int64(n)
+	}
+	if err := fh.Sync(); err != nil {
+		fh.Close()
+		return res, err
+	}
+	if err := fh.Close(); err != nil {
+		return res, err
+	}
+
+	if verify {
+		// Each rank replays the neighbour's final-step payload and
+		// checks the neighbour's file byte for byte.
+		peer := (r.Rank() + 1) % r.Size()
+		lastStep := cfg.Steps - 1
+		_, want := btSegments(peer, p, cfg.Grid, lastStep, 0)
+		vfh, err := mpiio.Open(r, drv, nnPath(path, peer), mpiio.ModeRdonly, cfg.Hints)
+		if err != nil {
+			return res, err
+		}
+		got := make([]byte, len(want))
+		n, err := vfh.ReadAt(got, int64(lastStep)*int64(len(want)))
+		if err != nil {
+			vfh.Close()
+			return res, fmt.Errorf("workload: BT epio verify read: %w", err)
+		}
+		res.BytesRead += int64(n)
+		if n != len(want) {
+			vfh.Close()
+			return res, fmt.Errorf("workload: BT epio verify short read %d/%d", n, len(want))
+		}
+		for i := 0; i < len(want); i += 8 {
+			if binary.LittleEndian.Uint64(got[i:]) != binary.LittleEndian.Uint64(want[i:]) {
+				vfh.Close()
+				return res, fmt.Errorf("workload: BT epio verify mismatch at payload byte %d", i)
+			}
+		}
+		return res, vfh.Close()
+	}
+	return res, nil
 }

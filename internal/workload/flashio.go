@@ -20,7 +20,13 @@ type FlashIOConfig struct {
 	NXB     int // cells per block dimension (paper: 24)
 	NBlocks int // blocks per process (FLASH-IO default: 80)
 	NVars   int // unknowns per cell (FLASH: 24)
-	Hints   mpiio.Hints
+	// SplitFiles selects FLASH's split-checkpoint mode: instead of every
+	// rank writing its slab into three shared N-1 files, each rank
+	// writes a private triplet (<name>.<rank>) holding only its own
+	// blocks — the N-N write phase. Block ids stay global, so any rank
+	// can still verify any file.
+	SplitFiles bool
+	Hints      mpiio.Hints
 }
 
 // BytesPerProcess returns the approximate checkpoint payload one process
@@ -57,6 +63,9 @@ func RunFlashIO(r *mpi.Rank, drv mpiio.Driver, base string, cfg FlashIOConfig) (
 	}
 	res := FlashIOResult{Files: flashFileNames(base)}
 	totalBlocks := uint64(cfg.NBlocks * r.Size())
+	if cfg.SplitFiles {
+		totalBlocks = uint64(cfg.NBlocks) // each file holds one rank's blocks
+	}
 	cells := uint64(cfg.NXB * cfg.NXB * cfg.NXB)
 
 	for fileIdx, path := range res.Files {
@@ -74,7 +83,11 @@ func RunFlashIO(r *mpi.Rank, drv mpiio.Driver, base string, cfg FlashIOConfig) (
 		if err != nil {
 			return res, err
 		}
-		fh, err := mpiio.Open(r, drv, path, mpiio.ModeCreate|mpiio.ModeRdwr, cfg.Hints)
+		openPath := path
+		if cfg.SplitFiles {
+			openPath = nnPath(path, r.Rank())
+		}
+		fh, err := mpiio.Open(r, drv, openPath, mpiio.ModeCreate|mpiio.ModeRdwr, cfg.Hints)
 		if err != nil {
 			return res, err
 		}
@@ -82,7 +95,7 @@ func RunFlashIO(r *mpi.Rank, drv mpiio.Driver, base string, cfg FlashIOConfig) (
 		res.BytesWritten += n
 		if err != nil {
 			fh.Close()
-			return res, fmt.Errorf("workload: FLASH file %s: %w", path, err)
+			return res, fmt.Errorf("workload: FLASH file %s: %w", openPath, err)
 		}
 		if err := fh.Close(); err != nil {
 			return res, err
@@ -94,8 +107,9 @@ func RunFlashIO(r *mpi.Rank, drv mpiio.Driver, base string, cfg FlashIOConfig) (
 func writeFlashFile(r *mpi.Rank, fh *mpiio.File, layout *hdf5.File, cfg FlashIOConfig, fileIdx, nvars int) (int64, error) {
 	var written int64
 	// Rank 0 writes the HDF5 header (the serial metadata phase every
-	// FLASH checkpoint starts with).
-	if r.Rank() == 0 {
+	// FLASH checkpoint starts with); in split mode every rank owns a
+	// private file and writes its own header.
+	if r.Rank() == 0 || cfg.SplitFiles {
 		hdr := layout.Header()
 		n, err := fh.WriteAt(hdr, 0)
 		written += int64(n)
@@ -119,7 +133,14 @@ func writeFlashFile(r *mpi.Rank, fh *mpiio.File, layout *hdf5.File, cfg FlashIOC
 	}
 
 	cells := cfg.NXB * cfg.NXB * cfg.NXB
+	// firstBlock positions this rank's slab within the file; globalFirst
+	// keeps cell values globally unique. They coincide in the shared
+	// N-1 layout; split files start at slot zero.
 	firstBlock := r.Rank() * cfg.NBlocks
+	globalFirst := firstBlock
+	if cfg.SplitFiles {
+		firstBlock = 0
+	}
 
 	// Unknowns: one contiguous slab per process (blocks are distributed
 	// contiguously). FLASH-IO drives HDF5 with independent (not
@@ -130,7 +151,7 @@ func writeFlashFile(r *mpi.Rank, fh *mpiio.File, layout *hdf5.File, cfg FlashIOC
 	payload := make([]byte, int64(cfg.NBlocks)*blockBytes)
 	pos := 0
 	for b := 0; b < cfg.NBlocks; b++ {
-		gb := firstBlock + b
+		gb := globalFirst + b
 		for v := 0; v < nvars; v++ {
 			for c := 0; c < cells; c++ {
 				binary.LittleEndian.PutUint64(payload[pos:], math.Float64bits(flashValue(fileIdx, gb, v, c)))
@@ -150,7 +171,7 @@ func writeFlashFile(r *mpi.Rank, fh *mpiio.File, layout *hdf5.File, cfg FlashIOC
 	coordPayload := make([]byte, cfg.NBlocks*3*8)
 	for b := 0; b < cfg.NBlocks; b++ {
 		for d := 0; d < 3; d++ {
-			binary.LittleEndian.PutUint64(coordPayload[(b*3+d)*8:], math.Float64bits(float64(firstBlock+b)+float64(d)*0.1))
+			binary.LittleEndian.PutUint64(coordPayload[(b*3+d)*8:], math.Float64bits(float64(globalFirst+b)+float64(d)*0.1))
 		}
 	}
 	n, err = fh.WriteAt(coordPayload, coords.Offset+int64(firstBlock)*3*8)
@@ -161,7 +182,7 @@ func writeFlashFile(r *mpi.Rank, fh *mpiio.File, layout *hdf5.File, cfg FlashIOC
 
 	refinePayload := make([]byte, cfg.NBlocks*4)
 	for b := 0; b < cfg.NBlocks; b++ {
-		binary.LittleEndian.PutUint32(refinePayload[b*4:], uint32(1+(firstBlock+b)%5))
+		binary.LittleEndian.PutUint32(refinePayload[b*4:], uint32(1+(globalFirst+b)%5))
 	}
 	n, err = fh.WriteAt(refinePayload, refine.Offset+int64(firstBlock)*4)
 	written += int64(n)
@@ -176,14 +197,19 @@ func writeFlashFile(r *mpi.Rank, fh *mpiio.File, layout *hdf5.File, cfg FlashIOC
 	return written, nil
 }
 
-// VerifyFlashFile re-opens one FLASH output and checks every unknown this
-// rank's peer wrote. Collective.
+// VerifyFlashFile re-opens one FLASH output (the peer's private file in
+// split mode) and checks every unknown this rank's peer wrote. Collective.
 func VerifyFlashFile(r *mpi.Rank, drv mpiio.Driver, path string, cfg FlashIOConfig, fileIdx int) error {
 	nvars := cfg.NVars
 	if fileIdx > 0 {
 		nvars = (cfg.NVars + 3) / 4
 	}
-	fh, err := mpiio.Open(r, drv, path, mpiio.ModeRdonly, cfg.Hints)
+	peer := (r.Rank() + 1) % r.Size()
+	openPath := path
+	if cfg.SplitFiles {
+		openPath = nnPath(path, peer)
+	}
+	fh, err := mpiio.Open(r, drv, openPath, mpiio.ModeRdonly, cfg.Hints)
 	if err != nil {
 		return err
 	}
@@ -202,15 +228,25 @@ func VerifyFlashFile(r *mpi.Rank, drv mpiio.Driver, path string, cfg FlashIOConf
 		return err
 	}
 	if got := int(unknowns.Dims[1]); got != nvars {
-		return fmt.Errorf("workload: file %s has %d vars, want %d", path, got, nvars)
+		return fmt.Errorf("workload: file %s has %d vars, want %d", openPath, got, nvars)
 	}
 
 	cells := cfg.NXB * cfg.NXB * cfg.NXB
-	peer := (r.Rank() + 1) % r.Size()
 	firstBlock := peer * cfg.NBlocks
+	globalFirst := firstBlock
+	if cfg.SplitFiles {
+		firstBlock = 0
+	}
 	blockBytes := int64(nvars) * int64(cells) * 8
 	got := make([]byte, int64(cfg.NBlocks)*blockBytes)
-	n, err := fh.ReadAtAll(got, unknowns.Offset+int64(firstBlock)*blockBytes)
+	var n int
+	if cfg.SplitFiles {
+		// Independent read: collective buffering assumes one shared
+		// file, but every rank holds a different one here.
+		n, err = fh.ReadAt(got, unknowns.Offset+int64(firstBlock)*blockBytes)
+	} else {
+		n, err = fh.ReadAtAll(got, unknowns.Offset+int64(firstBlock)*blockBytes)
+	}
 	if err != nil {
 		return err
 	}
@@ -219,7 +255,7 @@ func VerifyFlashFile(r *mpi.Rank, drv mpiio.Driver, path string, cfg FlashIOConf
 	}
 	pos := 0
 	for b := 0; b < cfg.NBlocks; b++ {
-		gb := firstBlock + b
+		gb := globalFirst + b
 		for v := 0; v < nvars; v++ {
 			for c := 0; c < cells; c++ {
 				want := math.Float64bits(flashValue(fileIdx, gb, v, c))

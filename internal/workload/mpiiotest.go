@@ -14,13 +14,19 @@ import (
 )
 
 // MPIIOTestConfig configures the LANL MPI-IO Test kernel: every process
-// writes BytesPerProc in BlockSize collective blocking calls to one
-// shared file (N-to-1, strided).
+// writes BytesPerProc in BlockSize blocking calls, either strided into
+// one shared file (N-to-1, collective — the default) or contiguously
+// into a file of its own (N-to-N, independent — the real benchmark's
+// "-type 1" mode).
 type MPIIOTestConfig struct {
 	BytesPerProc int64
 	BlockSize    int64
+	// FilePerProc switches the write phase from strided N-1 to N-N:
+	// each rank writes path.<rank> contiguously with independent calls.
+	FilePerProc bool
 	// Verify reads the file back (each rank checks its neighbour's
-	// blocks) and fails on any corruption.
+	// blocks — or, with FilePerProc, its neighbour's file) and fails on
+	// any corruption.
 	Verify bool
 	Hints  mpiio.Hints
 }
@@ -40,6 +46,9 @@ func pattern(buf []byte, rank, step int) {
 	}
 }
 
+// nnPath names rank's file in an N-N phase.
+func nnPath(path string, rank int) string { return fmt.Sprintf("%s.%d", path, rank) }
+
 // RunMPIIOTest executes the kernel collectively. All ranks must call it.
 func RunMPIIOTest(r *mpi.Rank, drv mpiio.Driver, path string, cfg MPIIOTestConfig) (MPIIOTestResult, error) {
 	if cfg.BlockSize <= 0 || cfg.BytesPerProc < cfg.BlockSize {
@@ -48,7 +57,11 @@ func RunMPIIOTest(r *mpi.Rank, drv mpiio.Driver, path string, cfg MPIIOTestConfi
 	steps := int(cfg.BytesPerProc / cfg.BlockSize)
 	ranks := r.Size()
 
-	fh, err := mpiio.Open(r, drv, path, mpiio.ModeCreate|mpiio.ModeRdwr, cfg.Hints)
+	openPath := path
+	if cfg.FilePerProc {
+		openPath = nnPath(path, r.Rank())
+	}
+	fh, err := mpiio.Open(r, drv, openPath, mpiio.ModeCreate|mpiio.ModeRdwr, cfg.Hints)
 	if err != nil {
 		return MPIIOTestResult{}, err
 	}
@@ -56,8 +69,16 @@ func RunMPIIOTest(r *mpi.Rank, drv mpiio.Driver, path string, cfg MPIIOTestConfi
 	buf := make([]byte, cfg.BlockSize)
 	for step := 0; step < steps; step++ {
 		pattern(buf, r.Rank(), step)
-		off := (int64(step)*int64(ranks) + int64(r.Rank())) * cfg.BlockSize
-		n, err := fh.WriteAtAll(buf, off)
+		var n int
+		var err error
+		if cfg.FilePerProc {
+			// N-N: contiguous independent writes into this rank's file.
+			n, err = fh.WriteAt(buf, int64(step)*cfg.BlockSize)
+		} else {
+			// Strided N-1: collective writes interleaved across ranks.
+			off := (int64(step)*int64(ranks) + int64(r.Rank())) * cfg.BlockSize
+			n, err = fh.WriteAtAll(buf, off)
+		}
 		if err != nil {
 			fh.Close()
 			return res, fmt.Errorf("workload: step %d write: %w", step, err)
@@ -71,29 +92,47 @@ func RunMPIIOTest(r *mpi.Rank, drv mpiio.Driver, path string, cfg MPIIOTestConfi
 
 	if cfg.Verify {
 		peer := (r.Rank() + 1) % ranks
+		vfh := fh
+		if cfg.FilePerProc {
+			// N-N: the neighbour's blocks live in the neighbour's file.
+			if err := fh.Close(); err != nil {
+				return res, err
+			}
+			vfh, err = mpiio.Open(r, drv, nnPath(path, peer), mpiio.ModeRdonly, cfg.Hints)
+			if err != nil {
+				return res, err
+			}
+		}
 		want := make([]byte, cfg.BlockSize)
 		got := make([]byte, cfg.BlockSize)
 		for step := 0; step < steps; step++ {
 			pattern(want, peer, step)
-			off := (int64(step)*int64(ranks) + int64(peer)) * cfg.BlockSize
-			n, err := fh.ReadAtAll(got, off)
+			var n int
+			var err error
+			if cfg.FilePerProc {
+				n, err = vfh.ReadAt(got, int64(step)*cfg.BlockSize)
+			} else {
+				off := (int64(step)*int64(ranks) + int64(peer)) * cfg.BlockSize
+				n, err = vfh.ReadAtAll(got, off)
+			}
 			if err != nil {
-				fh.Close()
+				vfh.Close()
 				return res, fmt.Errorf("workload: step %d read: %w", step, err)
 			}
 			res.BytesRead += int64(n)
 			if n != int(cfg.BlockSize) {
-				fh.Close()
+				vfh.Close()
 				return res, fmt.Errorf("workload: short read at step %d: %d", step, n)
 			}
 			for i := range got {
 				if got[i] != want[i] {
-					fh.Close()
+					vfh.Close()
 					return res, fmt.Errorf("workload: corruption at step %d byte %d (rank %d reading rank %d)",
 						step, i, r.Rank(), peer)
 				}
 			}
 		}
+		return res, vfh.Close()
 	}
 	return res, fh.Close()
 }

@@ -231,3 +231,92 @@ func TestFlashIOContainersAppearInBackend(t *testing.T) {
 		}
 	}
 }
+
+func TestMPIIOTestFilePerProcAllMethods(t *testing.T) {
+	// The N-N write phase: every rank streams its own file with
+	// independent calls, then verifies its neighbour's file.
+	for _, method := range allMethods {
+		method := method
+		t.Run(method, func(t *testing.T) {
+			mem := newFS(t)
+			cfg := MPIIOTestConfig{
+				BytesPerProc: 128 << 10,
+				BlockSize:    16 << 10,
+				FilePerProc:  true,
+				Verify:       true,
+				Hints:        mpiio.DefaultHints(),
+			}
+			err := mpi.Run(4, 2, func(r *mpi.Rank) {
+				drv, path := driverFor(t, method, mem, r.Rank())
+				res, err := RunMPIIOTest(r, drv, path, cfg)
+				if err != nil {
+					panic(err)
+				}
+				if res.BytesWritten != cfg.BytesPerProc {
+					panic("short write")
+				}
+				if res.BytesRead != cfg.BytesPerProc {
+					panic("short verify read")
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBTIOEpioAllMethods(t *testing.T) {
+	// The epio subtype: N-N contiguous appends, verified cross-rank.
+	for _, method := range allMethods {
+		method := method
+		t.Run(method, func(t *testing.T) {
+			mem := newFS(t)
+			cfg := BTIOConfig{Grid: 12, Steps: 3, EPIO: true, Hints: mpiio.DefaultHints()}
+			err := mpi.Run(4, 2, func(r *mpi.Rank) {
+				drv, path := driverFor(t, method, mem, r.Rank())
+				res, err := RunBTIO(r, drv, path, cfg, true)
+				if err != nil {
+					panic(err)
+				}
+				wantPerStep := int64(12*12*12*5*8) / 4
+				if res.BytesWritten != wantPerStep*int64(cfg.Steps) {
+					panic("BT epio wrote wrong volume")
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestFlashIOSplitFiles(t *testing.T) {
+	// Split checkpoints: each rank writes a private triplet, and each
+	// file verifies independently against global block ids.
+	mem := newFS(t)
+	cfg := FlashIOConfig{NXB: 4, NBlocks: 3, NVars: 8, SplitFiles: true, Hints: mpiio.DefaultHints()}
+	err := mpi.Run(4, 2, func(r *mpi.Rank) {
+		drv, base := driverFor(t, "ldplfs", mem, r.Rank())
+		res, err := RunFlashIO(r, drv, base, cfg)
+		if err != nil {
+			panic(err)
+		}
+		for i, f := range res.Files {
+			if err := VerifyFlashFile(r, drv, f, cfg, i); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each rank's checkpoint is its own PLFS container in the backend.
+	p := plfs.New(mem, plfs.Options{NumHostdirs: 4})
+	for rank := 0; rank < 4; rank++ {
+		name := nnPath("/backend/out_hdf5_chk_0001", rank)
+		if !p.IsContainer(name) {
+			t.Fatalf("%s is not a PLFS container", name)
+		}
+	}
+}
