@@ -25,12 +25,13 @@ func main() {
 	steps := flag.Int("steps", 5, "write timesteps")
 	method := flag.String("method", "ldplfs", "access method: mpiio|fuse|romio|ldplfs")
 	epio := flag.Bool("epio", false, "epio subtype: N-N write phase, one file per rank (default: collective N-1)")
+	backends := flag.Int("backends", 1, "stripe the store over this many backends (hostdirs spread across them; 1 = single backend)")
 	indexBatch := flag.Int("index-batch", 0, "PLFS index group-flush threshold in records (0 = default, <0 = flush only on sync)")
 	writeWorkers := flag.Int("write-workers", 0, "PLFS parallel pwrites per vectored write (0 = default)")
 	verify := flag.Bool("verify", true, "read back and verify the final step")
 	flag.Parse()
 
-	store := harness.NewStore()
+	store := harness.NewStoreN(*backends)
 	cfg := workload.BTIOConfig{Grid: *grid, Steps: *steps, EPIO: *epio, Hints: mpiio.DefaultHints()}
 	popts := plfs.DefaultOptions()
 	popts.IndexBatch = *indexBatch

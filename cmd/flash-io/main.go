@@ -26,12 +26,13 @@ func main() {
 	nvars := flag.Int("nvars", 8, "unknowns per cell (FLASH: 24)")
 	method := flag.String("method", "ldplfs", "access method: mpiio|fuse|romio|ldplfs")
 	split := flag.Bool("split", false, "split checkpoints: N-N write phase, one file triplet per rank (default: shared N-1)")
+	backends := flag.Int("backends", 1, "stripe the store over this many backends (hostdirs spread across them; 1 = single backend)")
 	indexBatch := flag.Int("index-batch", 0, "PLFS index group-flush threshold in records (0 = default, <0 = flush only on sync)")
 	writeWorkers := flag.Int("write-workers", 0, "PLFS parallel pwrites per vectored write (0 = default)")
 	verify := flag.Bool("verify", true, "read back and verify all files")
 	flag.Parse()
 
-	store := harness.NewStore()
+	store := harness.NewStoreN(*backends)
 	cfg := workload.FlashIOConfig{NXB: *nxb, NBlocks: *nblocks, NVars: *nvars, SplitFiles: *split, Hints: mpiio.DefaultHints()}
 	fmt.Printf("flash-io: ~%.1f MB per process\n", float64(cfg.BytesPerProcess())/1e6)
 	popts := plfs.DefaultOptions()

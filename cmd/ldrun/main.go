@@ -24,7 +24,8 @@ import (
 )
 
 func main() {
-	root := flag.String("root", ".", "host directory backing the tree")
+	root := flag.String("root", ".", "host directory backing the tree (canonical backend)")
+	backends := flag.String("backends", "", "comma-separated extra host directories to stripe container droppings across (shadow backends)")
 	preload := flag.Bool("preload", false, "preload LDPLFS into the symbol table")
 	mnt := flag.String("mnt", "/mnt/plfs=/backend", "mount spec (point=backend[,point=backend])")
 	pid := flag.Uint("pid", uint(os.Getpid()), "writer id passed to PLFS")
@@ -43,7 +44,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("ldrun: root %s: %v", *root, err)
 	}
-	d := posix.NewDispatch(osfs)
+	fs, err := posix.NewStripedRoots(osfs, *backends)
+	if err != nil {
+		log.Fatalf("ldrun: %v", err)
+	}
+	d := posix.NewDispatch(fs)
 
 	if *preload {
 		mounts, err := core.ParseMounts(*mnt)

@@ -25,12 +25,13 @@ func main() {
 	size := flag.Int64("size", 8<<20, "bytes per process")
 	block := flag.Int64("block", 1<<20, "block size per collective call")
 	nn := flag.Bool("nn", false, "N-N write phase: each rank writes its own file (default: strided N-1)")
+	backends := flag.Int("backends", 1, "stripe the store over this many backends (hostdirs spread across them; 1 = single backend)")
 	indexBatch := flag.Int("index-batch", 0, "PLFS index group-flush threshold in records (0 = default, <0 = flush only on sync)")
 	writeWorkers := flag.Int("write-workers", 0, "PLFS parallel pwrites per vectored write (0 = default)")
 	verify := flag.Bool("verify", true, "read back and verify")
 	flag.Parse()
 
-	store := harness.NewStore()
+	store := harness.NewStoreN(*backends)
 	cfg := workload.MPIIOTestConfig{
 		BytesPerProc: *size,
 		BlockSize:    *block,

@@ -1,21 +1,24 @@
 // Command plfsctl inspects and manipulates PLFS containers on a real
 // directory tree (the backend, as plfs_map/plfs_flatten_index do for real
-// PLFS).
+// PLFS). With -backends the container's droppings are resolved across a
+// striped set of host directories (canonical root first, shadows after),
+// which must match the backend list the container was written with.
 //
 //	plfsctl -root /tmp/store info /backend/data        # container summary
 //	plfsctl -root /tmp/store index /backend/data       # dump merged index
 //	plfsctl -root /tmp/store flatten /backend/data /backend/data.flat
 //	plfsctl -root /tmp/store compact /backend/data  # merge index droppings
 //	plfsctl -root /tmp/store doctor /backend/data   # flag stale openhosts
-//	plfsctl -root /tmp/store -fix doctor /backend/data
+//	plfsctl -root /tmp/store -backends /tmp/b1,/tmp/b2 -fix doctor /backend/data
 //	plfsctl -root /tmp/store rm /backend/data
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
+	"strings"
 
 	"ldplfs/internal/plfs"
 	idx "ldplfs/internal/plfs/index"
@@ -23,114 +26,144 @@ import (
 )
 
 func main() {
-	root := flag.String("root", ".", "host directory backing the tree")
-	hostdirs := flag.Int("hostdirs", 32, "hostdir buckets (must match the writer's setting)")
-	fix := flag.Bool("fix", false, "doctor: remove the stale openhosts records it finds")
-	flag.Parse()
-	args := flag.Args()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes one plfsctl invocation and returns its exit code — split
+// from main so the end-to-end tests can drive the tool in-process.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("plfsctl", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	root := fl.String("root", ".", "host directory backing the tree (canonical backend)")
+	backends := fl.String("backends", "", "comma-separated extra host directories the container's droppings are striped across")
+	hostdirs := fl.Int("hostdirs", 32, "hostdir buckets (must match the writer's setting)")
+	fix := fl.Bool("fix", false, "doctor: remove the stale openhosts records it finds")
+	if err := fl.Parse(argv); err != nil {
+		return 2
+	}
+	args := fl.Args()
 	if len(args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: plfsctl [flags] {info|index|flatten|compact|doctor|rm} CONTAINER [DST]")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: plfsctl [flags] {info|index|flatten|compact|doctor|rm} CONTAINER [DST]")
+		return 2
+	}
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "plfsctl: "+format+"\n", a...)
+		return 1
 	}
 
 	osfs, err := posix.NewOSFS(*root)
 	if err != nil {
-		log.Fatalf("plfsctl: root %s: %v", *root, err)
+		return fail("root %s: %v", *root, err)
 	}
-	p := plfs.New(osfs, plfs.Options{NumHostdirs: *hostdirs})
+	fs, err := posix.NewStripedRoots(osfs, *backends)
+	if err != nil {
+		return fail("%v", err)
+	}
+	p := plfs.New(fs, plfs.Options{NumHostdirs: *hostdirs})
 	path := args[1]
 
 	switch args[0] {
 	case "info":
 		if !p.IsContainer(path) {
-			log.Fatalf("plfsctl: %s is not a PLFS container", path)
+			return fail("%s is not a PLFS container", path)
 		}
 		st, err := p.Stat(path)
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
-		fmt.Printf("container:    %s\n", path)
-		fmt.Printf("logical size: %d bytes\n", st.Size)
-		entries, droppings, err := loadIndex(p, osfs, path)
+		fmt.Fprintf(stdout, "container:    %s\n", path)
+		fmt.Fprintf(stdout, "logical size: %d bytes\n", st.Size)
+		entries, droppings, err := loadIndex(fs, path)
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		global := idx.Build(entries)
-		fmt.Printf("droppings:    %d index, %d entries, %d resolved extents\n",
+		fmt.Fprintf(stdout, "droppings:    %d index, %d entries, %d resolved extents\n",
 			droppings, len(entries), global.NumExtents())
+		if spread, err := p.ContainerSpread(path); err == nil && len(spread) > 1 {
+			fmt.Fprintf(stdout, "backends:     %d (droppings per backend: %v)\n", len(spread), spread)
+		}
 	case "index":
-		entries, _, err := loadIndex(p, osfs, path)
+		entries, _, err := loadIndex(fs, path)
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		global := idx.Build(entries)
-		fmt.Printf("%-12s %-10s %-12s %-6s\n", "logical", "length", "physical", "pid")
+		fmt.Fprintf(stdout, "%-12s %-10s %-12s %-6s\n", "logical", "length", "physical", "pid")
 		for _, x := range global.Extents() {
-			fmt.Printf("%-12d %-10d %-12d %-6d\n", x.LogicalOffset, x.Length, x.PhysicalOffset, x.Pid)
+			fmt.Fprintf(stdout, "%-12d %-10d %-12d %-6d\n", x.LogicalOffset, x.Length, x.PhysicalOffset, x.Pid)
 		}
 	case "flatten":
 		if len(args) != 3 {
-			log.Fatal("plfsctl: flatten CONTAINER DST")
+			return fail("flatten CONTAINER DST")
 		}
 		if err := p.Flatten(path, args[2]); err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
-		st, _ := osfs.Stat(args[2])
-		fmt.Printf("flattened %s -> %s (%d bytes)\n", path, args[2], st.Size)
+		st, _ := fs.Stat(args[2])
+		fmt.Fprintf(stdout, "flattened %s -> %s (%d bytes)\n", path, args[2], st.Size)
 	case "compact":
 		before, err := p.IndexDroppings(path)
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		if err := p.CompactIndex(path); err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		after, _ := p.IndexDroppings(path)
-		fmt.Printf("compacted %s: %d -> %d index droppings\n", path, before, after)
+		fmt.Fprintf(stdout, "compacted %s: %d -> %d index droppings\n", path, before, after)
 	case "doctor":
 		// Stale openhosts records are the symptom of a writer that never
 		// cleanly closed (a crash, or the historical Trunc(0) leak):
 		// they pin Stat on the slow merged-index path and make compact
-		// refuse the container, so operators want them surfaced.
+		// refuse the container, so operators want them surfaced. The
+		// liveness check consults whichever backend owns each writer's
+		// dropping, so records for writers on shadow backends are
+		// diagnosed correctly.
 		recs, err := p.OpenHosts(path)
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		live, stale := 0, 0
 		for _, r := range recs {
 			if r.Stale {
 				stale++
-				fmt.Printf("stale openhosts record: pid %d (no data dropping — writer state lost)\n", r.Pid)
+				fmt.Fprintf(stdout, "stale openhosts record: pid %d (no data dropping — writer state lost)\n", r.Pid)
 			} else {
 				live++
 			}
 		}
-		fmt.Printf("doctor %s: %d openhosts records (%d live, %d stale)\n", path, len(recs), live, stale)
+		fmt.Fprintf(stdout, "doctor %s: %d openhosts records (%d live, %d stale)\n", path, len(recs), live, stale)
+		if spread, err := p.ContainerSpread(path); err == nil && len(spread) > 1 {
+			fmt.Fprintf(stdout, "backends: %d (droppings per backend: %v)\n", len(spread), spread)
+		}
 		if stale > 0 {
 			if *fix {
 				removed, err := p.ScrubOpenHosts(path)
 				if err != nil {
-					log.Fatal(err)
+					return fail("%v", err)
 				}
-				fmt.Printf("removed %d stale records; stat fast path and compact restored\n", removed)
+				fmt.Fprintf(stdout, "removed %d stale records; stat fast path and compact restored\n", removed)
 			} else {
-				fmt.Println("container degraded: stat takes the slow merged-index path and compact is refused")
-				fmt.Println("re-run with -fix to clear the stale records")
-				os.Exit(1)
+				fmt.Fprintln(stdout, "container degraded: stat takes the slow merged-index path and compact is refused")
+				fmt.Fprintln(stdout, "re-run with -fix to clear the stale records")
+				return 1
 			}
 		}
 	case "rm":
 		if err := p.Unlink(path); err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
-		fmt.Printf("removed %s\n", path)
+		fmt.Fprintf(stdout, "removed %s\n", path)
 	default:
-		log.Fatalf("plfsctl: unknown command %q", args[0])
+		return fail("unknown command %q", args[0])
 	}
+	return 0
 }
 
-// loadIndex reads every index dropping in the container.
-func loadIndex(p *plfs.FS, fs posix.FS, path string) ([]idx.Entry, int, error) {
+// loadIndex reads every index dropping in the container; through a
+// striped fs the container listing merges hostdirs from all backends.
+func loadIndex(fs posix.FS, path string) ([]idx.Entry, int, error) {
 	var entries []idx.Entry
 	droppings := 0
 	dirs, err := fs.Readdir(path)
@@ -138,7 +171,7 @@ func loadIndex(p *plfs.FS, fs posix.FS, path string) ([]idx.Entry, int, error) {
 		return nil, 0, err
 	}
 	for _, d := range dirs {
-		if !d.IsDir || len(d.Name) < 8 || d.Name[:8] != "hostdir." {
+		if !d.IsDir || !strings.HasPrefix(d.Name, "hostdir.") {
 			continue
 		}
 		hostdir := path + "/" + d.Name
@@ -147,7 +180,7 @@ func loadIndex(p *plfs.FS, fs posix.FS, path string) ([]idx.Entry, int, error) {
 			return nil, 0, err
 		}
 		for _, fe := range files {
-			if len(fe.Name) >= 15 && fe.Name[:15] == "dropping.index." {
+			if strings.HasPrefix(fe.Name, "dropping.index.") {
 				es, err := idx.ReadDropping(fs, hostdir+"/"+fe.Name)
 				if err != nil {
 					return nil, 0, err

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ldplfs/internal/plfs"
+	"ldplfs/internal/posix"
+)
+
+// exec drives one in-process plfsctl invocation.
+func exec(t *testing.T, argv ...string) (int, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(argv, &out, &errb)
+	return code, out.String() + errb.String()
+}
+
+// TestDoctorAcrossBackends is the end-to-end multi-backend doctor
+// scenario: a container whose droppings span three host directories, one
+// openhosts record whose writer lives on a shadow backend (live — the
+// liveness probe must consult that backend, not just the canonical
+// root), and one whose writer state is gone (stale — doctor flags it and
+// -fix scrubs it).
+func TestDoctorAcrossBackends(t *testing.T) {
+	roots := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+	backendFlags := []string{
+		"-root", roots[0],
+		"-backends", roots[1] + "," + roots[2],
+		"-hostdirs", "6",
+	}
+
+	// Write a container through the same striped backend list the tool
+	// will be pointed at.
+	var stores []posix.FS
+	for _, r := range roots {
+		osfs, err := posix.NewOSFS(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores = append(stores, osfs)
+	}
+	p := plfs.New(nil, plfs.Options{NumHostdirs: 6, Backends: stores})
+	f, err := p.Open("/data", posix.O_CREAT|posix.O_RDWR, 0, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pid 0 -> hostdir.0 -> canonical; pid 1 -> hostdir.1 -> shadow 1;
+	// pid 2 -> hostdir.2 -> shadow 2.
+	for pid := uint32(0); pid < 3; pid++ {
+		if _, err := f.Write(bytes.Repeat([]byte{byte(pid + 1)}, 256), int64(pid)*256, pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pid := uint32(0); pid < 3; pid++ {
+		if err := f.Close(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Forge crash leftovers in the canonical openhosts dir: pid 1's
+	// dropping survives on shadow backend 1 (live record), pid 4 has no
+	// dropping anywhere (stale record).
+	for _, name := range []string{"host.1", "host.4"} {
+		if err := os.WriteFile(filepath.Join(roots[0], "data", "openhosts", name), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// info reports the striped layout.
+	code, out := exec(t, append(backendFlags, "info", "/data")...)
+	if code != 0 {
+		t.Fatalf("info exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "logical size: 768 bytes") {
+		t.Fatalf("info missing size:\n%s", out)
+	}
+	if !strings.Contains(out, "backends:     3") {
+		t.Fatalf("info missing backend spread:\n%s", out)
+	}
+
+	// doctor flags exactly the stale record and exits nonzero.
+	code, out = exec(t, append(backendFlags, "doctor", "/data")...)
+	if code != 1 {
+		t.Fatalf("doctor exit %d (want 1):\n%s", code, out)
+	}
+	if !strings.Contains(out, "stale openhosts record: pid 4") {
+		t.Fatalf("doctor did not flag pid 4:\n%s", out)
+	}
+	if strings.Contains(out, "stale openhosts record: pid 1") {
+		t.Fatalf("doctor flagged live shadow-backend writer pid 1:\n%s", out)
+	}
+	if !strings.Contains(out, "(1 live, 1 stale)") {
+		t.Fatalf("doctor counts wrong:\n%s", out)
+	}
+
+	// Pointed at the canonical root alone, the tool cannot see shadow
+	// droppings — the live pid-1 record would be misdiagnosed. The
+	// backend list is part of the container's identity.
+	code, out = exec(t, "-root", roots[0], "-hostdirs", "6", "doctor", "/data")
+	if code != 1 || !strings.Contains(out, "stale openhosts record: pid 1") {
+		t.Fatalf("single-root doctor should misdiagnose pid 1 (exit %d):\n%s", code, out)
+	}
+
+	// -fix scrubs the stale record and only it.
+	code, out = exec(t, append(backendFlags, "-fix", "doctor", "/data")...)
+	if code != 0 {
+		t.Fatalf("doctor -fix exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "removed 1 stale records") {
+		t.Fatalf("doctor -fix did not scrub:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(roots[0], "data", "openhosts", "host.1")); err != nil {
+		t.Fatalf("live record scrubbed: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(roots[0], "data", "openhosts", "host.4")); !os.IsNotExist(err) {
+		t.Fatalf("stale record survived: %v", err)
+	}
+
+	// A clean container passes doctor with exit 0.
+	code, out = exec(t, append(backendFlags, "doctor", "/data")...)
+	if code != 0 || !strings.Contains(out, "(1 live, 0 stale)") {
+		t.Fatalf("post-fix doctor exit %d:\n%s", code, out)
+	}
+}
+
+// TestCtlCommandsAcrossBackends covers the remaining subcommands over a
+// striped container: index dump, compact, flatten, rm.
+func TestCtlCommandsAcrossBackends(t *testing.T) {
+	roots := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+	backendFlags := []string{
+		"-root", roots[0],
+		"-backends", roots[1] + "," + roots[2],
+		"-hostdirs", "6",
+	}
+	var stores []posix.FS
+	for _, r := range roots {
+		osfs, err := posix.NewOSFS(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores = append(stores, osfs)
+	}
+	p := plfs.New(nil, plfs.Options{NumHostdirs: 6, Backends: stores})
+	f, err := p.Open("/data", posix.O_CREAT|posix.O_RDWR, 0, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid := uint32(0); pid < 4; pid++ {
+		if _, err := f.Write(bytes.Repeat([]byte{'a' + byte(pid)}, 128), int64(pid)*128, pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pid := uint32(0); pid < 4; pid++ {
+		f.Close(pid)
+	}
+
+	code, out := exec(t, append(backendFlags, "index", "/data")...)
+	if code != 0 || !strings.Contains(out, "384") { // extent at logical 384
+		t.Fatalf("index exit %d:\n%s", code, out)
+	}
+	code, out = exec(t, append(backendFlags, "compact", "/data")...)
+	if code != 0 || !strings.Contains(out, "4 -> 1 index droppings") {
+		t.Fatalf("compact exit %d:\n%s", code, out)
+	}
+	code, out = exec(t, append(backendFlags, "flatten", "/data", "/data.flat")...)
+	if code != 0 || !strings.Contains(out, "(512 bytes)") {
+		t.Fatalf("flatten exit %d:\n%s", code, out)
+	}
+	flat, err := os.ReadFile(filepath.Join(roots[0], "data.flat"))
+	if err != nil || len(flat) != 512 {
+		t.Fatalf("flat file: %d bytes, %v", len(flat), err)
+	}
+	for pid := 0; pid < 4; pid++ {
+		for i := 0; i < 128; i++ {
+			if flat[pid*128+i] != 'a'+byte(pid) {
+				t.Fatalf("flat byte %d = %q", pid*128+i, flat[pid*128+i])
+			}
+		}
+	}
+	code, out = exec(t, append(backendFlags, "rm", "/data")...)
+	if code != 0 {
+		t.Fatalf("rm exit %d:\n%s", code, out)
+	}
+	for i, r := range roots {
+		if _, err := os.Stat(filepath.Join(r, "data")); !os.IsNotExist(err) {
+			t.Fatalf("container survived rm on backend %d: %v", i, err)
+		}
+	}
+}

@@ -27,4 +27,16 @@
 // that reserve a physical range up front and fan segment pwrites out
 // concurrently. Partial writes are always indexed to exactly the
 // durable prefix. See README.md ("The write engine").
+//
+// Containers can be striped over multiple backends
+// (posix.StripedFS / plfs.Options.Backends, the -backends CLI flags):
+// canonical metadata lives on backend 0 while hostdirs — and so data
+// and index droppings — distribute across all backends by hostdir
+// number, letting both engines aggregate bandwidth over independent
+// stores. The on-disk format is guarded by a golden container fixture
+// (internal/plfs/testdata/golden), native fuzz targets over the
+// dropping parser and index merge (internal/plfs/index), and
+// differential tests proving single- and multi-backend instances read
+// byte-identically. See README.md ("Multi-backend striped containers",
+// "Format guardrails").
 package ldplfs

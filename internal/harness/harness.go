@@ -38,6 +38,26 @@ func NewStore() *posix.MemFS {
 	return mem
 }
 
+// NewStoreN prepares a backing store striped over n in-memory backends
+// (the -backends flag of the workload CLIs): PLFS containers created
+// under it spread their hostdirs — and so their droppings — across all
+// n, while backend 0 holds the canonical metadata. n <= 1 degenerates to
+// a single plain MemFS.
+func NewStoreN(n int) posix.FS {
+	if n <= 1 {
+		return NewStore()
+	}
+	backends := make([]posix.FS, n)
+	for i := range backends {
+		backends[i] = posix.NewMemFS()
+	}
+	striped := posix.NewStripedFS(backends...)
+	if err := PrepareStore(striped); err != nil {
+		panic(err.Error())
+	}
+	return striped
+}
+
 // PrepareStore creates the standard directories on an existing FS (for
 // OS-backed stores); existing directories are fine.
 func PrepareStore(fs posix.FS) error {

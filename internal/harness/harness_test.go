@@ -19,6 +19,53 @@ func TestNewStoreLayout(t *testing.T) {
 	}
 }
 
+func TestNewStoreNStripes(t *testing.T) {
+	store := NewStoreN(3)
+	striped, ok := store.(*posix.StripedFS)
+	if !ok {
+		t.Fatalf("NewStoreN(3) = %T, want *posix.StripedFS", store)
+	}
+	if striped.NumBackends() != 3 {
+		t.Fatalf("NumBackends = %d, want 3", striped.NumBackends())
+	}
+	for _, d := range []string{ScratchDir, BackendDir} {
+		st, err := store.Stat(d)
+		if err != nil || !st.IsDir() {
+			t.Fatalf("%s: %+v, %v", d, st, err)
+		}
+	}
+	// Every method must run unchanged over a striped store.
+	err := mpi.Run(4, 2, func(r *mpi.Rank) {
+		drv, pathFor, err := DriverFor("ldplfs", store, r.Rank())
+		if err != nil {
+			panic(err)
+		}
+		fh, err := mpiio.Open(r, drv, pathFor("t"), mpiio.ModeCreate|mpiio.ModeRdwr, mpiio.DefaultHints())
+		if err != nil {
+			panic(err)
+		}
+		buf := bytes.Repeat([]byte{byte(r.Rank() + 1)}, 512)
+		if _, err := fh.WriteAtAll(buf, int64(r.Rank())*512); err != nil {
+			panic(err)
+		}
+		got := make([]byte, 512)
+		peer := (r.Rank() + 1) % 4
+		if _, err := fh.ReadAtAll(got, int64(peer)*512); err != nil {
+			panic(err)
+		}
+		if got[0] != byte(peer+1) {
+			panic("wrong bytes through striped store")
+		}
+		fh.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NewStoreN(1).(*posix.MemFS) == nil {
+		t.Fatal("NewStoreN(1) should degenerate to a plain MemFS")
+	}
+}
+
 func TestPrepareStoreIdempotent(t *testing.T) {
 	mem := posix.NewMemFS()
 	if err := PrepareStore(mem); err != nil {

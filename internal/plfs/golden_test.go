@@ -1,0 +1,256 @@
+package plfs
+
+import (
+	"bufio"
+	"crypto/md5"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	idx "ldplfs/internal/plfs/index"
+	"ldplfs/internal/posix"
+)
+
+// The golden container fixture: a checked-in container tree (exact bytes
+// and layout, generated once by -update-golden) that every future
+// version of this package must read identically. The container format is
+// load-bearing across releases — droppings written by an old build must
+// resolve to the same logical bytes forever — so the fixture freezes
+// size, content hash, the resolved extent table and the physical layout,
+// and the test fails loudly on any deviation. Regenerating the fixture
+// is a reviewed, deliberate act of changing the on-disk format.
+var updateGolden = flag.Bool("update-golden", false, "regenerate the golden container fixture")
+
+const (
+	goldenDir       = "testdata/golden"
+	goldenContainer = "container.v1"
+)
+
+// goldenWriteScript produces the fixture container: multiple writers on
+// colliding hostdirs, overlapping rewrites (last-writer-wins), a
+// vectored strided write, a hole, and clean closes (meta size hints).
+// It must stay byte-deterministic — single goroutine, fixed pids.
+func goldenWriteScript(tb testing.TB, p *FS) {
+	tb.Helper()
+	f, err := p.Open("/"+goldenContainer, posix.O_CREAT|posix.O_RDWR, 1, 0o644)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	write := func(pid uint32, off int64, pattern byte, n int) {
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = pattern + byte(i%7)
+		}
+		if got, err := f.Write(buf, off, pid); err != nil || got != n {
+			tb.Fatalf("golden write pid %d off %d: n=%d err=%v", pid, off, got, err)
+		}
+	}
+	write(1, 0, 'a', 1000)  // pid 1 -> hostdir.1
+	write(2, 800, 'B', 500) // pid 2 -> hostdir.2, overlaps pid 1's tail
+	write(5, 0, 'z', 64)    // pid 5 -> hostdir.1 (collision), rewrites head
+	segs := []WriteSeg{     // strided vectored write, pid 2
+		{Off: 2000, Data: []byte(strings.Repeat("st", 100))},
+		{Off: 2500, Data: []byte(strings.Repeat("ride", 50))},
+	}
+	if _, err := f.WriteV(segs, 2); err != nil {
+		tb.Fatal(err)
+	}
+	write(1, 850, 'Q', 100) // second overlap: pid 1 wins back a window
+	for _, pid := range []uint32{1, 2, 5} {
+		if err := f.Sync(pid); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for _, pid := range []uint32{1, 2, 5} {
+		if err := f.Close(pid); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+// describeContainer renders the observable format contract of the
+// container as text: logical size, content hash, resolved extents and
+// the physical dropping layout.
+func describeContainer(tb testing.TB, p *FS, path string) string {
+	tb.Helper()
+	var sb strings.Builder
+	st, err := p.Stat(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fmt.Fprintf(&sb, "size %d\n", st.Size)
+
+	f, err := p.Open(path, posix.O_RDONLY, 0, 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer f.Close(0)
+	content := make([]byte, st.Size)
+	if n, err := f.Read(content, 0); err != nil || int64(n) != st.Size {
+		tb.Fatalf("golden read = %d, %v (want %d)", n, err, st.Size)
+	}
+	fmt.Fprintf(&sb, "md5 %x\n", md5.Sum(content))
+
+	entries, err := p.readAllEntries(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	global := idx.Build(entries)
+	for _, x := range global.Extents() {
+		fmt.Fprintf(&sb, "extent %d %d %d %d\n", x.LogicalOffset, x.Length, x.PhysicalOffset, x.Pid)
+	}
+
+	droppings, err := p.listIndexDroppings(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, d := range droppings {
+		dst, err := p.backend.Stat(d)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		fmt.Fprintf(&sb, "dropping %s %d\n", strings.TrimPrefix(d, path+"/"), dst.Size)
+	}
+	return sb.String()
+}
+
+// dumpTree copies a MemFS subtree onto the host file system.
+func dumpTree(tb testing.TB, fs posix.FS, from, to string) {
+	tb.Helper()
+	if err := os.MkdirAll(to, 0o755); err != nil {
+		tb.Fatal(err)
+	}
+	entries, err := fs.Readdir(from)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, e := range entries {
+		src, dst := from+"/"+e.Name, filepath.Join(to, e.Name)
+		if e.IsDir {
+			dumpTree(tb, fs, src, dst)
+			continue
+		}
+		st, err := fs.Stat(src)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		buf := make([]byte, st.Size)
+		fd, err := fs.Open(src, posix.O_RDONLY, 0)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if st.Size > 0 {
+			if err := posix.ReadFull(fs, fd, buf, 0); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		fs.Close(fd)
+		if err := os.WriteFile(dst, buf, 0o644); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+func regenerateGolden(t *testing.T) {
+	mem := posix.NewMemFS()
+	p := New(mem, Options{NumHostdirs: 4})
+	goldenWriteScript(t, p)
+	if err := os.RemoveAll(goldenDir); err != nil {
+		t.Fatal(err)
+	}
+	dumpTree(t, mem, "/"+goldenContainer, filepath.Join(goldenDir, goldenContainer))
+	expect := describeContainer(t, p, "/"+goldenContainer)
+	if err := os.WriteFile(filepath.Join(goldenDir, "expect.txt"), []byte(expect), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("regenerated %s:\n%s", goldenDir, expect)
+}
+
+// TestGoldenContainerFormat reads the checked-in fixture through the
+// current code and demands the exact recorded interpretation. It also
+// pins the raw format constants, so an accidental change to the record
+// encoding fails here even before the fixture diverges.
+func TestGoldenContainerFormat(t *testing.T) {
+	if *updateGolden {
+		regenerateGolden(t)
+	}
+
+	// Pin the physical format constants the fixture bytes embody.
+	if idx.EntrySize != 48 {
+		t.Fatalf("EntrySize changed to %d: the on-disk format is frozen at 48-byte records", idx.EntrySize)
+	}
+	if idx.Magic != 0x504c465349445831 {
+		t.Fatalf("index magic changed to %#x", idx.Magic)
+	}
+
+	// Work on a copy so the checked-in bytes cannot be mutated.
+	work := t.TempDir()
+	if err := os.CopyFS(work, os.DirFS(goldenDir)); err != nil {
+		t.Fatal(err)
+	}
+	osfs, err := posix.NewOSFS(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(osfs, Options{NumHostdirs: 4})
+	if !p.IsContainer("/" + goldenContainer) {
+		t.Fatalf("fixture is not recognised as a container")
+	}
+
+	wantBytes, err := os.ReadFile(filepath.Join(goldenDir, "expect.txt"))
+	if err != nil {
+		t.Fatalf("missing expectations (run: go test ./internal/plfs -run Golden -update-golden): %v", err)
+	}
+	got := describeContainer(t, p, "/"+goldenContainer)
+	if got != string(wantBytes) {
+		t.Fatalf("golden container no longer reads identically.\n-- want --\n%s\n-- got --\n%s", wantBytes, got)
+	}
+
+	// The version file and index headers are frozen bytes too.
+	ver, err := os.ReadFile(filepath.Join(work, goldenContainer, "version"))
+	if err != nil || string(ver) != versionText {
+		t.Fatalf("container version file = %q, %v (want %q)", ver, err, versionText)
+	}
+	sawIndex := false
+	sc := bufio.NewScanner(strings.NewReader(got))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 3 || fields[0] != "dropping" || !strings.Contains(fields[1], "dropping.index.") {
+			continue
+		}
+		sawIndex = true
+		raw, err := os.ReadFile(filepath.Join(work, goldenContainer, fields[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(raw) < 16 {
+			t.Fatalf("index dropping %s shorter than its header", fields[1])
+		}
+		if magic := binary.LittleEndian.Uint64(raw[0:]); magic != idx.Magic {
+			t.Fatalf("index dropping %s magic = %#x", fields[1], magic)
+		}
+		if v := binary.LittleEndian.Uint64(raw[8:]); v != 1 {
+			t.Fatalf("index dropping %s version = %d", fields[1], v)
+		}
+		if (len(raw)-16)%idx.EntrySize != 0 {
+			t.Fatalf("index dropping %s not record-aligned: %d bytes", fields[1], len(raw))
+		}
+	}
+	if !sawIndex {
+		t.Fatal("fixture describes no index droppings")
+	}
+
+	// Regeneration determinism: replaying the write script today must
+	// still produce byte-identical droppings (physical layout included),
+	// not merely the same logical file.
+	mem := posix.NewMemFS()
+	fresh := New(mem, Options{NumHostdirs: 4})
+	goldenWriteScript(t, fresh)
+	if regen := describeContainer(t, fresh, "/"+goldenContainer); regen != string(wantBytes) {
+		t.Fatalf("write path no longer reproduces the golden container.\n-- want --\n%s\n-- got --\n%s", wantBytes, regen)
+	}
+}

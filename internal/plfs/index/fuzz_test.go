@@ -1,0 +1,271 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"ldplfs/internal/posix"
+)
+
+// droppingBytes materialises a valid on-disk dropping holding entries —
+// the fuzz corpora are seeded from real droppings, not hand-rolled hex.
+func droppingBytes(tb testing.TB, entries []Entry) []byte {
+	tb.Helper()
+	mem := posix.NewMemFS()
+	if err := WriteDropping(mem, "/seed", entries); err != nil {
+		tb.Fatal(err)
+	}
+	fd, err := mem.Open("/seed", posix.O_RDONLY, 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer mem.Close(fd)
+	st, err := mem.Fstat(fd)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	buf := make([]byte, st.Size)
+	if err := posix.ReadFull(mem, fd, buf, 0); err != nil {
+		tb.Fatal(err)
+	}
+	return buf
+}
+
+func seedEntries() []Entry {
+	return []Entry{
+		{LogicalOffset: 0, Length: 4096, PhysicalOffset: 0, Timestamp: 1, Pid: 0},
+		{LogicalOffset: 4096, Length: 512, PhysicalOffset: 4096, Timestamp: 2, Pid: 3, Dropping: 1},
+		{LogicalOffset: 100, Length: 50, PhysicalOffset: 4608, Timestamp: 3, Pid: 3},
+	}
+}
+
+// FuzzDroppingParse throws arbitrary bytes at the index-dropping parser
+// and checks the format's invariants on everything it accepts:
+//
+//   - no panic, ever, on any input (torn tails, bad magic, short
+//     headers, corrupt checksums must all fail or truncate cleanly);
+//   - accepted droppings round-trip: re-writing the parsed entries and
+//     re-parsing yields the same entries;
+//   - a torn tail (any partial record appended) parses to exactly the
+//     same whole records — the write engine's in-flight-flush guarantee;
+//   - accepted droppings can be reopened for append (the crashed-writer
+//     resume path) and the appended record is then visible.
+func FuzzDroppingParse(f *testing.F) {
+	f.Add(droppingBytes(f, nil))
+	f.Add(droppingBytes(f, seedEntries()))
+	// Torn tail: a valid dropping plus half a record.
+	valid := droppingBytes(f, seedEntries())
+	f.Add(valid[:len(valid)-EntrySize/2])
+	// Corrupt checksum in the last record.
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	f.Add(corrupt)
+	// Bad magic, short header, empty file.
+	bad := append([]byte(nil), valid...)
+	bad[0] ^= 0xff
+	f.Add(bad)
+	f.Add(valid[:headerSize-3])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mem := posix.NewMemFS()
+		writeFile(t, mem, "/d", data)
+		entries, err := ReadDropping(mem, "/d")
+		if err != nil {
+			return // rejected cleanly — all we ask of arbitrary bytes
+		}
+
+		// Round-trip through the writer.
+		if err := WriteDropping(mem, "/rt", entries); err != nil {
+			t.Fatalf("rewriting accepted entries: %v", err)
+		}
+		again, err := ReadDropping(mem, "/rt")
+		if err != nil {
+			t.Fatalf("reparsing rewritten dropping: %v", err)
+		}
+		if !sameEntries(entries, again) {
+			t.Fatalf("round-trip changed entries:\n%v\n%v", entries, again)
+		}
+
+		// Torn-tail tolerance: appending any partial record must not
+		// change what parses.
+		tear := len(data) % EntrySize
+		if tear == 0 {
+			tear = EntrySize / 2
+		}
+		torn := append(append([]byte(nil), data...), data[:min(tear, len(data))]...)
+		writeFile(t, mem, "/torn", torn)
+		if tornEntries, err := ReadDropping(mem, "/torn"); err == nil {
+			if !sameEntries(entries, tornEntries[:min(len(entries), len(tornEntries))]) {
+				t.Fatalf("torn tail changed the parsed prefix")
+			}
+		}
+
+		// Reopen-for-append: the crashed-writer resume path.
+		w, err := OpenWriter(mem, "/d")
+		if err != nil {
+			t.Fatalf("reopening accepted dropping: %v", err)
+		}
+		extra := Entry{LogicalOffset: 7, Length: 9, PhysicalOffset: 11, Timestamp: 13, Pid: 17}
+		w.Append(extra)
+		if err := w.Close(); err != nil {
+			t.Fatalf("appending to accepted dropping: %v", err)
+		}
+		resumed, err := ReadDropping(mem, "/d")
+		if err != nil {
+			t.Fatalf("reparsing resumed dropping: %v", err)
+		}
+		if len(resumed) != len(entries)+1 || resumed[len(resumed)-1] != extra {
+			t.Fatalf("resume lost records: had %d, now %v", len(entries), resumed)
+		}
+	})
+}
+
+// modelByte is the differential oracle's view of one logical byte: which
+// writer produced it and where in that writer's dropping it lives.
+type modelByte struct {
+	pid      uint32
+	dropping uint32
+	phys     int64
+}
+
+// FuzzIndexMerge decodes arbitrary bytes into a write history, merges it
+// through Build, and checks the result against a byte-granular replay
+// oracle: every logical byte must resolve to exactly the write the
+// last-writer-wins rule says, holes exactly where nothing wrote, size
+// exactly the high-water mark — plus structural invariants (sorted,
+// non-overlapping, gap-free coverage) and Truncate consistency.
+func FuzzIndexMerge(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	// Overlap-heavy seed: same region rewritten with colliding timestamps.
+	f.Add(bytes.Repeat([]byte{0x40, 0x01, 0x20, 0x02, 0x00}, 12))
+	seed := make([]byte, 0, 64)
+	for i := 0; i < 12; i++ {
+		seed = append(seed, byte(i*37), byte(i*11), byte(i), byte(255-i), byte(i*3))
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxEntries = 64
+		var entries []Entry
+		for i := 0; i+5 <= len(data) && len(entries) < maxEntries; i += 5 {
+			// 5 bytes per write: offset (12 bits), length (6 bits, 1-64),
+			// timestamp (8 bits, collisions welcome), pid (2 bits).
+			off := int64(binary.LittleEndian.Uint16(data[i:])) & 0xfff
+			length := int64(data[i+2]&0x3f) + 1
+			ts := uint64(data[i+3])
+			pid := uint32(data[i+4] & 0x3)
+			entries = append(entries, Entry{
+				LogicalOffset:  off,
+				Length:         length,
+				PhysicalOffset: int64(i) * 100,
+				Timestamp:      ts,
+				// Unique Dropping id per entry keeps the resolution order
+				// fully deterministic while still exercising the
+				// timestamp and pid tiebreaks.
+				Dropping: uint32(len(entries)),
+				Pid:      pid,
+			})
+		}
+
+		idx := Build(entries)
+
+		// Oracle: replay byte-by-byte in Build's resolution order.
+		model := map[int64]modelByte{}
+		ordered := append([]Entry(nil), entries...)
+		for i := 1; i < len(ordered); i++ {
+			for j := i; j > 0; j-- {
+				a, b := ordered[j-1], ordered[j]
+				if b.Timestamp < a.Timestamp ||
+					(b.Timestamp == a.Timestamp && b.Pid < a.Pid) ||
+					(b.Timestamp == a.Timestamp && b.Pid == a.Pid && b.Dropping < a.Dropping) {
+					ordered[j-1], ordered[j] = b, a
+				} else {
+					break
+				}
+			}
+		}
+		var wantSize int64
+		for _, e := range ordered {
+			for b := int64(0); b < e.Length; b++ {
+				model[e.LogicalOffset+b] = modelByte{e.Pid, e.Dropping, e.PhysicalOffset + b}
+			}
+			if end := e.LogicalOffset + e.Length; end > wantSize {
+				wantSize = end
+			}
+		}
+
+		if idx.Size() != wantSize {
+			t.Fatalf("Size = %d, oracle %d", idx.Size(), wantSize)
+		}
+		if wantSize == 0 {
+			return
+		}
+		extents := idx.Query(0, wantSize)
+		var cur int64
+		for _, x := range extents {
+			if x.LogicalOffset != cur {
+				t.Fatalf("coverage gap: extent at %d, expected %d", x.LogicalOffset, cur)
+			}
+			if x.Length <= 0 {
+				t.Fatalf("non-positive extent length: %+v", x)
+			}
+			for b := int64(0); b < x.Length; b++ {
+				m, written := model[x.LogicalOffset+b]
+				if x.Hole {
+					if written {
+						t.Fatalf("byte %d resolved as hole but oracle has %+v", x.LogicalOffset+b, m)
+					}
+					continue
+				}
+				if !written {
+					t.Fatalf("byte %d resolved to pid %d but oracle has a hole", x.LogicalOffset+b, x.Pid)
+				}
+				if m.pid != x.Pid || m.dropping != x.Dropping || m.phys != x.PhysicalOffset+b {
+					t.Fatalf("byte %d resolved to (pid %d, dropping %d, phys %d), oracle (pid %d, dropping %d, phys %d)",
+						x.LogicalOffset+b, x.Pid, x.Dropping, x.PhysicalOffset+b, m.pid, m.dropping, m.phys)
+				}
+			}
+			cur += x.Length
+		}
+		if cur != wantSize {
+			t.Fatalf("extents cover %d bytes, want %d", cur, wantSize)
+		}
+
+		// Truncate agrees with a truncated oracle.
+		tsize := wantSize / 2
+		idx.Truncate(tsize)
+		if idx.Size() != tsize {
+			t.Fatalf("post-truncate Size = %d, want %d", idx.Size(), tsize)
+		}
+		for _, x := range idx.Extents() {
+			if x.LogicalOffset+x.Length > tsize {
+				t.Fatalf("extent %+v beyond truncation %d", x, tsize)
+			}
+		}
+	})
+}
+
+func writeFile(tb testing.TB, fs posix.FS, path string, data []byte) {
+	tb.Helper()
+	fd, err := fs.Open(path, posix.O_CREAT|posix.O_WRONLY|posix.O_TRUNC, 0o644)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer fs.Close(fd)
+	if len(data) > 0 {
+		if err := posix.WriteFull(fs, fd, data, 0); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+func sameEntries(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || reflect.DeepEqual(a, b)
+}

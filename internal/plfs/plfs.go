@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -93,6 +94,16 @@ type Options struct {
 	// writers serialize however many pids share the handle. Kept as the
 	// benchmark baseline.
 	DisableWriteSharding bool
+
+	// Backends stripes the instance across multiple stores: the canonical
+	// container metadata (access marker, version, meta/, openhosts/)
+	// lives on Backends[0] and hostdirs — hence data and index droppings
+	// — distribute across all of them by hostdir number, so parallel
+	// reads and writes aggregate bandwidth over independent backends.
+	// When set, the backend argument to New is ignored and the instance
+	// runs over posix.NewStripedFS(Backends...). A container must be
+	// reopened with the same backend list it was written with.
+	Backends []posix.FS
 }
 
 // DefaultIndexBatch is the per-writer index group-flush threshold used
@@ -132,10 +143,15 @@ type FS struct {
 	seeded map[string]bool
 }
 
-// New returns a PLFS instance over backend.
+// New returns a PLFS instance over backend. With Options.Backends set,
+// backend is ignored (and may be nil) and the instance stripes its
+// containers across the listed stores.
 func New(backend posix.FS, opts Options) *FS {
 	if opts.NumHostdirs <= 0 {
 		opts.NumHostdirs = DefaultOptions().NumHostdirs
+	}
+	if len(opts.Backends) > 0 {
+		backend = posix.NewStripedFS(opts.Backends...)
 	}
 	p := &FS{
 		backend: backend,
@@ -215,8 +231,57 @@ func (p *FS) openHandles(path string) []*File {
 	return out
 }
 
-// Backend returns the posix layer this instance stores containers on.
+// Backend returns the posix layer this instance stores containers on
+// (the striped composite, for a multi-backend instance).
 func (p *FS) Backend() posix.FS { return p.backend }
+
+// NumBackends reports how many stores this instance stripes over (1 for
+// a plain single-backend instance).
+func (p *FS) NumBackends() int {
+	if s, ok := p.backend.(*posix.StripedFS); ok {
+		return s.NumBackends()
+	}
+	return 1
+}
+
+// ContainerSpread counts the dropping files (data + index) per backend
+// for the container at path — the observability hook behind `plfsctl
+// info`/`doctor` and the proof, in tests, that striping actually fans
+// out. For a single-backend instance the single bucket holds every
+// dropping.
+func (p *FS) ContainerSpread(path string) ([]int, error) {
+	if !p.IsContainer(path) {
+		return nil, posix.ENOENT
+	}
+	striped, _ := p.backend.(*posix.StripedFS)
+	spread := make([]int, p.NumBackends())
+	dirs, err := p.backend.Readdir(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range dirs {
+		if !d.IsDir || !strings.HasPrefix(d.Name, "hostdir.") {
+			continue
+		}
+		hostdir := path + "/" + d.Name
+		files, err := p.backend.Readdir(hostdir)
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		for _, fe := range files {
+			if strings.HasPrefix(fe.Name, "dropping.") {
+				n++
+			}
+		}
+		bi := 0
+		if striped != nil {
+			bi = striped.BackendFor(hostdir)
+		}
+		spread[bi] += n
+	}
+	return spread, nil
+}
 
 func (p *FS) hostdir(path string, pid uint32) string {
 	return fmt.Sprintf("%s/hostdir.%d", path, int(pid)%p.opts.NumHostdirs)

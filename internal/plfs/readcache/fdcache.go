@@ -17,6 +17,12 @@ const DefaultMaxFDs = 128
 // pointer, so sharing is safe — see posix.FS); eviction of a descriptor
 // that is still mid-pread is deferred until its last reference is
 // released. All methods are safe for concurrent use.
+//
+// Multi-backend instances hand the cache their striped composite
+// (posix.StripedFS): a dropping's path names exactly one backend under
+// the placement rule, so the path key is simultaneously the backend key
+// and cached descriptors never cross backends. DropPrefix on a container
+// path therefore reaches the droppings on every backend at once.
 type FDCache struct {
 	fs  posix.FS
 	max int

@@ -1,0 +1,405 @@
+package plfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ldplfs/internal/posix"
+)
+
+// newStripedFS builds a PLFS instance striped over n in-memory backends
+// (each optionally wrapped in a FaultFS), returning the raw MemFS stores
+// for physical inspection.
+func newStripedFS(t *testing.T, n int, faulty bool, opts Options) (*FS, []*posix.MemFS) {
+	t.Helper()
+	mems := make([]*posix.MemFS, n)
+	opts.Backends = make([]posix.FS, n)
+	for i := range mems {
+		mems[i] = posix.NewMemFS()
+		if faulty {
+			opts.Backends[i] = posix.NewFaultFS(mems[i])
+		} else {
+			opts.Backends[i] = mems[i]
+		}
+	}
+	p := New(nil, opts)
+	if err := p.Backend().Mkdir("/backend", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return p, mems
+}
+
+// Droppings of a striped container must physically land on the backend
+// the hostdir rule names — canonical metadata stays on backend 0.
+func TestStripedContainerPlacement(t *testing.T) {
+	p, mems := newStripedFS(t, 3, false, Options{NumHostdirs: 6})
+	f, err := p.Open("/backend/data", posix.O_CREAT|posix.O_RDWR, 0, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid := uint32(0); pid < 6; pid++ {
+		if _, err := f.Write([]byte{byte(pid + 1)}, int64(pid), pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Canonical files live only on backend 0 (directories like meta/ and
+	// openhosts/ are mirrored as empty skeleton, but their contents are
+	// not). host.5 exists while writer 5 is still open; the meta size
+	// hints appear at close.
+	checkCanonical := func(name string) {
+		t.Helper()
+		if _, err := mems[0].Stat("/backend/data/" + name); err != nil {
+			t.Fatalf("canonical %s missing on backend 0: %v", name, err)
+		}
+		for bi := 1; bi < 3; bi++ {
+			if _, err := mems[bi].Stat("/backend/data/" + name); err == nil {
+				t.Fatalf("canonical %s leaked onto backend %d", name, bi)
+			}
+		}
+	}
+	checkCanonical(".plfsaccess")
+	checkCanonical("version")
+	checkCanonical("openhosts/host.5")
+	for pid := uint32(0); pid < 6; pid++ {
+		f.Close(pid)
+	}
+	checkCanonical("meta/size.0")
+	for pid := 0; pid < 6; pid++ {
+		want := pid % 3 // hostdir k = pid % 6 hostdirs; backend = k % 3
+		path := fmt.Sprintf("/backend/data/hostdir.%d/dropping.data.%d", pid, pid)
+		for bi, m := range mems {
+			_, err := m.Stat(path)
+			if bi == want && err != nil {
+				t.Errorf("pid %d dropping missing on backend %d: %v", pid, bi, err)
+			}
+			if bi != want && err == nil {
+				t.Errorf("pid %d dropping leaked onto backend %d", pid, bi)
+			}
+		}
+	}
+	spread, err := p.ContainerSpread("/backend/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spread) != 3 {
+		t.Fatalf("spread has %d buckets, want 3", len(spread))
+	}
+	for bi, n := range spread {
+		if n != 4 { // 2 hostdirs per backend x (data + index)
+			t.Errorf("backend %d holds %d droppings, want 4 (spread %v)", bi, n, spread)
+		}
+	}
+	if got := p.NumBackends(); got != 3 {
+		t.Fatalf("NumBackends = %d, want 3", got)
+	}
+}
+
+// stripedScriptInstance is one configuration under the differential
+// script: a PLFS instance plus its open handle.
+type stripedScriptInstance struct {
+	name string
+	p    *FS
+	f    *File
+}
+
+// TestStripedDifferentialScript drives one randomized workload script —
+// writes, vectored writes, syncs, reads, truncates, close/reopen —
+// against single-backend, 2-backend and 3-backend instances (plain MemFS
+// and FaultFS-wrapped) and demands byte-identical reads, sizes and Stat
+// results everywhere. Striping must be invisible to the application.
+func TestStripedDifferentialScript(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			opts := Options{NumHostdirs: 5}
+			var insts []*stripedScriptInstance
+			for _, cfg := range []struct {
+				name   string
+				n      int
+				faulty bool
+			}{
+				{"single", 1, false},
+				{"striped2", 2, false},
+				{"striped3", 3, false},
+				{"striped3-fault", 3, true},
+			} {
+				p, _ := newStripedFS(t, cfg.n, cfg.faulty, opts)
+				f, err := p.Open("/backend/diff", posix.O_CREAT|posix.O_RDWR, 0, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				insts = append(insts, &stripedScriptInstance{cfg.name, p, f})
+			}
+			ref := insts[0]
+
+			rng := rand.New(rand.NewSource(seed))
+			const maxOff = 1 << 16
+			for step := 0; step < 200; step++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3: // write
+					pid := uint32(rng.Intn(8))
+					off := int64(rng.Intn(maxOff))
+					buf := make([]byte, 1+rng.Intn(512))
+					rng.Read(buf)
+					for _, in := range insts {
+						if n, err := in.f.Write(buf, off, pid); err != nil || n != len(buf) {
+							t.Fatalf("[%s] step %d write: n=%d err=%v", in.name, step, n, err)
+						}
+					}
+				case 4: // vectored write
+					pid := uint32(rng.Intn(8))
+					segs := make([]WriteSeg, 1+rng.Intn(4))
+					for i := range segs {
+						data := make([]byte, 1+rng.Intn(256))
+						rng.Read(data)
+						segs[i] = WriteSeg{Off: int64(rng.Intn(maxOff)), Data: data}
+					}
+					for _, in := range insts {
+						if _, err := in.f.WriteV(segs, pid); err != nil {
+							t.Fatalf("[%s] step %d writev: %v", in.name, step, err)
+						}
+					}
+				case 5: // sync
+					pid := uint32(rng.Intn(8))
+					for _, in := range insts {
+						if err := in.f.Sync(pid); err != nil {
+							t.Fatalf("[%s] step %d sync: %v", in.name, step, err)
+						}
+					}
+				case 6, 7: // read and compare
+					off := int64(rng.Intn(maxOff))
+					want := make([]byte, 1+rng.Intn(2048))
+					wn, werr := ref.f.Read(want, off)
+					if werr != nil {
+						t.Fatalf("[%s] step %d read: %v", ref.name, step, werr)
+					}
+					for _, in := range insts[1:] {
+						got := make([]byte, len(want))
+						gn, gerr := in.f.Read(got, off)
+						if gerr != nil {
+							t.Fatalf("[%s] step %d read: %v", in.name, step, gerr)
+						}
+						if gn != wn || !bytes.Equal(got[:gn], want[:wn]) {
+							t.Fatalf("[%s] step %d read diverged at off %d: n=%d vs %d", in.name, step, off, gn, wn)
+						}
+					}
+				case 8: // size
+					want, err := ref.f.Size()
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, in := range insts[1:] {
+						got, err := in.f.Size()
+						if err != nil || got != want {
+							t.Fatalf("[%s] step %d size = %d, %v (want %d)", in.name, step, got, err, want)
+						}
+					}
+				case 9: // occasional truncate
+					if rng.Intn(4) != 0 {
+						continue
+					}
+					size := int64(rng.Intn(maxOff))
+					for _, in := range insts {
+						if err := in.f.Trunc(size); err != nil {
+							t.Fatalf("[%s] step %d trunc(%d): %v", in.name, step, size, err)
+						}
+					}
+				}
+			}
+
+			// Final state: full logical content, Size and Stat must agree.
+			wantSize, err := ref.f.Size()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]byte, wantSize)
+			if _, err := ref.f.Read(want, 0); err != nil {
+				t.Fatal(err)
+			}
+			for _, in := range insts[1:] {
+				gotSize, err := in.f.Size()
+				if err != nil || gotSize != wantSize {
+					t.Fatalf("[%s] final size = %d, %v (want %d)", in.name, gotSize, err, wantSize)
+				}
+				got := make([]byte, gotSize)
+				if _, err := in.f.Read(got, 0); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("[%s] final content diverged", in.name)
+				}
+			}
+			for _, in := range insts {
+				for pid := uint32(0); pid < 8; pid++ {
+					in.f.Close(pid)
+				}
+			}
+			refStat, err := ref.p.Stat("/backend/diff")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, in := range insts[1:] {
+				st, err := in.p.Stat("/backend/diff")
+				if err != nil || st.Size != refStat.Size {
+					t.Fatalf("[%s] Stat size = %d, %v (want %d)", in.name, st.Size, err, refStat.Size)
+				}
+			}
+			// The striped instances must have genuinely fanned out.
+			for _, in := range insts[1:] {
+				spread, err := in.p.ContainerSpread("/backend/diff")
+				if err != nil {
+					t.Fatal(err)
+				}
+				used := 0
+				for _, n := range spread {
+					if n > 0 {
+						used++
+					}
+				}
+				if len(spread) > 1 && used < 2 {
+					t.Fatalf("[%s] container did not fan out: spread %v", in.name, spread)
+				}
+			}
+		})
+	}
+}
+
+// Container-level operations that rewrite or walk the whole container —
+// partial truncate (index consolidation), CompactIndex, Flatten, Rename,
+// Unlink — must work when droppings span backends.
+func TestStripedContainerOps(t *testing.T) {
+	p, mems := newStripedFS(t, 3, false, Options{NumHostdirs: 6})
+	f, err := p.Open("/backend/ops", posix.O_CREAT|posix.O_RDWR, 0, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const block = 512
+	want := make([]byte, 6*block)
+	for pid := uint32(0); pid < 6; pid++ {
+		payload := bytes.Repeat([]byte{byte(pid + 1)}, block)
+		copy(want[int(pid)*block:], payload)
+		if _, err := f.Write(payload, int64(pid)*block, pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pid := uint32(0); pid < 6; pid++ {
+		if err := f.Close(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Compact: six index droppings on three backends merge into one.
+	before, err := p.IndexDroppings("/backend/ops")
+	if err != nil || before != 6 {
+		t.Fatalf("index droppings before compact = %d, %v (want 6)", before, err)
+	}
+	if err := p.CompactIndex("/backend/ops"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := p.IndexDroppings("/backend/ops")
+	if err != nil || after != 1 {
+		t.Fatalf("index droppings after compact = %d, %v (want 1)", after, err)
+	}
+	readBack := func(path string, size int64) []byte {
+		t.Helper()
+		rf, err := p.Open(path, posix.O_RDONLY, 99, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rf.Close(99)
+		got := make([]byte, size)
+		if n, err := rf.Read(got, 0); err != nil || int64(n) != size {
+			t.Fatalf("read %s = %d, %v (want %d)", path, n, err, size)
+		}
+		return got
+	}
+	if got := readBack("/backend/ops", int64(len(want))); !bytes.Equal(got, want) {
+		t.Fatal("content diverged after cross-backend compact")
+	}
+
+	// Partial truncate: consolidation must survive striped droppings.
+	if err := p.Truncate("/backend/ops", 3*block); err != nil {
+		t.Fatal(err)
+	}
+	if got := readBack("/backend/ops", 3*block); !bytes.Equal(got, want[:3*block]) {
+		t.Fatal("content diverged after cross-backend truncate")
+	}
+
+	// Flatten gathers from all backends into one canonical flat file.
+	if err := p.Flatten("/backend/ops", "/backend/ops.flat"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Backend().Stat("/backend/ops.flat")
+	if err != nil || st.Size != 3*block {
+		t.Fatalf("flat file = %d bytes, %v (want %d)", st.Size, err, 3*block)
+	}
+
+	// Rename carries shadow hostdir trees along; Unlink clears them.
+	if err := p.Rename("/backend/ops", "/backend/ops2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := readBack("/backend/ops2", 3*block); !bytes.Equal(got, want[:3*block]) {
+		t.Fatal("content diverged after striped rename")
+	}
+	if err := p.Unlink("/backend/ops2"); err != nil {
+		t.Fatal(err)
+	}
+	for bi, m := range mems {
+		if _, err := m.Stat("/backend/ops2"); err == nil {
+			t.Fatalf("container survived unlink on backend %d", bi)
+		}
+	}
+}
+
+// Stale-openhosts diagnosis must consult the backend that actually owns
+// the writer's dropping: a live writer whose dropping lives on a shadow
+// backend is not stale, and a record whose dropping is gone is — and
+// ScrubOpenHosts repairs it.
+func TestStripedOpenHostsDoctor(t *testing.T) {
+	p, mems := newStripedFS(t, 3, false, Options{NumHostdirs: 6})
+	f, err := p.Open("/backend/doc", posix.O_CREAT|posix.O_RDWR, 0, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pid 1 -> hostdir.1 -> backend 1: a live writer on a shadow backend.
+	if _, err := f.Write([]byte("live"), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// pid 2 -> hostdir.2 -> backend 2: writer whose dropping we destroy
+	// out from under it, simulating a lost shadow backend file.
+	if _, err := f.Write([]byte("doomed"), 8, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := mems[2].Unlink("/backend/doc/hostdir.2/dropping.data.2"); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := p.OpenHosts("/backend/doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPid := map[uint32]bool{}
+	for _, r := range recs {
+		byPid[r.Pid] = r.Stale
+	}
+	if stale, ok := byPid[1]; !ok || stale {
+		t.Fatalf("pid 1 (live, shadow backend) misdiagnosed: records %+v", recs)
+	}
+	if stale, ok := byPid[2]; !ok || !stale {
+		t.Fatalf("pid 2 (lost dropping) not flagged stale: records %+v", recs)
+	}
+	removed, err := p.ScrubOpenHosts("/backend/doc")
+	if err != nil || removed != 1 {
+		t.Fatalf("scrub removed %d, %v (want 1)", removed, err)
+	}
+	recs, err = p.OpenHosts("/backend/doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Pid != 1 || recs[0].Stale {
+		t.Fatalf("after scrub: %+v", recs)
+	}
+	f.Close(1)
+	f.Close(2)
+}

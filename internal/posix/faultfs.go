@@ -3,18 +3,25 @@ package posix
 import (
 	"strings"
 	"sync"
+	"time"
 )
 
 // FaultFS wraps an FS and injects failures according to programmable
 // rules — the substrate for the failure-injection tests that check PLFS
 // and LDPLFS degrade cleanly when the backend misbehaves (full file
-// system, flaky metadata server, torn writes).
+// system, flaky metadata server, torn writes) — and, via SetServiceTime,
+// models a backend with a finite service rate, the substrate for the
+// multi-backend aggregation benchmarks.
 type FaultFS struct {
 	inner FS
 
 	mu    sync.Mutex
 	rules []*FaultRule
 	fds   map[int]string // open path per fd, so fd-based ops match PathContains
+
+	svcOp FaultOp       // operation class the service time applies to
+	svcD  time.Duration // per-op service time (0 = disabled)
+	svcMu sync.Mutex    // the backend's single service slot
 }
 
 // FaultOp names an operation class a rule can target.
@@ -78,6 +85,35 @@ func (f *FaultFS) Clear() {
 	f.rules = nil
 }
 
+// SetServiceTime models the backend's service rate: every operation of
+// class op (FaultAny for all classes; Close and Lseek are exempt, like
+// injected faults) occupies the backend's single service slot for d
+// before proceeding, like a store that retires one request at a time.
+// Concurrent operations against one FaultFS therefore serialize behind
+// each other — the regime where striping containers across several
+// backends aggregates bandwidth, which is exactly what the
+// multi-backend benchmarks need a stand-in for. d = 0 disables.
+func (f *FaultFS) SetServiceTime(op FaultOp, d time.Duration) {
+	f.mu.Lock()
+	f.svcOp, f.svcD = op, d
+	f.mu.Unlock()
+}
+
+// service occupies the backend's service slot for the configured time,
+// if op matches.
+func (f *FaultFS) service(op FaultOp) {
+	f.mu.Lock()
+	d := f.svcD
+	match := f.svcOp == FaultAny || f.svcOp == op
+	f.mu.Unlock()
+	if d <= 0 || !match {
+		return
+	}
+	f.svcMu.Lock()
+	time.Sleep(d)
+	f.svcMu.Unlock()
+}
+
 // Fired reports how many times any rule has fired.
 func (f *FaultFS) Fired() int {
 	f.mu.Lock()
@@ -122,6 +158,7 @@ func (f *FaultFS) checkPartial(op FaultOp, path string) (error, int) {
 
 // Open implements FS.
 func (f *FaultFS) Open(path string, flags int, mode uint32) (int, error) {
+	f.service(FaultOpen)
 	if err := f.check(FaultOpen, path); err != nil {
 		return -1, err
 	}
@@ -145,6 +182,7 @@ func (f *FaultFS) Close(fd int) error {
 
 // Read implements FS.
 func (f *FaultFS) Read(fd int, p []byte) (int, error) {
+	f.service(FaultRead)
 	if err := f.check(FaultRead, f.pathOf(fd)); err != nil {
 		return 0, err
 	}
@@ -169,6 +207,7 @@ func injectPartial(p []byte, partial int, injected error, write func([]byte) (in
 // Write implements FS. A firing rule with Partial > 0 lets that many
 // bytes (clamped to the request) through before surfacing the error.
 func (f *FaultFS) Write(fd int, p []byte) (int, error) {
+	f.service(FaultWrite)
 	if err, partial := f.checkPartial(FaultWrite, f.pathOf(fd)); err != nil {
 		return injectPartial(p, partial, err, func(q []byte) (int, error) {
 			return f.inner.Write(fd, q)
@@ -179,6 +218,7 @@ func (f *FaultFS) Write(fd int, p []byte) (int, error) {
 
 // Pread implements FS.
 func (f *FaultFS) Pread(fd int, p []byte, off int64) (int, error) {
+	f.service(FaultRead)
 	if err := f.check(FaultRead, f.pathOf(fd)); err != nil {
 		return 0, err
 	}
@@ -187,6 +227,7 @@ func (f *FaultFS) Pread(fd int, p []byte, off int64) (int, error) {
 
 // Pwrite implements FS. Partial rules behave as in Write.
 func (f *FaultFS) Pwrite(fd int, p []byte, off int64) (int, error) {
+	f.service(FaultWrite)
 	if err, partial := f.checkPartial(FaultWrite, f.pathOf(fd)); err != nil {
 		return injectPartial(p, partial, err, func(q []byte) (int, error) {
 			return f.inner.Pwrite(fd, q, off)
@@ -202,6 +243,7 @@ func (f *FaultFS) Lseek(fd int, offset int64, whence int) (int64, error) {
 
 // Fsync implements FS.
 func (f *FaultFS) Fsync(fd int) error {
+	f.service(FaultSync)
 	if err := f.check(FaultSync, f.pathOf(fd)); err != nil {
 		return err
 	}
@@ -210,6 +252,7 @@ func (f *FaultFS) Fsync(fd int) error {
 
 // Ftruncate implements FS.
 func (f *FaultFS) Ftruncate(fd int, size int64) error {
+	f.service(FaultMeta)
 	if err := f.check(FaultMeta, f.pathOf(fd)); err != nil {
 		return err
 	}
@@ -218,6 +261,7 @@ func (f *FaultFS) Ftruncate(fd int, size int64) error {
 
 // Fstat implements FS.
 func (f *FaultFS) Fstat(fd int) (Stat, error) {
+	f.service(FaultMeta)
 	if err := f.check(FaultMeta, f.pathOf(fd)); err != nil {
 		return Stat{}, err
 	}
@@ -226,6 +270,7 @@ func (f *FaultFS) Fstat(fd int) (Stat, error) {
 
 // Stat implements FS.
 func (f *FaultFS) Stat(path string) (Stat, error) {
+	f.service(FaultMeta)
 	if err := f.check(FaultMeta, path); err != nil {
 		return Stat{}, err
 	}
@@ -234,6 +279,7 @@ func (f *FaultFS) Stat(path string) (Stat, error) {
 
 // Truncate implements FS.
 func (f *FaultFS) Truncate(path string, size int64) error {
+	f.service(FaultMeta)
 	if err := f.check(FaultMeta, path); err != nil {
 		return err
 	}
@@ -242,6 +288,7 @@ func (f *FaultFS) Truncate(path string, size int64) error {
 
 // Unlink implements FS.
 func (f *FaultFS) Unlink(path string) error {
+	f.service(FaultMeta)
 	if err := f.check(FaultMeta, path); err != nil {
 		return err
 	}
@@ -250,6 +297,7 @@ func (f *FaultFS) Unlink(path string) error {
 
 // Mkdir implements FS.
 func (f *FaultFS) Mkdir(path string, mode uint32) error {
+	f.service(FaultMeta)
 	if err := f.check(FaultMeta, path); err != nil {
 		return err
 	}
@@ -258,6 +306,7 @@ func (f *FaultFS) Mkdir(path string, mode uint32) error {
 
 // Rmdir implements FS.
 func (f *FaultFS) Rmdir(path string) error {
+	f.service(FaultMeta)
 	if err := f.check(FaultMeta, path); err != nil {
 		return err
 	}
@@ -266,6 +315,7 @@ func (f *FaultFS) Rmdir(path string) error {
 
 // Readdir implements FS.
 func (f *FaultFS) Readdir(path string) ([]DirEntry, error) {
+	f.service(FaultMeta)
 	if err := f.check(FaultMeta, path); err != nil {
 		return nil, err
 	}
@@ -274,6 +324,7 @@ func (f *FaultFS) Readdir(path string) ([]DirEntry, error) {
 
 // Rename implements FS.
 func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.service(FaultMeta)
 	if err := f.check(FaultMeta, oldpath); err != nil {
 		return err
 	}
@@ -282,6 +333,7 @@ func (f *FaultFS) Rename(oldpath, newpath string) error {
 
 // Access implements FS.
 func (f *FaultFS) Access(path string, mode int) error {
+	f.service(FaultMeta)
 	if err := f.check(FaultMeta, path); err != nil {
 		return err
 	}

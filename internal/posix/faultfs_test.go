@@ -2,7 +2,9 @@ package posix
 
 import (
 	"errors"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestFaultFSTransparentWithoutRules(t *testing.T) {
@@ -140,4 +142,66 @@ func TestNullFSSemanticsMatchMemFS(t *testing.T) {
 	if stN.Size != stM.Size {
 		t.Fatalf("size diverged: null=%d mem=%d", stN.Size, stM.Size)
 	}
+}
+
+func TestFaultFSServiceTimeSerializes(t *testing.T) {
+	f := NewFaultFS(NewMemFS())
+	fd, err := f.Open("/svc", O_CREAT|O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFull(f, fd, make([]byte, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	const d = 4 * time.Millisecond
+	f.SetServiceTime(FaultRead, d)
+	const ops = 6
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < ops; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 8)
+			if _, err := f.Pread(fd, buf, 0); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	// The single service slot serializes the preads: total time is at
+	// least ops x d no matter how many goroutines issue them.
+	if got := time.Since(start); got < ops*d {
+		t.Fatalf("concurrent preads took %v, want >= %v (service slot not serialized)", got, ops*d)
+	}
+	// Writes are a different class: unaffected. Issue 2*ops of them
+	// concurrently — if they were wrongly subject to the service slot
+	// they would serialize to at least 2*ops*d; finishing well under
+	// that proves they bypassed it, with enough slack that a scheduler
+	// pause cannot fail a correct implementation.
+	concurrent := func(op func() error) time.Duration {
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < 2*ops; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := op(); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	if got := concurrent(func() error { return WriteFull(f, fd, make([]byte, 8), 0) }); got >= 2*ops*d {
+		t.Fatalf("%d writes took %v under a read service time (wrongly serialized?)", 2*ops, got)
+	}
+	// Disabling restores full speed.
+	f.SetServiceTime(FaultRead, 0)
+	if got := concurrent(func() error { return ReadFull(f, fd, make([]byte, 8), 0) }); got >= 2*ops*d {
+		t.Fatalf("%d reads took %v after disabling service time (still serialized?)", 2*ops, got)
+	}
+	f.Close(fd)
 }

@@ -2,12 +2,14 @@ package posix
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"io/fs"
 	"os"
 	gopath "path"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -46,6 +48,26 @@ func NewOSFS(dir string) (*OSFS, error) {
 
 // Root returns the host directory backing this FS.
 func (o *OSFS) Root() string { return o.root }
+
+// NewStripedRoots composes the canonical backend with OSFS shadow
+// backends opened from a comma-separated list of host directories — the
+// parser behind the CLIs' -backends flag, shared so every tool
+// interprets a backend list identically (the list is part of a striped
+// container's identity). An empty spec returns canonical unchanged.
+func NewStripedRoots(canonical FS, shadowSpec string) (FS, error) {
+	if shadowSpec == "" {
+		return canonical, nil
+	}
+	all := []FS{canonical}
+	for _, dir := range strings.Split(shadowSpec, ",") {
+		shadow, err := NewOSFS(strings.TrimSpace(dir))
+		if err != nil {
+			return nil, fmt.Errorf("shadow backend %s: %w", dir, err)
+		}
+		all = append(all, shadow)
+	}
+	return NewStripedFS(all...), nil
+}
 
 func (o *OSFS) host(path string) string {
 	return filepath.Join(o.root, filepath.FromSlash(gopath.Clean("/"+path)))

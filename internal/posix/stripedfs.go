@@ -1,0 +1,396 @@
+package posix
+
+import (
+	"errors"
+	gopath "path"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// StripedFS composes N backends into one FS, the multi-backend layout
+// PLFS uses to aggregate bandwidth across file servers: a logical file's
+// droppings fan out over independent stores instead of funnelling
+// through one.
+//
+// The placement rule is purely path-based, so every instance over the
+// same backend list agrees without coordination:
+//
+//   - A path containing a hostdir component ("hostdir.K") routes to
+//     backend K mod N — hostdirs, and hence data and index droppings,
+//     spread deterministically across all backends.
+//   - Every other path (container marker, version, meta/, openhosts/,
+//     plain files and directories) routes to backend 0, the canonical
+//     backend. Container metadata has a single home; only the bulk
+//     dropping I/O is striped.
+//
+// Directory structure is mirrored so each backend can hold its share of
+// hostdirs: creating a canonical directory creates it on every backend
+// (shadow copies are created with parents, best-effort EEXIST-tolerant),
+// removing or renaming one removes or renames it everywhere, and listing
+// one merges the per-backend listings. A container written with one
+// backend list must be read with the same list, exactly as a PLFS mount
+// must keep its backend configuration stable.
+//
+// File descriptors are scoped to the composite and translated to the
+// owning backend, so StripedFS satisfies the full FS contract — including
+// concurrent Pread/Pwrite safety, which it inherits from the backends.
+type StripedFS struct {
+	backends []FS
+
+	mu     sync.Mutex
+	fds    map[int]stripedFD
+	nextFD int
+}
+
+type stripedFD struct {
+	backend int
+	fd      int
+}
+
+// NewStripedFS composes backends into one striped FS. Backend 0 is the
+// canonical backend. At least one backend is required; with exactly one,
+// the composite degenerates to a pass-through.
+func NewStripedFS(backends ...FS) *StripedFS {
+	if len(backends) == 0 {
+		panic("posix: NewStripedFS needs at least one backend")
+	}
+	bs := make([]FS, len(backends))
+	copy(bs, backends)
+	return &StripedFS{backends: bs, fds: make(map[int]stripedFD), nextFD: 3}
+}
+
+// NumBackends returns the number of composed backends.
+func (s *StripedFS) NumBackends() int { return len(s.backends) }
+
+// Backends returns the composed backends (index 0 is canonical).
+func (s *StripedFS) Backends() []FS {
+	out := make([]FS, len(s.backends))
+	copy(out, s.backends)
+	return out
+}
+
+// hostdirComponent returns the first "hostdir.*" component of path, or "".
+func hostdirComponent(path string) string {
+	for _, comp := range strings.Split(gopath.Clean("/"+path), "/") {
+		if strings.HasPrefix(comp, "hostdir.") {
+			return comp
+		}
+	}
+	return ""
+}
+
+// BackendFor returns the index of the backend that owns path under the
+// placement rule: hostdir.K routes to K mod N, everything else to 0.
+func (s *StripedFS) BackendFor(path string) int {
+	comp := hostdirComponent(path)
+	if comp == "" {
+		return 0
+	}
+	if k, err := strconv.Atoi(comp[len("hostdir."):]); err == nil && k >= 0 {
+		return k % len(s.backends)
+	}
+	// Non-numeric hostdir suffix: fall back to FNV-1a of the component.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(comp); i++ {
+		h ^= uint64(comp[i])
+		h *= prime64
+	}
+	return int(h % uint64(len(s.backends)))
+}
+
+// routed reports whether path is owned by a single non-canonical-rule
+// backend (it contains a hostdir component) rather than mirrored.
+func routed(path string) bool { return hostdirComponent(path) != "" }
+
+func (s *StripedFS) owner(path string) FS { return s.backends[s.BackendFor(path)] }
+
+// mkdirAll creates path and any missing parents on b, tolerating
+// existing directories — used to materialise the mirrored directory
+// skeleton on shadow backends. The final component is created with mode;
+// intermediate parents (whose original modes are unknown here) default
+// to 0o755, as os.MkdirAll does.
+func mkdirAll(b FS, path string, mode uint32) error {
+	clean := gopath.Clean("/" + path)
+	if clean == "/" {
+		return nil
+	}
+	comps := strings.Split(clean[1:], "/")
+	var prefix string
+	var lastErr error
+	for i, comp := range comps {
+		m := uint32(0o755)
+		if i == len(comps)-1 {
+			m = mode
+		}
+		prefix += "/" + comp
+		lastErr = b.Mkdir(prefix, m)
+		if lastErr != nil && !errors.Is(lastErr, EEXIST) {
+			return lastErr
+		}
+	}
+	if errors.Is(lastErr, EEXIST) {
+		return nil
+	}
+	return lastErr
+}
+
+// track registers a backend descriptor and returns the composite fd.
+func (s *StripedFS) track(backend, fd int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cfd := s.nextFD
+	s.nextFD++
+	s.fds[cfd] = stripedFD{backend: backend, fd: fd}
+	return cfd
+}
+
+// resolve translates a composite fd to its backend pair.
+func (s *StripedFS) resolve(fd int) (FS, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.fds[fd]
+	if !ok {
+		return nil, -1, EBADF
+	}
+	return s.backends[e.backend], e.fd, nil
+}
+
+// Open implements FS. Creating a dropping inside a hostdir whose
+// directory skeleton is missing on the owning backend (a container
+// adopted mid-stream, or a mirror that raced) transparently materialises
+// the parents first.
+func (s *StripedFS) Open(path string, flags int, mode uint32) (int, error) {
+	b := s.BackendFor(path)
+	fd, err := s.backends[b].Open(path, flags, mode)
+	if errors.Is(err, ENOENT) && flags&O_CREAT != 0 && routed(path) {
+		if err := mkdirAll(s.backends[b], gopath.Dir(gopath.Clean("/"+path)), 0o755); err != nil {
+			return -1, err
+		}
+		fd, err = s.backends[b].Open(path, flags, mode)
+	}
+	if err != nil {
+		return -1, err
+	}
+	return s.track(b, fd), nil
+}
+
+// Close implements FS.
+func (s *StripedFS) Close(fd int) error {
+	s.mu.Lock()
+	e, ok := s.fds[fd]
+	if ok {
+		delete(s.fds, fd)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return EBADF
+	}
+	return s.backends[e.backend].Close(e.fd)
+}
+
+// Read implements FS.
+func (s *StripedFS) Read(fd int, p []byte) (int, error) {
+	b, bfd, err := s.resolve(fd)
+	if err != nil {
+		return 0, err
+	}
+	return b.Read(bfd, p)
+}
+
+// Write implements FS.
+func (s *StripedFS) Write(fd int, p []byte) (int, error) {
+	b, bfd, err := s.resolve(fd)
+	if err != nil {
+		return 0, err
+	}
+	return b.Write(bfd, p)
+}
+
+// Pread implements FS.
+func (s *StripedFS) Pread(fd int, p []byte, off int64) (int, error) {
+	b, bfd, err := s.resolve(fd)
+	if err != nil {
+		return 0, err
+	}
+	return b.Pread(bfd, p, off)
+}
+
+// Pwrite implements FS.
+func (s *StripedFS) Pwrite(fd int, p []byte, off int64) (int, error) {
+	b, bfd, err := s.resolve(fd)
+	if err != nil {
+		return 0, err
+	}
+	return b.Pwrite(bfd, p, off)
+}
+
+// Lseek implements FS.
+func (s *StripedFS) Lseek(fd int, offset int64, whence int) (int64, error) {
+	b, bfd, err := s.resolve(fd)
+	if err != nil {
+		return 0, err
+	}
+	return b.Lseek(bfd, offset, whence)
+}
+
+// Fsync implements FS.
+func (s *StripedFS) Fsync(fd int) error {
+	b, bfd, err := s.resolve(fd)
+	if err != nil {
+		return err
+	}
+	return b.Fsync(bfd)
+}
+
+// Ftruncate implements FS.
+func (s *StripedFS) Ftruncate(fd int, size int64) error {
+	b, bfd, err := s.resolve(fd)
+	if err != nil {
+		return err
+	}
+	return b.Ftruncate(bfd, size)
+}
+
+// Fstat implements FS.
+func (s *StripedFS) Fstat(fd int) (Stat, error) {
+	b, bfd, err := s.resolve(fd)
+	if err != nil {
+		return Stat{}, err
+	}
+	return b.Fstat(bfd)
+}
+
+// Stat implements FS.
+func (s *StripedFS) Stat(path string) (Stat, error) {
+	return s.owner(path).Stat(path)
+}
+
+// Truncate implements FS.
+func (s *StripedFS) Truncate(path string, size int64) error {
+	return s.owner(path).Truncate(path, size)
+}
+
+// Unlink implements FS.
+func (s *StripedFS) Unlink(path string) error {
+	return s.owner(path).Unlink(path)
+}
+
+// Mkdir implements FS. A routed (hostdir) directory is created only on
+// its owning backend; a canonical directory is created on backend 0 with
+// authoritative error semantics and mirrored — with parents — onto every
+// shadow backend so later hostdirs have a home there.
+func (s *StripedFS) Mkdir(path string, mode uint32) error {
+	if routed(path) {
+		b := s.owner(path)
+		err := b.Mkdir(path, mode)
+		if errors.Is(err, ENOENT) {
+			// Parent skeleton missing on the owning backend; build it.
+			if merr := mkdirAll(b, gopath.Dir(gopath.Clean("/"+path)), 0o755); merr != nil {
+				return merr
+			}
+			err = b.Mkdir(path, mode)
+		}
+		return err
+	}
+	err0 := s.backends[0].Mkdir(path, mode)
+	if err0 != nil && !errors.Is(err0, EEXIST) {
+		return err0
+	}
+	for _, b := range s.backends[1:] {
+		if err := mkdirAll(b, path, mode); err != nil {
+			return err
+		}
+	}
+	return err0
+}
+
+// Rmdir implements FS. Canonical directories come down on every backend
+// (shadows first, tolerating directories that never made it there);
+// backend 0 is authoritative for the result.
+func (s *StripedFS) Rmdir(path string) error {
+	if routed(path) {
+		return s.owner(path).Rmdir(path)
+	}
+	for _, b := range s.backends[1:] {
+		if err := b.Rmdir(path); err != nil && !errors.Is(err, ENOENT) {
+			return err
+		}
+	}
+	return s.backends[0].Rmdir(path)
+}
+
+// Readdir implements FS. A canonical directory's listing is the merged,
+// name-deduplicated union across backends — this is how a container walk
+// discovers hostdirs wherever they live. Backend 0 is authoritative for
+// errors; shadows that never mirrored the directory are skipped.
+func (s *StripedFS) Readdir(path string) ([]DirEntry, error) {
+	if routed(path) {
+		return s.owner(path).Readdir(path)
+	}
+	entries, err := s.backends[0].Readdir(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.backends) == 1 {
+		return entries, nil
+	}
+	seen := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		seen[e.Name] = true
+	}
+	for _, b := range s.backends[1:] {
+		shadow, err := b.Readdir(path)
+		if err != nil {
+			if errors.Is(err, ENOENT) || errors.Is(err, ENOTDIR) {
+				continue
+			}
+			return nil, err
+		}
+		for _, e := range shadow {
+			if !seen[e.Name] {
+				seen[e.Name] = true
+				entries = append(entries, e)
+			}
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries, nil
+}
+
+// Rename implements FS. Routed paths rename within their owning backend;
+// crossing backends is refused (EXDEV, as between real mounts). Canonical
+// paths rename on backend 0 first — the authoritative copy, so the
+// common failures (destination occupied, permissions) fail fast before
+// any shadow moves — then on every shadow holding the old path, carrying
+// a container's shadow hostdir trees along.
+func (s *StripedFS) Rename(oldpath, newpath string) error {
+	if routed(oldpath) || routed(newpath) {
+		bo, bn := s.BackendFor(oldpath), s.BackendFor(newpath)
+		if bo != bn {
+			return EXDEV
+		}
+		return s.backends[bo].Rename(oldpath, newpath)
+	}
+	if err := s.backends[0].Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	for _, b := range s.backends[1:] {
+		if err := b.Rename(oldpath, newpath); err != nil && !errors.Is(err, ENOENT) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Access implements FS.
+func (s *StripedFS) Access(path string, mode int) error {
+	return s.owner(path).Access(path, mode)
+}
+
+var _ FS = (*StripedFS)(nil)

@@ -54,6 +54,7 @@ const (
 	EACCES    Errno = 13
 	EEXIST    Errno = 17
 	ENOTDIR   Errno = 20
+	EXDEV     Errno = 18
 	EISDIR    Errno = 21
 	EINVAL    Errno = 22
 	EMFILE    Errno = 24
@@ -70,6 +71,7 @@ var errnoNames = map[Errno]string{
 	EBADF:     "EBADF: bad file descriptor",
 	EACCES:    "EACCES: permission denied",
 	EEXIST:    "EEXIST: file exists",
+	EXDEV:     "EXDEV: invalid cross-device link",
 	ENOTDIR:   "ENOTDIR: not a directory",
 	EISDIR:    "EISDIR: is a directory",
 	EINVAL:    "EINVAL: invalid argument",
