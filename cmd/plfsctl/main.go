@@ -7,10 +7,16 @@
 //	plfsctl -root /tmp/store info /backend/data        # container summary
 //	plfsctl -root /tmp/store index /backend/data       # dump merged index
 //	plfsctl -root /tmp/store flatten /backend/data /backend/data.flat
-//	plfsctl -root /tmp/store compact /backend/data  # merge index droppings
-//	plfsctl -root /tmp/store doctor /backend/data   # flag stale openhosts
+//	plfsctl -root /tmp/store compact /backend/data  # merge droppings + write flattened index
+//	plfsctl -root /tmp/store doctor /backend/data   # openhosts + index health report
 //	plfsctl -root /tmp/store -backends /tmp/b1,/tmp/b2 -fix doctor /backend/data
 //	plfsctl -root /tmp/store rm /backend/data
+//
+// compact consolidates the raw index droppings and persists the flattened
+// global index record cold opens load in O(extents). doctor reports per-
+// container index health — raw dropping and entry counts, flattened
+// generation and staleness — and with -fix refreshes or removes a stale
+// flattened record (fresh records are always left alone).
 package main
 
 import (
@@ -80,6 +86,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		global := idx.Build(entries)
 		fmt.Fprintf(stdout, "droppings:    %d index, %d entries, %d resolved extents\n",
 			droppings, len(entries), global.NumExtents())
+		if h, err := p.IndexHealth(path); err == nil && h.Flattened != nil {
+			state := "stale"
+			if h.Flattened.Fresh {
+				state = "fresh"
+			}
+			fmt.Fprintf(stdout, "flattened:    gen %d, %d extents, %s\n",
+				h.Flattened.Generation, h.Flattened.Extents, state)
+		}
 		if spread, err := p.ContainerSpread(path); err == nil && len(spread) > 1 {
 			fmt.Fprintf(stdout, "backends:     %d (droppings per backend: %v)\n", len(spread), spread)
 		}
@@ -112,6 +126,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		after, _ := p.IndexDroppings(path)
 		fmt.Fprintf(stdout, "compacted %s: %d -> %d index droppings\n", path, before, after)
+		// CompactIndex refreshes the flattened global index as it goes;
+		// report what cold readers will now load (or that the flatten
+		// failed and they will merge).
+		if h, err := p.IndexHealth(path); err == nil {
+			if h.Flattened != nil && h.Flattened.Fresh {
+				fmt.Fprintf(stdout, "flattened index: gen %d, %d extents (cold opens load it directly)\n",
+					h.Flattened.Generation, h.Flattened.Extents)
+			} else {
+				fmt.Fprintln(stdout, "flattened index: none (cold opens run the streaming merge)")
+			}
+		}
 	case "doctor":
 		// Stale openhosts records are the symptom of a writer that never
 		// cleanly closed (a crash, or the historical Trunc(0) leak):
@@ -137,6 +162,28 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		if spread, err := p.ContainerSpread(path); err == nil && len(spread) > 1 {
 			fmt.Fprintf(stdout, "backends: %d (droppings per backend: %v)\n", len(spread), spread)
 		}
+		// Index health: what a cold open costs today. A fresh flattened
+		// record is left strictly alone, fixed or not; a stale one is
+		// refreshed (no live writers) or removed (it can never become
+		// fresh again) only under -fix.
+		h, err := p.IndexHealth(path)
+		if err != nil {
+			return fail("%v", err)
+		}
+		fmt.Fprintf(stdout, "index: %d droppings, %d raw entries\n", h.IndexDroppings, h.RawEntries)
+		switch {
+		case h.Flattened == nil:
+			fmt.Fprintln(stdout, "flattened index: none (cold opens run the streaming merge)")
+		case h.Flattened.Err != nil:
+			fmt.Fprintf(stdout, "flattened index: gen %d DAMAGED (%v); readers fall back to the merge\n",
+				h.Flattened.Generation, h.Flattened.Err)
+		case h.Flattened.Fresh:
+			fmt.Fprintf(stdout, "flattened index: gen %d, %d extents, fresh\n",
+				h.Flattened.Generation, h.Flattened.Extents)
+		default:
+			fmt.Fprintf(stdout, "flattened index: gen %d STALE (raw droppings or live writers are newer); readers fall back to the merge\n",
+				h.Flattened.Generation)
+		}
 		if stale > 0 {
 			if *fix {
 				removed, err := p.ScrubOpenHosts(path)
@@ -148,6 +195,33 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stdout, "container degraded: stat takes the slow merged-index path and compact is refused")
 				fmt.Fprintln(stdout, "re-run with -fix to clear the stale records")
 				return 1
+			}
+		}
+		// Flattened repair runs after the openhosts scrub, against a
+		// re-taken health snapshot: a record that looked stale only
+		// because dead writers' openhosts records pinned OpenWriters may
+		// now be fresh again (nothing to do), and a genuinely stale one
+		// can be refreshed rather than dropped.
+		if *fix {
+			if stale > 0 {
+				if h, err = p.IndexHealth(path); err != nil {
+					return fail("%v", err)
+				}
+			}
+			if h.Flattened != nil && !h.Flattened.Fresh {
+				if h.OpenWriters == 0 {
+					info, err := p.WriteFlattenedIndex(path)
+					if err != nil {
+						return fail("refresh flattened index: %v", err)
+					}
+					fmt.Fprintf(stdout, "refreshed flattened index to gen %d (%d extents)\n", info.Generation, info.Extents)
+				} else {
+					removed, err := p.DropFlattenedIndex(path)
+					if err != nil {
+						return fail("remove stale flattened records: %v", err)
+					}
+					fmt.Fprintf(stdout, "removed %d stale flattened record(s); writers are live, re-run compact after they close\n", removed)
+				}
 			}
 		}
 	case "rm":

@@ -191,3 +191,168 @@ func TestCtlCommandsAcrossBackends(t *testing.T) {
 		}
 	}
 }
+
+// TestDoctorIndexHealth covers the flattened-index half of doctor: a
+// fresh record is reported and left strictly alone by -fix; a stale one
+// is reported, demotes nothing, and -fix refreshes it in place (no live
+// writers) to a new generation.
+func TestDoctorIndexHealth(t *testing.T) {
+	root := t.TempDir()
+	osfs, err := posix.NewOSFS(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := plfs.New(osfs, plfs.Options{NumHostdirs: 4})
+	f, err := p.Open("/data", posix.O_CREAT|posix.O_RDWR, 0, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid := uint32(0); pid < 3; pid++ {
+		if _, err := f.Write(bytes.Repeat([]byte{byte(pid + 1)}, 100), int64(pid)*100, pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pid := uint32(0); pid < 3; pid++ {
+		if err := f.Close(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flags := []string{"-root", root, "-hostdirs", "4"}
+
+	// Clean close wrote gen 1; doctor reports it fresh.
+	code, out := exec(t, append(flags, "doctor", "/data")...)
+	if code != 0 || !strings.Contains(out, "index: 3 droppings") || !strings.Contains(out, "flattened index: gen 1, 3 extents, fresh") {
+		t.Fatalf("doctor exit %d:\n%s", code, out)
+	}
+
+	// -fix must leave a fresh record alone.
+	recordPath := filepath.Join(root, "data", "index.flattened.1")
+	before, err := os.ReadFile(recordPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out = exec(t, append(flags, "-fix", "doctor", "/data")...)
+	if code != 0 || strings.Contains(out, "refreshed") || strings.Contains(out, "removed") {
+		t.Fatalf("doctor -fix touched a fresh record (exit %d):\n%s", code, out)
+	}
+	after, err := os.ReadFile(recordPath)
+	if err != nil || !bytes.Equal(before, after) {
+		t.Fatalf("fresh flattened record mutated by -fix: %v", err)
+	}
+
+	// Stage staleness: newer raw droppings behind the record's back.
+	stale := plfs.New(osfs, plfs.Options{NumHostdirs: 4, DisableAutoFlatten: true})
+	g, err := stale.Open("/data", posix.O_WRONLY, 7, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write([]byte("newer"), 300, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(7); err != nil {
+		t.Fatal(err)
+	}
+	code, out = exec(t, append(flags, "doctor", "/data")...)
+	if code != 0 || !strings.Contains(out, "flattened index: gen 1 STALE") {
+		t.Fatalf("doctor on stale record exit %d:\n%s", code, out)
+	}
+
+	// -fix refreshes in place: gen 2, fresh again, and reads still serve
+	// the post-staleness bytes.
+	code, out = exec(t, append(flags, "-fix", "doctor", "/data")...)
+	if code != 0 || !strings.Contains(out, "refreshed flattened index to gen 2") {
+		t.Fatalf("doctor -fix exit %d:\n%s", code, out)
+	}
+	code, out = exec(t, append(flags, "doctor", "/data")...)
+	if code != 0 || !strings.Contains(out, "flattened index: gen 2, 4 extents, fresh") {
+		t.Fatalf("post-refresh doctor exit %d:\n%s", code, out)
+	}
+	code, out = exec(t, append(flags, "info", "/data")...)
+	if code != 0 || !strings.Contains(out, "logical size: 305 bytes") || !strings.Contains(out, "flattened:    gen 2") {
+		t.Fatalf("info exit %d:\n%s", code, out)
+	}
+}
+
+// TestCompactWritesFlattened: the compact subcommand both consolidates
+// raw droppings and publishes the flattened record.
+func TestCompactWritesFlattened(t *testing.T) {
+	root := t.TempDir()
+	osfs, err := posix.NewOSFS(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := plfs.New(osfs, plfs.Options{NumHostdirs: 4, DisableAutoFlatten: true})
+	f, err := p.Open("/data", posix.O_CREAT|posix.O_RDWR, 0, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid := uint32(0); pid < 4; pid++ {
+		if _, err := f.Write(bytes.Repeat([]byte{'a' + byte(pid)}, 64), int64(pid)*64, pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pid := uint32(0); pid < 4; pid++ {
+		f.Close(pid)
+	}
+	flags := []string{"-root", root, "-hostdirs", "4"}
+	code, out := exec(t, append(flags, "compact", "/data")...)
+	if code != 0 || !strings.Contains(out, "4 -> 1 index droppings") || !strings.Contains(out, "flattened index: gen 1, 4 extents") {
+		t.Fatalf("compact exit %d:\n%s", code, out)
+	}
+	if _, err := os.Stat(filepath.Join(root, "data", "index.flattened.1")); err != nil {
+		t.Fatalf("compact did not publish the flattened record: %v", err)
+	}
+}
+
+// TestDoctorFixOrdersOpenhostsBeforeFlattened is the regression test
+// for the classic degraded container: a flattened record that looks
+// stale only because dead writers' openhosts records linger. One -fix
+// run must scrub the openhosts leftovers first and then recognise the
+// record as fresh again — not delete it with a "writers are live"
+// excuse.
+func TestDoctorFixOrdersOpenhostsBeforeFlattened(t *testing.T) {
+	root := t.TempDir()
+	osfs, err := posix.NewOSFS(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := plfs.New(osfs, plfs.Options{NumHostdirs: 4})
+	f, err := p.Open("/data", posix.O_CREAT|posix.O_WRONLY, 1, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(bytes.Repeat([]byte{7}, 256), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(1); err != nil {
+		t.Fatal(err)
+	}
+	// Forge a dead writer's leftover: pid 9 has no dropping anywhere.
+	if err := os.WriteFile(filepath.Join(root, "data", "openhosts", "host.9"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flags := []string{"-root", root, "-hostdirs", "4"}
+
+	// Without -fix: degraded, and the record reads as stale (pinned by
+	// the forged openhosts record).
+	code, out := exec(t, append(flags, "doctor", "/data")...)
+	if code != 1 || !strings.Contains(out, "flattened index: gen 1 STALE") {
+		t.Fatalf("doctor exit %d:\n%s", code, out)
+	}
+
+	// One -fix run: scrub, then the record is fresh again — untouched.
+	code, out = exec(t, append(flags, "-fix", "doctor", "/data")...)
+	if code != 0 || !strings.Contains(out, "removed 1 stale records") {
+		t.Fatalf("doctor -fix exit %d:\n%s", code, out)
+	}
+	if strings.Contains(out, "stale flattened record") || strings.Contains(out, "refreshed flattened") {
+		t.Fatalf("-fix touched a record that was only pinned by dead openhosts:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(root, "data", "index.flattened.1")); err != nil {
+		t.Fatalf("flattened record deleted by -fix: %v", err)
+	}
+	code, out = exec(t, append(flags, "doctor", "/data")...)
+	if code != 0 || !strings.Contains(out, "flattened index: gen 1, 1 extents, fresh") {
+		t.Fatalf("post-fix doctor exit %d:\n%s", code, out)
+	}
+}

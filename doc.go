@@ -33,10 +33,25 @@
 // canonical metadata lives on backend 0 while hostdirs — and so data
 // and index droppings — distribute across all backends by hostdir
 // number, letting both engines aggregate bandwidth over independent
-// stores. The on-disk format is guarded by a golden container fixture
-// (internal/plfs/testdata/golden), native fuzz targets over the
-// dropping parser and index merge (internal/plfs/index), and
-// differential tests proving single- and multi-backend instances read
-// byte-identically. See README.md ("Multi-backend striped containers",
-// "Format guardrails").
+// stores.
+//
+// The metadata path answers PLFS's cold-open wall with a flattened
+// global index: the container's resolved extent table persists as a
+// checksummed index.flattened.<gen> record (written atomically at
+// last-writer close and by plfsctl compact, living with the canonical
+// metadata on backend 0), which a cold Open/Stat loads in O(extents)
+// after revalidating the record's embedded raw-dropping signature —
+// any newer dropping or live writer silently demotes the build to a
+// memory-bounded streaming merge (chunked dropping streams k-way-merged
+// into a chunked interval map, replacing slurp-then-sort). See
+// README.md ("The flattened global index") and
+// internal/plfs/index/flattened.go for the lifecycle and trust rules.
+//
+// The on-disk format is guarded by golden container fixtures for both
+// format versions (internal/plfs/testdata/golden), native fuzz targets
+// over the dropping parser, index merge and flattened record
+// (internal/plfs/index), and differential tests proving single- and
+// multi-backend instances — with flattening trusted, disabled, or
+// deliberately stale — read byte-identically. See README.md
+// ("Multi-backend striped containers", "Format guardrails").
 package ldplfs

@@ -1,0 +1,241 @@
+// The flattened-global-index lifecycle: who writes the persisted extent
+// table, when readers trust it, and how operators inspect and repair it.
+//
+// A flattened record (index.flattened.<gen>, at the container root and so
+// on the canonical backend 0 of a striped instance) is produced when the
+// container's last writer closes and by plfsctl compact. Readers trust
+// the newest record only after revalidating it against the backend: the
+// record's embedded raw-dropping signature must match the droppings as
+// they are now and no writer may hold the container open — any newer raw
+// dropping or live writer silently demotes the read to the streaming
+// merge. The record is written atomically (temp + rename), so a crashed
+// flatten leaves at worst a dead temp file, never a half-record.
+package plfs
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	idx "ldplfs/internal/plfs/index"
+	"ldplfs/internal/posix"
+)
+
+// flattenedPrefix names flattened global index records in the container
+// root: index.flattened.<generation>.
+const flattenedPrefix = "index.flattened."
+
+func flattenedPath(container string, gen uint64) string {
+	return fmt.Sprintf("%s/%s%d", container, flattenedPrefix, gen)
+}
+
+// parseFlattenedGen extracts the generation from a flattened record file
+// name. Temp files and stray suffixes do not parse.
+func parseFlattenedGen(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, flattenedPrefix) {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(name[len(flattenedPrefix):], 10, 64)
+	return gen, err == nil
+}
+
+// SetFlattenedReads toggles the read path's use of flattened records at
+// runtime (IOPathTune-style: the knob that governs metadata-rebuild cost
+// is tunable on a live instance, not baked in at mount time). Disabling
+// never affects correctness — reads fall back to the streaming merge —
+// so operators can flip it freely while diagnosing index trouble.
+func (p *FS) SetFlattenedReads(enabled bool) { p.flattenOff.Store(!enabled) }
+
+// FlattenedReads reports whether the read path currently trusts
+// flattened records.
+func (p *FS) FlattenedReads() bool { return !p.flattenOff.Load() }
+
+// rawSignature hashes the droppings' container-relative paths and sizes —
+// the freshness token embedded in flattened records. It is rename- and
+// copy-invariant (no mtimes, no absolute paths) while still changing
+// whenever any dropping grows, shrinks, appears or disappears.
+func rawSignature(container string, droppings []string, stats []posix.Stat) uint64 {
+	rel := make([]string, len(droppings))
+	sizes := make([]int64, len(droppings))
+	for i, d := range droppings {
+		rel[i] = strings.TrimPrefix(d, container+"/")
+		sizes[i] = stats[i].Size
+	}
+	return idx.RawSignature(rel, sizes)
+}
+
+// FlattenedInfo describes one container's newest flattened record.
+type FlattenedInfo struct {
+	Generation uint64
+	Extents    int
+	Size       int64
+	// Fresh reports whether the record would currently be trusted by a
+	// reader: structurally valid, raw signature matching the droppings
+	// now, and no live writers.
+	Fresh bool
+	// Err carries the parse/validation failure of a present-but-damaged
+	// record (Fresh is false).
+	Err error
+}
+
+// IndexHealth is the per-container metadata report behind plfsctl
+// doctor: how much raw index a cold reader would have to merge, and
+// whether a flattened record spares it that work.
+type IndexHealth struct {
+	IndexDroppings int   // raw index dropping files
+	RawEntries     int64 // whole records across those droppings
+	OpenWriters    int   // openhosts records (live or stale)
+	Flattened      *FlattenedInfo
+	StaleRecords   int // flattened records that are not the fresh newest
+}
+
+// IndexHealth inspects the container's index metadata without building
+// an index.
+func (p *FS) IndexHealth(path string) (IndexHealth, error) {
+	if !p.IsContainer(path) {
+		return IndexHealth{}, posix.ENOENT
+	}
+	droppings, flatGens, err := p.listIndexState(path)
+	if err != nil {
+		return IndexHealth{}, err
+	}
+	stats, err := p.statDroppings(droppings)
+	if err != nil {
+		return IndexHealth{}, err
+	}
+	h := IndexHealth{IndexDroppings: len(droppings)}
+	for _, st := range stats {
+		if n := (st.Size - idx.DroppingHeaderSize) / idx.EntrySize; n > 0 {
+			h.RawEntries += n
+		}
+	}
+	recs, err := p.OpenHosts(path)
+	if err != nil {
+		return IndexHealth{}, err
+	}
+	h.OpenWriters = len(recs)
+	if len(flatGens) == 0 {
+		return h, nil
+	}
+	best := flatGens[0]
+	for _, g := range flatGens[1:] {
+		if g > best {
+			best = g
+		}
+	}
+	info := &FlattenedInfo{Generation: best}
+	raw := rawSignature(path, droppings, stats)
+	if fl, err := idx.ReadFlattened(p.backend, flattenedPath(path, best)); err != nil {
+		info.Err = err
+	} else {
+		info.Extents = len(fl.Extents)
+		info.Size = fl.Size
+		info.Fresh = fl.Generation == best && fl.RawSig == raw && h.OpenWriters == 0
+	}
+	h.Flattened = info
+	h.StaleRecords = len(flatGens) - 1
+	if !info.Fresh {
+		h.StaleRecords++
+	}
+	return h, nil
+}
+
+// WriteFlattenedIndex builds the container's merged index and persists
+// it as a new flattened record (plfs_flatten_index's modern form: the
+// raw droppings stay untouched; only the merge result is memoised).
+// Older generations are retired. The container must have no active
+// writers — a record written under a live writer would be stale on
+// arrival.
+func (p *FS) WriteFlattenedIndex(path string) (FlattenedInfo, error) {
+	if !p.IsContainer(path) {
+		return FlattenedInfo{}, posix.ENOENT
+	}
+	if p.hasOpenWriters(path) {
+		return FlattenedInfo{}, fmt.Errorf("plfs: flatten %s: container has active writers", path)
+	}
+	return p.writeFlattened(path)
+}
+
+// writeFlattened performs the flatten: one streaming merge, one atomic
+// record write, old generations retired best-effort.
+func (p *FS) writeFlattened(path string) (FlattenedInfo, error) {
+	droppings, flatGens, err := p.listIndexState(path)
+	if err != nil {
+		return FlattenedInfo{}, err
+	}
+	if len(droppings) == 0 {
+		return FlattenedInfo{}, fmt.Errorf("plfs: flatten %s: container has no index droppings", path)
+	}
+	stats, err := p.statDroppings(droppings)
+	if err != nil {
+		return FlattenedInfo{}, err
+	}
+	raw := rawSignature(path, droppings, stats)
+	global, err := p.mergeIndex(droppings)
+	if err != nil {
+		return FlattenedInfo{}, err
+	}
+	gen := uint64(1)
+	for _, g := range flatGens {
+		if g >= gen {
+			gen = g + 1
+		}
+	}
+	fl := &idx.Flattened{
+		Generation: gen,
+		RawSig:     raw,
+		Size:       global.Size(),
+		Extents:    global.Extents(),
+	}
+	if err := idx.WriteFlattened(p.backend, flattenedPath(path, gen), fl); err != nil {
+		return FlattenedInfo{}, err
+	}
+	for _, g := range flatGens {
+		p.backend.Unlink(flattenedPath(path, g))
+	}
+	return FlattenedInfo{Generation: gen, Extents: len(fl.Extents), Size: fl.Size, Fresh: true}, nil
+}
+
+// maybeAutoFlatten writes a flattened record when the container's last
+// writer has closed. Best-effort, like the meta size hints: a failed
+// flatten costs the next cold open a streaming merge, nothing more.
+func (p *FS) maybeAutoFlatten(path string) {
+	if p.opts.DisableAutoFlatten {
+		return
+	}
+	if p.hasOpenWriters(path) {
+		return
+	}
+	p.writeFlattened(path)
+}
+
+// DropFlattenedIndex removes the container's flattened records (all
+// generations), returning how many were unlinked. Raw droppings are
+// untouched, so reads simply revert to the streaming merge. Used by
+// doctor -fix on stale records it cannot refresh, and by tests forcing
+// the merge path.
+func (p *FS) DropFlattenedIndex(path string) (int, error) {
+	if !p.IsContainer(path) {
+		return 0, posix.ENOENT
+	}
+	_, flatGens, err := p.listIndexState(path)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	var ferr error
+	for _, g := range flatGens {
+		if err := p.backend.Unlink(flattenedPath(path, g)); err != nil {
+			if ferr == nil && !errors.Is(err, posix.ENOENT) {
+				ferr = err
+			}
+			continue
+		}
+		removed++
+	}
+	if removed > 0 {
+		p.invalidateIndex(path)
+	}
+	return removed, ferr
+}

@@ -26,17 +26,19 @@ import (
 var updateGolden = flag.Bool("update-golden", false, "regenerate the golden container fixture")
 
 const (
-	goldenDir       = "testdata/golden"
-	goldenContainer = "container.v1"
+	goldenDir         = "testdata/golden"
+	goldenContainer   = "container.v1"
+	goldenContainerV2 = "container.v2"
+	goldenExpectV2    = "expect.v2.txt"
 )
 
 // goldenWriteScript produces the fixture container: multiple writers on
 // colliding hostdirs, overlapping rewrites (last-writer-wins), a
 // vectored strided write, a hole, and clean closes (meta size hints).
 // It must stay byte-deterministic — single goroutine, fixed pids.
-func goldenWriteScript(tb testing.TB, p *FS) {
+func goldenWriteScript(tb testing.TB, p *FS, container string) {
 	tb.Helper()
-	f, err := p.Open("/"+goldenContainer, posix.O_CREAT|posix.O_RDWR, 1, 0o644)
+	f, err := p.Open("/"+container, posix.O_CREAT|posix.O_RDWR, 1, 0o644)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -115,6 +117,12 @@ func describeContainer(tb testing.TB, p *FS, path string) string {
 		}
 		fmt.Fprintf(&sb, "dropping %s %d\n", strings.TrimPrefix(d, path+"/"), dst.Size)
 	}
+	// v2 containers carry a flattened global index; freeze its observable
+	// contract too (a v1 container emits no line here).
+	if h, err := p.IndexHealth(path); err == nil && h.Flattened != nil {
+		fmt.Fprintf(&sb, "flattened gen %d extents %d size %d fresh %v\n",
+			h.Flattened.Generation, h.Flattened.Extents, h.Flattened.Size, h.Flattened.Fresh)
+	}
 	return sb.String()
 }
 
@@ -156,18 +164,31 @@ func dumpTree(tb testing.TB, fs posix.FS, from, to string) {
 }
 
 func regenerateGolden(t *testing.T) {
-	mem := posix.NewMemFS()
-	p := New(mem, Options{NumHostdirs: 4})
-	goldenWriteScript(t, p)
 	if err := os.RemoveAll(goldenDir); err != nil {
 		t.Fatal(err)
 	}
+	// container.v1 predates the flattened global index: regenerate it
+	// with auto-flatten off, exactly the bytes the v1 code produced.
+	mem := posix.NewMemFS()
+	p := New(mem, Options{NumHostdirs: 4, DisableAutoFlatten: true})
+	goldenWriteScript(t, p, goldenContainer)
 	dumpTree(t, mem, "/"+goldenContainer, filepath.Join(goldenDir, goldenContainer))
 	expect := describeContainer(t, p, "/"+goldenContainer)
 	if err := os.WriteFile(filepath.Join(goldenDir, "expect.txt"), []byte(expect), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("regenerated %s:\n%s", goldenDir, expect)
+	// container.v2 is the same write history under the current format:
+	// identical droppings plus the flattened record the last close
+	// persists.
+	mem2 := posix.NewMemFS()
+	p2 := New(mem2, Options{NumHostdirs: 4})
+	goldenWriteScript(t, p2, goldenContainerV2)
+	dumpTree(t, mem2, "/"+goldenContainerV2, filepath.Join(goldenDir, goldenContainerV2))
+	expect2 := describeContainer(t, p2, "/"+goldenContainerV2)
+	if err := os.WriteFile(filepath.Join(goldenDir, goldenExpectV2), []byte(expect2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("regenerated %s:\nv1:\n%s\nv2:\n%s", goldenDir, expect, expect2)
 }
 
 // TestGoldenContainerFormat reads the checked-in fixture through the
@@ -246,11 +267,92 @@ func TestGoldenContainerFormat(t *testing.T) {
 
 	// Regeneration determinism: replaying the write script today must
 	// still produce byte-identical droppings (physical layout included),
-	// not merely the same logical file.
+	// not merely the same logical file. v1 containers are what the
+	// pre-flatten code wrote, so the replay disables auto-flatten.
 	mem := posix.NewMemFS()
-	fresh := New(mem, Options{NumHostdirs: 4})
-	goldenWriteScript(t, fresh)
+	fresh := New(mem, Options{NumHostdirs: 4, DisableAutoFlatten: true})
+	goldenWriteScript(t, fresh, goldenContainer)
 	if regen := describeContainer(t, fresh, "/"+goldenContainer); regen != string(wantBytes) {
 		t.Fatalf("write path no longer reproduces the golden container.\n-- want --\n%s\n-- got --\n%s", wantBytes, regen)
+	}
+}
+
+// TestGoldenContainerV2 freezes the current container format: the same
+// write history as v1 plus the flattened global index record the last
+// close persists. It proves cross-version compatibility in both
+// directions — the v2 fixture must read via its flattened record AND
+// byte-identically with flattened reads disabled (the v1 read path),
+// while TestGoldenContainerFormat above proves v1 containers (no record)
+// still read unchanged.
+func TestGoldenContainerV2(t *testing.T) {
+	if *updateGolden {
+		t.Skip("fixtures regenerated by TestGoldenContainerFormat")
+	}
+
+	// Pin the flattened on-disk format constants the fixture embodies.
+	if idx.FlattenedHeaderSize != 48 || idx.FlattenedExtentSize != 32 {
+		t.Fatalf("flattened format geometry changed (%d/%d): the on-disk format is frozen",
+			idx.FlattenedHeaderSize, idx.FlattenedExtentSize)
+	}
+	if idx.FlattenedMagic != 0x504c4653464c5431 {
+		t.Fatalf("flattened magic changed to %#x", idx.FlattenedMagic)
+	}
+
+	work := t.TempDir()
+	if err := os.CopyFS(work, os.DirFS(goldenDir)); err != nil {
+		t.Fatal(err)
+	}
+	osfs, err := posix.NewOSFS(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := os.ReadFile(filepath.Join(goldenDir, goldenExpectV2))
+	if err != nil {
+		t.Fatalf("missing v2 expectations (run: go test ./internal/plfs -run Golden -update-golden): %v", err)
+	}
+
+	// Default read path: the fixture's flattened record must be fresh
+	// after a checkout (its raw signature is path- and mtime-invariant)
+	// and actually serve the build.
+	p := New(osfs, Options{NumHostdirs: 4})
+	got := describeContainer(t, p, "/"+goldenContainerV2)
+	if got != string(wantBytes) {
+		t.Fatalf("v2 container no longer reads identically.\n-- want --\n%s\n-- got --\n%s", wantBytes, got)
+	}
+	if s := p.IndexCacheStats(); s.FlattenedBuilds == 0 {
+		t.Fatalf("v2 fixture read did not load its flattened record: %+v", s)
+	}
+
+	// The v1 read regime (flattened ignored) must resolve the same bytes:
+	// the record is an accelerator, never a semantic fork.
+	pOff := New(osfs, Options{NumHostdirs: 4, DisableFlattenedReads: true})
+	gotOff := describeContainer(t, pOff, "/"+goldenContainerV2)
+	if gotOff != string(wantBytes) {
+		t.Fatalf("v2 container reads differently with flattened disabled.\n-- want --\n%s\n-- got --\n%s", wantBytes, gotOff)
+	}
+
+	// Raw flattened file checks: name, geometry, magic, generation.
+	raw, err := os.ReadFile(filepath.Join(work, goldenContainerV2, "index.flattened.1"))
+	if err != nil {
+		t.Fatalf("fixture lacks its flattened record: %v", err)
+	}
+	if (len(raw)-idx.FlattenedHeaderSize-8)%idx.FlattenedExtentSize != 0 {
+		t.Fatalf("flattened record not extent-aligned: %d bytes", len(raw))
+	}
+	fl, err := idx.UnmarshalFlattened(raw)
+	if err != nil {
+		t.Fatalf("fixture flattened record does not parse: %v", err)
+	}
+	if fl.Generation != 1 {
+		t.Fatalf("fixture flattened generation = %d", fl.Generation)
+	}
+
+	// Replay determinism for the current format: the write script must
+	// reproduce the v2 description (flattened line included) today.
+	mem := posix.NewMemFS()
+	fresh := New(mem, Options{NumHostdirs: 4})
+	goldenWriteScript(t, fresh, goldenContainerV2)
+	if regen := describeContainer(t, fresh, "/"+goldenContainerV2); regen != string(wantBytes) {
+		t.Fatalf("write path no longer reproduces the v2 container.\n-- want --\n%s\n-- got --\n%s", wantBytes, regen)
 	}
 }

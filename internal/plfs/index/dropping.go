@@ -13,6 +13,11 @@ const (
 	version    = 1
 )
 
+// DroppingHeaderSize is the on-disk length of an index dropping's header
+// — what inspection tools subtract before dividing by EntrySize to count
+// records without parsing.
+const DroppingHeaderSize = headerSize
+
 // Writer appends index records to an index dropping file through a posix
 // backend. It buffers records and flushes on Sync/Close so that a long run
 // of small writes costs one appended burst, as in PLFS's buffered index.

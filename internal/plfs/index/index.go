@@ -8,11 +8,20 @@
 // the container into a single global index — a set of non-overlapping
 // logical extents where, for overlapping writes, the entry with the highest
 // timestamp wins (last writer wins, as in PLFS proper).
+//
+// The merged index is held as a chunked interval map: the extent table is
+// split into bounded chunks ordered by logical offset, so an overlay insert
+// touches only the chunks its range covers (binary search over chunk
+// boundaries, splice within a chunk) instead of memmoving one monolithic
+// sorted slice. Random-offset overlays — the shape an interleaved N-writer
+// merge produces — cost O(chunk) each rather than O(extents), while
+// sequential appends keep their O(1) fast path.
 package index
 
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -96,12 +105,30 @@ type Extent struct {
 	Hole           bool
 }
 
+// chunkTarget is the nominal extent count per interval-map chunk. Inserts
+// splice within one chunk, so the per-overlay memmove is bounded by a few
+// chunkTarget-sized copies; chunks split at twice the target.
+const chunkTarget = 256
+
+// chunk is one bounded run of the interval map: sorted, non-overlapping
+// extents. Chunks are never empty.
+type chunk struct {
+	ext []Extent
+}
+
+func (c *chunk) start() int64 { return c.ext[0].LogicalOffset }
+func (c *chunk) end() int64 {
+	last := c.ext[len(c.ext)-1]
+	return last.LogicalOffset + last.Length
+}
+
 // Index is the merged, queryable global index of a container. The zero
 // value is an empty index.
 type Index struct {
-	extents []Extent // sorted by LogicalOffset, non-overlapping
-	size    int64    // logical EOF: max(offset+length) over all entries
-	trunc   bool     // whether an explicit truncation capped size
+	chunks []*chunk // globally sorted, non-overlapping; every chunk non-empty
+	n      int      // total extent count across chunks
+	size   int64    // logical EOF: max(offset+length) over all entries
+	trunc  bool     // whether an explicit truncation capped size
 }
 
 // Build merges entries (from any number of index droppings, in any order)
@@ -128,6 +155,96 @@ func Build(entries []Entry) *Index {
 	return idx
 }
 
+// FromExtents builds an index directly from an already-resolved extent
+// table — sorted by logical offset, non-overlapping, no holes — plus the
+// logical size (which may exceed the last extent's end when a truncate
+// extended the file). This is the O(extents) load path a flattened
+// on-disk record enables: no sort, no overlay merge. The table is
+// validated; a malformed table (out of order, overlapping, non-positive
+// length, hole marker, size below the data) is rejected so a corrupt
+// flattened record can never resolve reads.
+func FromExtents(extents []Extent, size int64) (*Index, error) {
+	idx := &Index{size: size}
+	var prevEnd int64
+	for i, x := range extents {
+		if x.Length <= 0 {
+			return nil, fmt.Errorf("index: extent %d has non-positive length %d", i, x.Length)
+		}
+		if x.Hole {
+			return nil, fmt.Errorf("index: extent %d is a hole (holes are implicit)", i)
+		}
+		if x.LogicalOffset < prevEnd {
+			return nil, fmt.Errorf("index: extent %d at %d overlaps previous end %d", i, x.LogicalOffset, prevEnd)
+		}
+		if x.LogicalOffset > math.MaxInt64-x.Length {
+			return nil, fmt.Errorf("index: extent %d end overflows (%+v)", i, x)
+		}
+		prevEnd = x.LogicalOffset + x.Length
+	}
+	if len(extents) > 0 && size < prevEnd {
+		return nil, fmt.Errorf("index: size %d below last extent end %d", size, prevEnd)
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("index: negative size %d", size)
+	}
+	for len(extents) > 0 {
+		n := chunkTarget
+		if n > len(extents) {
+			n = len(extents)
+		}
+		c := &chunk{ext: make([]Extent, n)}
+		copy(c.ext, extents[:n])
+		idx.chunks = append(idx.chunks, c)
+		idx.n += n
+		extents = extents[n:]
+	}
+	return idx, nil
+}
+
+// findChunk returns the index of the first chunk whose end is after off
+// (len(chunks) if none).
+func (idx *Index) findChunk(off int64) int {
+	return sort.Search(len(idx.chunks), func(k int) bool {
+		return idx.chunks[k].end() > off
+	})
+}
+
+// splitChunk splits chunk i in half when it outgrows the target.
+func (idx *Index) splitChunk(i int) {
+	c := idx.chunks[i]
+	if len(c.ext) < 2*chunkTarget {
+		return
+	}
+	mid := len(c.ext) / 2
+	right := &chunk{ext: make([]Extent, len(c.ext)-mid)}
+	copy(right.ext, c.ext[mid:])
+	c.ext = c.ext[:mid:mid]
+	idx.chunks = append(idx.chunks, nil)
+	copy(idx.chunks[i+2:], idx.chunks[i+1:])
+	idx.chunks[i+1] = right
+}
+
+// chunkify splits a merged extent run into evenly sized chunks of at
+// most chunkTarget extents. Even distribution matters: a greedy
+// 256-then-remainder split would shed size-1 slivers on every
+// mid-chunk insert, collapsing average chunk size and blowing up the
+// chunk count (and with it the per-insert splice cost).
+func chunkify(extents []Extent) []*chunk {
+	if len(extents) == 0 {
+		return nil
+	}
+	pieces := (len(extents) + chunkTarget - 1) / chunkTarget
+	out := make([]*chunk, 0, pieces)
+	for i := 0; i < pieces; i++ {
+		lo := i * len(extents) / pieces
+		hi := (i + 1) * len(extents) / pieces
+		c := &chunk{ext: make([]Extent, hi-lo)}
+		copy(c.ext, extents[lo:hi])
+		out = append(out, c)
+	}
+	return out
+}
+
 // insert overlays one entry onto the index; the entry wins every overlap
 // (callers insert in ascending timestamp order).
 func (idx *Index) insert(e Entry) {
@@ -148,51 +265,109 @@ func (idx *Index) insert(e Entry) {
 
 	// Fast path: appending past the current tail (the overwhelmingly
 	// common case — sequential checkpoint streams) costs O(1) instead of
-	// a full splice.
-	if n := len(idx.extents); n == 0 || idx.extents[n-1].LogicalOffset+idx.extents[n-1].Length <= lo {
-		idx.extents = append(idx.extents, newExt)
+	// a splice.
+	nc := len(idx.chunks)
+	if nc == 0 {
+		idx.chunks = []*chunk{{ext: []Extent{newExt}}}
+		idx.n = 1
+		return
+	}
+	if last := idx.chunks[nc-1]; last.end() <= lo {
+		last.ext = append(last.ext, newExt)
+		idx.n++
+		idx.splitChunk(nc - 1)
 		return
 	}
 
-	// Find the first extent that ends after lo.
-	i := sort.Search(len(idx.extents), func(k int) bool {
-		x := idx.extents[k]
+	// General overlay: locate the first extent whose end is after lo,
+	// then consume every extent overlapping [lo,hi). Only the first
+	// overlapped extent can contribute a surviving left piece and only
+	// the last a right piece; everything between is fully shadowed.
+	ci := idx.findChunk(lo)
+	c := idx.chunks[ci]
+	ei := sort.Search(len(c.ext), func(k int) bool {
+		x := c.ext[k]
 		return x.LogicalOffset+x.Length > lo
 	})
-	out := make([]Extent, 0, len(idx.extents)+2)
-	out = append(out, idx.extents[:i]...)
-
-	// Walk the extents overlapping [lo,hi). At most the first contributes a
-	// surviving left piece and at most the last a right piece; everything
-	// in between is fully shadowed by the new write.
-	var right *Extent
-	j := i
-	for ; j < len(idx.extents); j++ {
-		x := idx.extents[j]
-		if x.LogicalOffset >= hi {
-			break
-		}
-		if x.LogicalOffset < lo {
-			left := x
-			left.Length = lo - x.LogicalOffset
-			out = append(out, left)
-		}
-		if xEnd := x.LogicalOffset + x.Length; xEnd > hi {
-			r := x
-			r.Length = xEnd - hi
-			r.LogicalOffset = hi
-			if !x.Hole {
-				r.PhysicalOffset = x.PhysicalOffset + (hi - x.LogicalOffset)
+	var left, right *Extent
+	cj, ej := ci, ei
+	removed := 0
+walk:
+	for cj < len(idx.chunks) {
+		cc := idx.chunks[cj]
+		for ej < len(cc.ext) {
+			x := cc.ext[ej]
+			if x.LogicalOffset >= hi {
+				break walk
 			}
-			right = &r
+			if x.LogicalOffset < lo {
+				l := x
+				l.Length = lo - x.LogicalOffset
+				left = &l
+			}
+			if xEnd := x.LogicalOffset + x.Length; xEnd > hi {
+				r := x
+				r.Length = xEnd - hi
+				r.LogicalOffset = hi
+				if !x.Hole {
+					r.PhysicalOffset = x.PhysicalOffset + (hi - x.LogicalOffset)
+				}
+				right = &r
+			}
+			removed++
+			ej++
 		}
+		cj++
+		ej = 0
 	}
-	out = append(out, newExt)
+	// Overlap-free insert (the dominant case in an interleaved many-
+	// writer merge): splice into chunk ci in place instead of rebuilding
+	// it, splitting only when the chunk outgrows its bound.
+	if removed == 0 {
+		c.ext = append(c.ext, Extent{})
+		copy(c.ext[ei+1:], c.ext[ei:])
+		c.ext[ei] = newExt
+		idx.n++
+		idx.splitChunk(ci)
+		return
+	}
+
+	// Affected chunk range is [ci, lastAffected]; tail holds the
+	// untouched extents after the overlap inside the last affected chunk.
+	lastAffected := cj
+	var tail []Extent
+	if cj == len(idx.chunks) {
+		lastAffected = cj - 1
+	} else if ej == 0 {
+		// The walk stopped at the first extent of chunk cj: that chunk is
+		// untouched.
+		lastAffected = cj - 1
+	} else {
+		tail = idx.chunks[cj].ext[ej:]
+	}
+
+	merged := make([]Extent, 0, ei+3+len(tail))
+	merged = append(merged, c.ext[:ei]...)
+	if left != nil {
+		merged = append(merged, *left)
+	}
+	merged = append(merged, newExt)
 	if right != nil {
-		out = append(out, *right)
+		merged = append(merged, *right)
 	}
-	out = append(out, idx.extents[j:]...)
-	idx.extents = out
+	merged = append(merged, tail...)
+
+	replaced := 0
+	for k := ci; k <= lastAffected; k++ {
+		replaced += len(idx.chunks[k].ext)
+	}
+	pieces := chunkify(merged)
+	out := make([]*chunk, 0, len(idx.chunks)-(lastAffected-ci+1)+len(pieces))
+	out = append(out, idx.chunks[:ci]...)
+	out = append(out, pieces...)
+	out = append(out, idx.chunks[lastAffected+1:]...)
+	idx.chunks = out
+	idx.n += len(merged) - replaced
 }
 
 // Size returns the logical size of the file: the highest written offset
@@ -205,19 +380,32 @@ func (idx *Index) Truncate(size int64) {
 	if size < 0 {
 		size = 0
 	}
-	var out []Extent
-	for _, x := range idx.extents {
-		switch {
-		case x.LogicalOffset >= size:
-			// dropped entirely
-		case x.LogicalOffset+x.Length > size:
-			x.Length = size - x.LogicalOffset
-			out = append(out, x)
-		default:
-			out = append(out, x)
+	ci := idx.findChunk(size)
+	if ci < len(idx.chunks) {
+		c := idx.chunks[ci]
+		// Clip within the straddling chunk.
+		keep := sort.Search(len(c.ext), func(k int) bool {
+			return c.ext[k].LogicalOffset >= size
+		})
+		kept := c.ext[:keep]
+		if keep > 0 {
+			if last := &kept[keep-1]; last.LogicalOffset+last.Length > size {
+				last.Length = size - last.LogicalOffset
+			}
 		}
+		// Recount the dropped tail.
+		dropped := len(c.ext) - keep
+		for k := ci + 1; k < len(idx.chunks); k++ {
+			dropped += len(idx.chunks[k].ext)
+		}
+		if keep == 0 {
+			idx.chunks = idx.chunks[:ci]
+		} else {
+			c.ext = kept
+			idx.chunks = idx.chunks[:ci+1]
+		}
+		idx.n -= dropped
 	}
-	idx.extents = out
 	idx.size = size
 	idx.trunc = true
 }
@@ -243,36 +431,46 @@ func (idx *Index) Query(off, length int64) []Extent {
 	lo, hi := off, off+length
 
 	var out []Extent
-	i := sort.Search(len(idx.extents), func(k int) bool {
-		x := idx.extents[k]
-		return x.LogicalOffset+x.Length > lo
-	})
+	ci := idx.findChunk(lo)
 	cur := lo
-	for ; i < len(idx.extents) && cur < hi; i++ {
-		x := idx.extents[i]
-		if x.LogicalOffset >= hi {
-			break
+	var ei int
+	if ci < len(idx.chunks) {
+		c := idx.chunks[ci]
+		ei = sort.Search(len(c.ext), func(k int) bool {
+			x := c.ext[k]
+			return x.LogicalOffset+x.Length > lo
+		})
+	}
+	for ci < len(idx.chunks) && cur < hi {
+		c := idx.chunks[ci]
+		for ; ei < len(c.ext) && cur < hi; ei++ {
+			x := c.ext[ei]
+			if x.LogicalOffset >= hi {
+				ci = len(idx.chunks) // terminate outer loop
+				break
+			}
+			if x.LogicalOffset > cur {
+				out = append(out, Extent{LogicalOffset: cur, Length: x.LogicalOffset - cur, Hole: true})
+				cur = x.LogicalOffset
+			}
+			// Clip x to [cur, hi).
+			skip := cur - x.LogicalOffset
+			n := x.Length - skip
+			if rem := hi - cur; n > rem {
+				n = rem
+			}
+			out = append(out, Extent{
+				LogicalOffset:  cur,
+				Length:         n,
+				PhysicalOffset: x.PhysicalOffset + skip,
+				Pid:            x.Pid,
+				Dropping:       x.Dropping,
+				Hole:           x.Hole,
+			})
+			cur += n
 		}
-		if x.LogicalOffset > cur {
-			out = append(out, Extent{LogicalOffset: cur, Length: x.LogicalOffset - cur, Hole: true})
-			cur = x.LogicalOffset
-		}
-		// Clip x to [cur, hi).
-		skip := cur - x.LogicalOffset
-		n := x.Length - skip
-		if rem := hi - cur; n > rem {
-			n = rem
-		}
-		ext := Extent{
-			LogicalOffset:  cur,
-			Length:         n,
-			PhysicalOffset: x.PhysicalOffset + skip,
-			Pid:            x.Pid,
-			Dropping:       x.Dropping,
-			Hole:           x.Hole,
-		}
-		out = append(out, ext)
-		cur += n
+		ci++
+		ei = 0
 	}
 	if cur < hi {
 		out = append(out, Extent{LogicalOffset: cur, Length: hi - cur, Hole: true})
@@ -281,12 +479,14 @@ func (idx *Index) Query(off, length int64) []Extent {
 }
 
 // Extents returns a copy of the resolved extent list (holes omitted),
-// useful for container inspection tools.
+// useful for container inspection tools and index flattening.
 func (idx *Index) Extents() []Extent {
-	out := make([]Extent, len(idx.extents))
-	copy(out, idx.extents)
+	out := make([]Extent, 0, idx.n)
+	for _, c := range idx.chunks {
+		out = append(out, c.ext...)
+	}
 	return out
 }
 
 // NumExtents returns the number of resolved (non-hole) extents.
-func (idx *Index) NumExtents() int { return len(idx.extents) }
+func (idx *Index) NumExtents() int { return idx.n }

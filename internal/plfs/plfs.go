@@ -95,6 +95,25 @@ type Options struct {
 	// benchmark baseline.
 	DisableWriteSharding bool
 
+	// DisableAutoFlatten stops the instance from persisting a flattened
+	// global index record when a container's last writer closes. Reads
+	// still trust records written by other instances or plfsctl compact
+	// (unless DisableFlattenedReads). Used by baselines, and to stage
+	// deliberately stale records in tests.
+	DisableAutoFlatten bool
+
+	// DisableFlattenedReads makes the read path ignore flattened records
+	// entirely — every cold build runs the streaming merge over raw
+	// droppings. The setting is only the initial value; it can be toggled
+	// on a live instance via SetFlattenedReads.
+	DisableFlattenedReads bool
+
+	// MergeChunkRecords bounds the records each dropping stream buffers
+	// during the streaming index merge (0 = index.DefaultStreamChunk).
+	// Total merge memory is droppings x MergeChunkRecords x EntrySize on
+	// top of the result, independent of container history length.
+	MergeChunkRecords int
+
 	// Backends stripes the instance across multiple stores: the canonical
 	// container metadata (access marker, version, meta/, openhosts/)
 	// lives on Backends[0] and hostdirs — hence data and index droppings
@@ -141,6 +160,10 @@ type FS struct {
 	// instance has folded into its clock (see seedClock).
 	smu    sync.Mutex
 	seeded map[string]bool
+
+	// flattenOff disables the flattened-record read path at runtime
+	// (SetFlattenedReads); initialised from Options.DisableFlattenedReads.
+	flattenOff atomic.Bool
 }
 
 // New returns a PLFS instance over backend. With Options.Backends set,
@@ -163,6 +186,7 @@ func New(backend posix.FS, opts Options) *FS {
 	if !opts.DisableIndexCache {
 		p.cache = readcache.NewIndexCache(opts.MaxCachedIndexes)
 	}
+	p.flattenOff.Store(opts.DisableFlattenedReads)
 	return p
 }
 
@@ -708,7 +732,7 @@ func (f *File) readIndex() (*idx.Index, error) {
 	}
 	index, _, err := f.fs.cache.Get(f.path, !f.validated.Load(),
 		func() (readcache.Signature, error) { return f.fs.indexSignature(f.path) },
-		func() (*idx.Index, readcache.Signature, error) { return f.fs.buildIndex(f.path) })
+		func() (*idx.Index, readcache.Signature, readcache.BuildKind, error) { return f.fs.buildIndex(f.path) })
 	if err != nil {
 		return nil, err
 	}
@@ -907,9 +931,13 @@ func (f *File) rebindWritersLocked(size int64) error {
 // Close drops pid's writer state and decrements the handle refcount —
 // plfs_close. When the last reference closes, every remaining writer is
 // also torn down, size metadata is dropped into meta/ so later stats can
-// avoid a full index merge, and the openhosts records are cleared.
+// avoid a full index merge, and the openhosts records are cleared. A
+// close that retires the container's last writer also persists the
+// flattened global index (best effort), so the next cold open loads
+// O(extents) instead of re-merging every dropping.
 func (f *File) Close(pid uint32) error {
 	f.mu.Lock()
+	_, hadWriter := f.writers[pid]
 	if err := f.teardownWriterLocked(pid); err != nil {
 		f.mu.Unlock()
 		return err
@@ -917,11 +945,17 @@ func (f *File) Close(pid uint32) error {
 	f.refs--
 	last := f.refs <= 0
 	if last {
+		if len(f.writers) > 0 {
+			hadWriter = true
+		}
 		f.releaseLocked()
 	}
 	f.mu.Unlock()
 	if last {
 		f.fs.releaseContainer(f.path, f)
+	}
+	if hadWriter {
+		f.fs.maybeAutoFlatten(f.path)
 	}
 	return nil
 }
@@ -1016,15 +1050,12 @@ func (p *FS) Stat(path string) (posix.Stat, error) {
 // tracks freshness for path-level operations).
 func (p *FS) mergedIndex(path string) (*idx.Index, error) {
 	if p.cache == nil {
-		entries, err := p.readAllEntries(path)
-		if err != nil {
-			return nil, err
-		}
-		return idx.Build(entries), nil
+		index, _, _, err := p.buildIndex(path)
+		return index, err
 	}
 	index, _, err := p.cache.Get(path, true,
 		func() (readcache.Signature, error) { return p.indexSignature(path) },
-		func() (*idx.Index, readcache.Signature, error) { return p.buildIndex(path) })
+		func() (*idx.Index, readcache.Signature, readcache.BuildKind, error) { return p.buildIndex(path) })
 	return index, err
 }
 
@@ -1137,13 +1168,20 @@ func (p *FS) truncateContainer(path string, size int64) error {
 	}
 	if size == 0 {
 		// The droppings are about to disappear: cached read fds point at
-		// doomed files and the cached index at doomed entries.
+		// doomed files and the cached index at doomed entries. Flattened
+		// records describe the doomed extents — remove them too (their
+		// raw signature would fail anyway; this keeps the container
+		// clean).
 		p.fds.DropPrefix(path + "/")
 		p.invalidateIndex(path)
 		for _, d := range dirs {
 			if d.IsDir && len(d.Name) >= 8 && d.Name[:8] == "hostdir." {
 				if err := p.removeTree(path + "/" + d.Name); err != nil {
 					return err
+				}
+			} else if !d.IsDir {
+				if _, ok := parseFlattenedGen(d.Name); ok {
+					p.backend.Unlink(path + "/" + d.Name)
 				}
 			}
 		}
@@ -1199,6 +1237,15 @@ func (p *FS) truncateContainer(path string, size int64) error {
 	// (overlaps split entries into several extents); keep the clock ahead
 	// of them so post-truncate writes still win last-writer-wins.
 	p.bumpClock(uint64(len(consolidated)))
+	// Any flattened record predates the consolidation; its raw signature
+	// no longer matches, so retire it rather than leave a stale file.
+	for _, d := range dirs {
+		if !d.IsDir {
+			if _, ok := parseFlattenedGen(d.Name); ok {
+				p.backend.Unlink(path + "/" + d.Name)
+			}
+		}
+	}
 	// A sparse tail (truncate upward) needs a zero-length sentinel so Size
 	// sees the extension. Represent it with a zero-filled entry of length
 	// zero is impossible; instead extend via meta hints.
@@ -1278,6 +1325,11 @@ func (p *FS) CompactIndex(path string) error {
 		}
 	}
 	p.invalidateIndex(path)
+	// Compaction replaced the raw droppings, so any existing flattened
+	// record just went stale; refresh it from the consolidated state
+	// (best effort — compaction itself succeeded either way). plfsctl
+	// compact reports the outcome via IndexHealth.
+	p.writeFlattened(path)
 	return nil
 }
 

@@ -32,9 +32,23 @@ import (
 // order. Two equal signatures mean the droppings are unchanged.
 type Signature string
 
-// Loader builds a fresh index and reports the Signature of the state it
-// was built from.
-type Loader func() (*idx.Index, Signature, error)
+// BuildKind reports which load path a Loader took: the streaming merge
+// over raw index droppings, or the O(extents) load of a trusted
+// flattened global index record. The cache does not care — both produce
+// an equally fresh index — but callers (benchmarks, differential tests,
+// plfsctl doctor) need the distinction observable.
+type BuildKind int
+
+const (
+	// BuildMerge is a full reconstruction from raw index droppings.
+	BuildMerge BuildKind = iota
+	// BuildFlattened is a direct load of a trusted flattened record.
+	BuildFlattened
+)
+
+// Loader builds a fresh index, reporting the Signature of the state it
+// was built from and which load path produced it.
+type Loader func() (*idx.Index, Signature, BuildKind, error)
 
 // SigFunc computes the container's current Signature without parsing
 // droppings.
@@ -42,10 +56,11 @@ type SigFunc func() (Signature, error)
 
 // Stats counts cache activity. Snapshot via IndexCache.Stats.
 type Stats struct {
-	Hits          int64 // Get served from cache
-	Builds        int64 // Get ran the loader
-	Revalidations int64 // signature checks performed
-	Invalidations int64 // generation bumps
+	Hits            int64 // Get served from cache
+	Builds          int64 // Get ran the loader
+	FlattenedBuilds int64 // of Builds, how many loaded a flattened record
+	Revalidations   int64 // signature checks performed
+	Invalidations   int64 // generation bumps
 }
 
 // DefaultMaxContainers bounds how many containers keep a cached index.
@@ -59,10 +74,11 @@ type IndexCache struct {
 	max     int
 	tick    uint64
 
-	hits          atomic.Int64
-	builds        atomic.Int64
-	revalidations atomic.Int64
-	invalidations atomic.Int64
+	hits            atomic.Int64
+	builds          atomic.Int64
+	flattenedBuilds atomic.Int64
+	revalidations   atomic.Int64
+	invalidations   atomic.Int64
 }
 
 type cacheEntry struct {
@@ -147,11 +163,14 @@ func (c *IndexCache) Get(path string, revalidate bool, sig SigFunc, load Loader)
 		}
 	}
 
-	index, s, err := load()
+	index, s, kind, err := load()
 	if err != nil {
 		return nil, false, err
 	}
 	c.builds.Add(1)
+	if kind == BuildFlattened {
+		c.flattenedBuilds.Add(1)
+	}
 	// builtGen is the generation observed *before* the load: an
 	// invalidation racing with the build marks the result stale, and the
 	// next Get rebuilds.
@@ -188,9 +207,10 @@ func (c *IndexCache) Len() int {
 // Stats returns a snapshot of the cache counters.
 func (c *IndexCache) Stats() Stats {
 	return Stats{
-		Hits:          c.hits.Load(),
-		Builds:        c.builds.Load(),
-		Revalidations: c.revalidations.Load(),
-		Invalidations: c.invalidations.Load(),
+		Hits:            c.hits.Load(),
+		Builds:          c.builds.Load(),
+		FlattenedBuilds: c.flattenedBuilds.Load(),
+		Revalidations:   c.revalidations.Load(),
+		Invalidations:   c.invalidations.Load(),
 	}
 }

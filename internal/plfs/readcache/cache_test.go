@@ -11,9 +11,9 @@ import (
 )
 
 func loader(builds *atomic.Int64, sig Signature) Loader {
-	return func() (*idx.Index, Signature, error) {
+	return func() (*idx.Index, Signature, BuildKind, error) {
 		builds.Add(1)
-		return idx.Build(nil), sig, nil
+		return idx.Build(nil), sig, BuildMerge, nil
 	}
 }
 
@@ -62,9 +62,9 @@ func TestRevalidationDetectsBackendChange(t *testing.T) {
 	var builds atomic.Int64
 	cur := Signature("v1")
 	sig := func() (Signature, error) { return cur, nil }
-	load := func() (*idx.Index, Signature, error) {
+	load := func() (*idx.Index, Signature, BuildKind, error) {
 		builds.Add(1)
-		return idx.Build(nil), cur, nil
+		return idx.Build(nil), cur, BuildMerge, nil
 	}
 
 	c.Get("/c", true, sig, load)
@@ -89,7 +89,7 @@ func TestRevalidationDetectsBackendChange(t *testing.T) {
 func TestLoadErrorNotCached(t *testing.T) {
 	c := NewIndexCache(0)
 	boom := errors.New("boom")
-	fail := func() (*idx.Index, Signature, error) { return nil, "", boom }
+	fail := func() (*idx.Index, Signature, BuildKind, error) { return nil, "", BuildMerge, boom }
 	if _, _, err := c.Get("/c", false, sigFn("s"), fail); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
@@ -133,7 +133,7 @@ func TestConcurrentGetSingleflight(t *testing.T) {
 	c := NewIndexCache(0)
 	var builds atomic.Int64
 	var inFlight, maxInFlight atomic.Int64
-	load := func() (*idx.Index, Signature, error) {
+	load := func() (*idx.Index, Signature, BuildKind, error) {
 		n := inFlight.Add(1)
 		for {
 			m := maxInFlight.Load()
@@ -143,7 +143,7 @@ func TestConcurrentGetSingleflight(t *testing.T) {
 		}
 		builds.Add(1)
 		inFlight.Add(-1)
-		return idx.Build(nil), "s", nil
+		return idx.Build(nil), "s", BuildMerge, nil
 	}
 	var wg sync.WaitGroup
 	for g := 0; g < 16; g++ {
@@ -161,5 +161,24 @@ func TestConcurrentGetSingleflight(t *testing.T) {
 	}
 	if maxInFlight.Load() != 1 {
 		t.Fatalf("max concurrent builds = %d, want 1", maxInFlight.Load())
+	}
+}
+
+func TestFlattenedBuildsCounted(t *testing.T) {
+	c := NewIndexCache(0)
+	flat := func() (*idx.Index, Signature, BuildKind, error) {
+		return idx.Build(nil), "s", BuildFlattened, nil
+	}
+	if _, built, err := c.Get("/c", false, sigFn("s"), flat); err != nil || !built {
+		t.Fatalf("Get: built=%v err=%v", built, err)
+	}
+	c.Invalidate("/c")
+	var builds atomic.Int64
+	if _, built, err := c.Get("/c", false, sigFn("s"), loader(&builds, "s")); err != nil || !built {
+		t.Fatalf("rebuild: built=%v err=%v", built, err)
+	}
+	s := c.Stats()
+	if s.Builds != 2 || s.FlattenedBuilds != 1 {
+		t.Fatalf("stats = %+v, want 2 builds of which 1 flattened", s)
 	}
 }

@@ -12,6 +12,7 @@
 package plfs
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -83,18 +84,24 @@ func runParallel(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
-// listIndexDroppings returns every index dropping path in the container,
-// in deterministic (hostdir, name) order. The per-hostdir listings fan
-// out across the index worker pool.
-func (p *FS) listIndexDroppings(path string) ([]string, error) {
+// listIndexState walks the container once, returning every index
+// dropping path in deterministic (hostdir, name) order plus the
+// generations of any flattened global index records at the container
+// root. The per-hostdir listings fan out across the index worker pool.
+func (p *FS) listIndexState(path string) ([]string, []uint64, error) {
 	dirs, err := p.backend.Readdir(path)
 	if err != nil {
-		return nil, fmt.Errorf("plfs: list container: %w", err)
+		return nil, nil, fmt.Errorf("plfs: list container: %w", err)
 	}
 	var hostdirs []string
+	var flatGens []uint64
 	for _, d := range dirs {
 		if d.IsDir && strings.HasPrefix(d.Name, "hostdir.") {
 			hostdirs = append(hostdirs, path+"/"+d.Name)
+		} else if !d.IsDir {
+			if gen, ok := parseFlattenedGen(d.Name); ok {
+				flatGens = append(flatGens, gen)
+			}
 		}
 	}
 	lists := make([][]string, len(hostdirs))
@@ -114,11 +121,17 @@ func (p *FS) listIndexDroppings(path string) ([]string, error) {
 	var droppings []string
 	for i := range hostdirs {
 		if errs[i] != nil {
-			return nil, errs[i]
+			return nil, nil, errs[i]
 		}
 		droppings = append(droppings, lists[i]...)
 	}
-	return droppings, nil
+	return droppings, flatGens, nil
+}
+
+// listIndexDroppings returns the container's index dropping paths.
+func (p *FS) listIndexDroppings(path string) ([]string, error) {
+	droppings, _, err := p.listIndexState(path)
+	return droppings, err
 }
 
 // readAllEntries loads every index dropping in the container, fanning
@@ -169,38 +182,121 @@ func (p *FS) indexSignature(path string) (readcache.Signature, error) {
 	return sig, nil
 }
 
-func (p *FS) signatureOf(droppings []string) (readcache.Signature, error) {
+// statDroppings stats every dropping in parallel, in list order.
+func (p *FS) statDroppings(droppings []string) ([]posix.Stat, error) {
 	stats := make([]posix.Stat, len(droppings))
 	errs := make([]error, len(droppings))
 	runParallel(len(droppings), p.indexWorkers(), func(i int) {
 		stats[i], errs[i] = p.backend.Stat(droppings[i])
 	})
-	var sb strings.Builder
-	for i, d := range droppings {
+	for i := range droppings {
 		if errs[i] != nil {
-			return "", errs[i]
+			return nil, errs[i]
 		}
-		fmt.Fprintf(&sb, "%s|%d|%d\n", d, stats[i].Size, stats[i].Mtime)
 	}
-	return readcache.Signature(sb.String()), nil
+	return stats, nil
 }
 
-// buildIndex is the cache loader: one full reconstruction — list, stat
-// (for the signature), parse in parallel, merge.
-func (p *FS) buildIndex(path string) (*idx.Index, readcache.Signature, error) {
-	droppings, err := p.listIndexDroppings(path)
+func (p *FS) signatureOf(droppings []string) (readcache.Signature, error) {
+	stats, err := p.statDroppings(droppings)
 	if err != nil {
-		return nil, "", err
+		return "", err
 	}
-	sig, err := p.signatureOf(droppings)
+	return signatureFrom(droppings, stats), nil
+}
+
+func signatureFrom(droppings []string, stats []posix.Stat) readcache.Signature {
+	var sb strings.Builder
+	for i, d := range droppings {
+		fmt.Fprintf(&sb, "%s|%d|%d\n", d, stats[i].Size, stats[i].Mtime)
+	}
+	return readcache.Signature(sb.String())
+}
+
+// mergeIndex reconstructs the merged index from raw droppings with the
+// memory-bounded streaming merge: each dropping is read in bounded
+// chunks (stream open + first-chunk prefetch fanned across the index
+// worker pool) and overlaid in global timestamp order through a k-way
+// heap, instead of slurping every record into one slice and sorting it.
+// A dropping whose records defy timestamp order (only adversarial inputs
+// do) demotes the whole reconstruction to the slurp-and-sort path, which
+// handles any order.
+func (p *FS) mergeIndex(droppings []string) (*idx.Index, error) {
+	streams := make([]*idx.DroppingStream, len(droppings))
+	errs := make([]error, len(droppings))
+	runParallel(len(droppings), p.indexWorkers(), func(i int) {
+		s, err := idx.OpenDroppingStream(p.backend, droppings[i], p.opts.MergeChunkRecords)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		streams[i] = s
+		errs[i] = s.Prefetch()
+	})
+	closeAll := func() {
+		for _, s := range streams {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}
+	for i := range droppings {
+		if errs[i] != nil {
+			closeAll()
+			return nil, errs[i]
+		}
+	}
+	merged, err := idx.MergeStreams(streams...)
+	closeAll()
 	if err != nil {
-		return nil, "", err
+		if errors.Is(err, idx.ErrUnsorted) {
+			entries, lerr := p.loadDroppings(droppings)
+			if lerr != nil {
+				return nil, lerr
+			}
+			return idx.Build(entries), nil
+		}
+		return nil, err
 	}
-	entries, err := p.loadDroppings(droppings)
+	return merged, nil
+}
+
+// buildIndex is the cache loader: one full reconstruction. It lists and
+// stats the container once, then takes the cheapest trustworthy path —
+// the newest flattened record when its embedded raw signature still
+// matches the droppings and no writer is live (an O(extents) load), the
+// streaming merge otherwise. A stale, torn or corrupt flattened record
+// is silently ignored: it can cost a merge, never wrong bytes.
+func (p *FS) buildIndex(path string) (*idx.Index, readcache.Signature, readcache.BuildKind, error) {
+	droppings, flatGens, err := p.listIndexState(path)
 	if err != nil {
-		return nil, "", err
+		return nil, "", readcache.BuildMerge, err
 	}
-	return idx.Build(entries), sig, nil
+	stats, err := p.statDroppings(droppings)
+	if err != nil {
+		return nil, "", readcache.BuildMerge, err
+	}
+	sig := signatureFrom(droppings, stats)
+	if p.FlattenedReads() && len(flatGens) > 0 {
+		best := flatGens[0]
+		for _, g := range flatGens[1:] {
+			if g > best {
+				best = g
+			}
+		}
+		raw := rawSignature(path, droppings, stats)
+		if fl, err := idx.ReadFlattened(p.backend, flattenedPath(path, best)); err == nil &&
+			fl.Generation == best && fl.RawSig == raw && !p.hasOpenWriters(path) {
+			if index, err := idx.FromExtents(fl.Extents, fl.Size); err == nil {
+				return index, sig, readcache.BuildFlattened, nil
+			}
+		}
+	}
+	index, err := p.mergeIndex(droppings)
+	if err != nil {
+		return nil, "", readcache.BuildMerge, err
+	}
+	return index, sig, readcache.BuildMerge, nil
 }
 
 // scatterGather fills buf (whose logical origin is off) from the

@@ -120,6 +120,7 @@ func TestStripedDifferentialScript(t *testing.T) {
 				faulty bool
 			}{
 				{"single", 1, false},
+				{"single-fault", 1, true},
 				{"striped2", 2, false},
 				{"striped3", 3, false},
 				{"striped3-fault", 3, true},
@@ -261,7 +262,90 @@ func TestStripedDifferentialScript(t *testing.T) {
 					t.Fatalf("[%s] container did not fan out: spread %v", in.name, spread)
 				}
 			}
+
+			// Flatten-mode differential: after the script, every backend
+			// configuration must read the exact final bytes in all three
+			// index regimes — flattened record trusted, flattened reads
+			// disabled, and a deliberately stale record present.
+			for _, in := range insts {
+				checkFlattenModes(t, in.name, in.p.Backend(), "/backend/diff", 5, want)
+			}
 		})
+	}
+}
+
+// checkFlattenModes reads the container through three fresh instances —
+// flattened forced on (record refreshed, trust asserted via cache
+// stats), flattened reads disabled (pure streaming merge), and with a
+// deliberately stale record (newer raw droppings staged behind it,
+// fallback asserted) — and demands byte-identical content each time.
+// The staging write extends the file deterministically, so callers pass
+// the pre-staging expectation in want.
+func checkFlattenModes(t *testing.T, name string, backend posix.FS, path string, hostdirs int, want []byte) {
+	t.Helper()
+	readVia := func(p *FS, wantLen int64) []byte {
+		t.Helper()
+		f, err := p.Open(path, posix.O_RDONLY, 31337, 0)
+		if err != nil {
+			t.Fatalf("[%s] open: %v", name, err)
+		}
+		defer f.Close(31337)
+		size, err := f.Size()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size != wantLen {
+			t.Fatalf("[%s] size = %d, want %d", name, size, wantLen)
+		}
+		buf := make([]byte, size)
+		if n, err := f.Read(buf, 0); err != nil || int64(n) != size {
+			t.Fatalf("[%s] read = %d, %v", name, n, err)
+		}
+		return buf
+	}
+
+	// Forced on: refresh the record, then prove a cold instance loads it.
+	freshP := New(backend, Options{NumHostdirs: hostdirs})
+	if _, err := freshP.WriteFlattenedIndex(path); err != nil {
+		t.Fatalf("[%s] flatten: %v", name, err)
+	}
+	onP := New(backend, Options{NumHostdirs: hostdirs})
+	if got := readVia(onP, int64(len(want))); !bytes.Equal(got, want) {
+		t.Fatalf("[%s] flattened-on read diverged", name)
+	}
+	if s := onP.IndexCacheStats(); s.FlattenedBuilds == 0 {
+		t.Fatalf("[%s] flattened-on read did not load the record: %+v", name, s)
+	}
+
+	// Forced off: pure streaming merge.
+	offP := New(backend, Options{NumHostdirs: hostdirs, DisableFlattenedReads: true})
+	if got := readVia(offP, int64(len(want))); !bytes.Equal(got, want) {
+		t.Fatalf("[%s] flattened-off read diverged", name)
+	}
+	if s := offP.IndexCacheStats(); s.FlattenedBuilds != 0 {
+		t.Fatalf("[%s] disabled instance loaded the record: %+v", name, s)
+	}
+
+	// Deliberately stale: append past EOF without refreshing the record.
+	staleTail := []byte("stale-mode differential tail")
+	wP := New(backend, Options{NumHostdirs: hostdirs, DisableAutoFlatten: true})
+	wf, err := wP.Open(path, posix.O_WRONLY, 31338, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wf.Write(staleTail, int64(len(want)), 31338); err != nil {
+		t.Fatal(err)
+	}
+	if err := wf.Close(31338); err != nil {
+		t.Fatal(err)
+	}
+	wantStale := append(append([]byte(nil), want...), staleTail...)
+	staleP := New(backend, Options{NumHostdirs: hostdirs})
+	if got := readVia(staleP, int64(len(wantStale))); !bytes.Equal(got, wantStale) {
+		t.Fatalf("[%s] stale-record read diverged", name)
+	}
+	if s := staleP.IndexCacheStats(); s.FlattenedBuilds != 0 {
+		t.Fatalf("[%s] stale record was trusted: %+v", name, s)
 	}
 }
 

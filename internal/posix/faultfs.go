@@ -15,9 +15,10 @@ import (
 type FaultFS struct {
 	inner FS
 
-	mu    sync.Mutex
-	rules []*FaultRule
-	fds   map[int]string // open path per fd, so fd-based ops match PathContains
+	mu     sync.Mutex
+	rules  []*FaultRule
+	fds    map[int]string    // open path per fd, so fd-based ops match PathContains
+	counts map[FaultOp]int64 // operations seen per class (faulted or not)
 
 	svcOp FaultOp       // operation class the service time applies to
 	svcD  time.Duration // per-op service time (0 = disabled)
@@ -61,7 +62,24 @@ type FaultRule struct {
 
 // NewFaultFS wraps inner with no rules (transparent until Inject).
 func NewFaultFS(inner FS) *FaultFS {
-	return &FaultFS{inner: inner, fds: make(map[int]string)}
+	return &FaultFS{inner: inner, fds: make(map[int]string), counts: make(map[FaultOp]int64)}
+}
+
+// OpCount reports how many operations of class op have passed through
+// (whether or not a rule fired); FaultAny returns the total across all
+// classes. Tests use it to assert I/O budgets — e.g. that a flattened
+// cold open does not touch every dropping.
+func (f *FaultFS) OpCount(op FaultOp) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if op == FaultAny {
+		var total int64
+		for _, n := range f.counts {
+			total += n
+		}
+		return total
+	}
+	return f.counts[op]
 }
 
 // pathOf returns the path fd was opened under ("" if unknown).
@@ -136,6 +154,7 @@ func (f *FaultFS) check(op FaultOp, path string) error {
 func (f *FaultFS) checkPartial(op FaultOp, path string) (error, int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.counts[op]++
 	for _, r := range f.rules {
 		if r.Op != FaultAny && r.Op != op {
 			continue

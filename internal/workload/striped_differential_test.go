@@ -87,7 +87,9 @@ func checkSpread(t *testing.T, store posix.FS, name string) {
 
 // diffAcrossStores runs one workload phase against every backend
 // configuration and demands byte-identical container contents, sizes and
-// Stat results.
+// Stat results — then re-reads every container in all three flattened-
+// index regimes (record trusted, record ignored, record deliberately
+// stale) and demands the same bytes again.
 func diffAcrossStores(t *testing.T, outputs []string, run func(store posix.FS)) {
 	t.Helper()
 	type digest struct {
@@ -97,7 +99,8 @@ func diffAcrossStores(t *testing.T, outputs []string, run func(store posix.FS)) 
 	want := map[string]digest{} // per output file, from the single-backend run
 
 	stores := stripedStores(t)
-	for _, cfg := range []string{"single", "striped2", "striped3", "striped3-fault"} {
+	cfgs := []string{"single", "striped2", "striped3", "striped3-fault"}
+	for _, cfg := range cfgs {
 		store := stores[cfg]
 		run(store)
 		for _, out := range outputs {
@@ -120,6 +123,98 @@ func diffAcrossStores(t *testing.T, outputs []string, run func(store posix.FS)) 
 			checkSpread(t, store, out)
 		}
 	}
+
+	// Flatten-mode differential over the kernels' real containers, on
+	// single- and multi-backend stores (MemFS and the FaultFS-wrapped
+	// triple). Each mode must reproduce the digests recorded above.
+	for _, cfg := range cfgs {
+		store := stores[cfg]
+		for _, out := range outputs {
+			path := harness.BackendDir + "/" + out
+			w := want[out]
+
+			// Forced on: refresh the record, read cold, assert it was
+			// actually loaded.
+			opts := plfs.DefaultOptions()
+			if _, err := plfs.New(store, opts).WriteFlattenedIndex(path); err != nil {
+				t.Fatalf("[%s] flatten %s: %v", cfg, out, err)
+			}
+			onP := plfs.New(store, opts)
+			if size, sum, statSize := digestVia(t, onP, path); size != w.size || statSize != w.statSize || sum != w.sum {
+				t.Fatalf("[%s] %s flattened-on read diverged", cfg, out)
+			}
+			if s := onP.IndexCacheStats(); s.FlattenedBuilds == 0 {
+				t.Fatalf("[%s] %s flattened-on read did not use the record: %+v", cfg, out, s)
+			}
+
+			// Forced off: streaming merge only.
+			offOpts := plfs.DefaultOptions()
+			offOpts.DisableFlattenedReads = true
+			offP := plfs.New(store, offOpts)
+			if size, sum, statSize := digestVia(t, offP, path); size != w.size || statSize != w.statSize || sum != w.sum {
+				t.Fatalf("[%s] %s flattened-off read diverged", cfg, out)
+			}
+			if s := offP.IndexCacheStats(); s.FlattenedBuilds != 0 {
+				t.Fatalf("[%s] %s disabled reads loaded the record", cfg, out)
+			}
+
+			// Deliberately stale: append a deterministic tail behind the
+			// record's back; a cold default instance must fall back and
+			// serve the extended bytes.
+			tail := []byte("kernel-differential stale tail: " + out)
+			wOpts := plfs.DefaultOptions()
+			wOpts.DisableAutoFlatten = true
+			wP := plfs.New(store, wOpts)
+			f, err := wP.Open(path, posix.O_WRONLY, 424242, 0o644)
+			if err != nil {
+				t.Fatalf("[%s] stale staging open %s: %v", cfg, out, err)
+			}
+			if _, err := f.Write(tail, w.size, 424242); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(424242); err != nil {
+				t.Fatal(err)
+			}
+			staleP := plfs.New(store, plfs.DefaultOptions())
+			size, sum, statSize := digestVia(t, staleP, path)
+			if size != w.size+int64(len(tail)) || statSize != size {
+				t.Fatalf("[%s] %s stale read size = %d/%d, want %d", cfg, out, size, statSize, w.size+int64(len(tail)))
+			}
+			if s := staleP.IndexCacheStats(); s.FlattenedBuilds != 0 {
+				t.Fatalf("[%s] %s stale record was trusted", cfg, out)
+			}
+			// And the merge path agrees byte-for-byte on the extended file.
+			off2 := plfs.DefaultOptions()
+			off2.DisableFlattenedReads = true
+			if s2, sum2, _ := digestVia(t, plfs.New(store, off2), path); s2 != size || sum2 != sum {
+				t.Fatalf("[%s] %s stale-vs-merge digest diverged", cfg, out)
+			}
+		}
+	}
+}
+
+// digestVia reads the container's full logical contents through the
+// given instance, returning (size, md5, stat size).
+func digestVia(t *testing.T, p *plfs.FS, path string) (int64, [16]byte, int64) {
+	t.Helper()
+	f, err := p.Open(path, posix.O_RDONLY, 999, 0)
+	if err != nil {
+		t.Fatalf("open container %s: %v", path, err)
+	}
+	defer f.Close(999)
+	size, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, size)
+	if n, err := f.Read(buf, 0); err != nil || int64(n) != size {
+		t.Fatalf("read container %s: n=%d err=%v (size %d)", path, n, err, size)
+	}
+	st, err := p.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return size, md5.Sum(buf), st.Size
 }
 
 // TestStripedDifferentialMPIIOTest runs the LANL MPI-IO Test N-1 strided
