@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"ldplfs/internal/core"
+	"ldplfs/internal/iostats"
 	"ldplfs/internal/plfs"
 	"ldplfs/internal/posix"
 	"ldplfs/internal/unixtools"
@@ -32,6 +33,11 @@ func main() {
 	indexBatch := flag.Int("index-batch", 0, "PLFS index group-flush threshold in records (0 = default, <0 = flush only on sync)")
 	writeWorkers := flag.Int("write-workers", 0, "PLFS parallel pwrites per vectored write (0 = default)")
 	readWorkers := flag.Int("read-workers", 0, "PLFS parallel preads per scatter-gather read (0 = default)")
+	mergeChunkRecords := flag.Int("merge-chunk-records", 0, "records buffered per dropping stream during the index merge (0 = default; bounds merge memory)")
+	noAutoFlatten := flag.Bool("no-auto-flatten", false, "do not persist a flattened global index when a container's last writer closes")
+	noFlattenedReads := flag.Bool("no-flattened-reads", false, "ignore flattened index records; every cold open runs the streaming merge")
+	stats := flag.Bool("stats", false, "attach the iostats telemetry plane (posix backend + PLFS layers) and dump a snapshot to stderr at exit")
+	autotune := flag.Bool("autotune", false, "let the PLFS feedback controller adapt ReadWorkers/WriteWorkers/IndexBatch online")
 	flag.Parse()
 
 	args := flag.Args()
@@ -48,6 +54,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("ldrun: %v", err)
 	}
+	var plane *iostats.Plane
+	if *stats {
+		plane = iostats.NewPlane()
+		fs = posix.NewInstrumentFS(fs, plane)
+	}
 	d := posix.NewDispatch(fs)
 
 	if *preload {
@@ -59,60 +70,80 @@ func main() {
 		popts.IndexBatch = *indexBatch
 		popts.WriteWorkers = *writeWorkers
 		popts.ReadWorkers = *readWorkers
+		popts.MergeChunkRecords = *mergeChunkRecords
+		popts.DisableAutoFlatten = *noAutoFlatten
+		popts.DisableFlattenedReads = *noFlattenedReads
+		popts.AutoTune = *autotune
+		if plane != nil {
+			popts.Stats = plane
+		}
 		if _, err := core.Preload(d, core.Config{Mounts: mounts, Pid: uint32(*pid), PlfsOptions: popts}); err != nil {
 			log.Fatalf("ldrun: preload: %v", err)
 		}
+	}
+	// The snapshot must survive failing commands too — that is when an
+	// operator most wants the per-layer picture — so the fatal paths
+	// below dump before exiting (log.Fatal skips deferred functions).
+	dumpStats := func() {
+		if plane != nil {
+			fmt.Fprint(os.Stderr, plane.Snapshot().String())
+		}
+	}
+	defer dumpStats()
+	fatal := func(v ...any) {
+		dumpStats() // log.Fatal exits without running defers
+		log.Fatal(v...)
 	}
 
 	switch args[0] {
 	case "cp":
 		if len(args) != 3 {
-			log.Fatal("ldrun: cp SRC DST")
+			fatal("ldrun: cp SRC DST")
 		}
 		n, err := unixtools.Cp(d, args[1], args[2])
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("copied %d bytes\n", n)
 	case "cat":
 		if len(args) != 2 {
-			log.Fatal("ldrun: cat FILE")
+			fatal("ldrun: cat FILE")
 		}
 		if _, err := unixtools.Cat(d, args[1], os.Stdout); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	case "grep":
 		if len(args) != 3 {
-			log.Fatal("ldrun: grep PATTERN FILE")
+			fatal("ldrun: grep PATTERN FILE")
 		}
 		matches, err := unixtools.Grep(d, args[1], args[2])
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		for _, m := range matches {
 			fmt.Printf("%d:%s\n", m.LineNo, m.Line)
 		}
 	case "md5sum":
 		if len(args) != 2 {
-			log.Fatal("ldrun: md5sum FILE")
+			fatal("ldrun: md5sum FILE")
 		}
 		sum, err := unixtools.Md5sum(d, args[1])
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("%s  %s\n", sum, args[1])
 	case "ls":
 		if len(args) != 2 {
-			log.Fatal("ldrun: ls DIR")
+			fatal("ldrun: ls DIR")
 		}
 		names, err := unixtools.Ls(d, args[1])
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		for _, n := range names {
 			fmt.Println(n)
 		}
 	default:
-		log.Fatalf("ldrun: unknown tool %q", args[0])
+		fatal(fmt.Sprintf("ldrun: unknown tool %q", args[0]))
 	}
 }

@@ -9,9 +9,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"ldplfs/internal/harness"
+	"ldplfs/internal/iostats"
 	"ldplfs/internal/mpi"
 	"ldplfs/internal/mpiio"
 	"ldplfs/internal/plfs"
@@ -28,9 +30,15 @@ func main() {
 	backends := flag.Int("backends", 1, "stripe the store over this many backends (hostdirs spread across them; 1 = single backend)")
 	indexBatch := flag.Int("index-batch", 0, "PLFS index group-flush threshold in records (0 = default, <0 = flush only on sync)")
 	writeWorkers := flag.Int("write-workers", 0, "PLFS parallel pwrites per vectored write (0 = default)")
+	stats := flag.Bool("stats", false, "attach the iostats telemetry plane to every layer and dump a snapshot at exit")
+	autotune := flag.Bool("autotune", false, "let the PLFS feedback controller adapt ReadWorkers/WriteWorkers/IndexBatch online")
 	verify := flag.Bool("verify", true, "read back and verify")
 	flag.Parse()
 
+	var plane *iostats.Plane
+	if *stats {
+		plane = iostats.NewPlane()
+	}
 	store := harness.NewStoreN(*backends)
 	cfg := workload.MPIIOTestConfig{
 		BytesPerProc: *size,
@@ -42,6 +50,12 @@ func main() {
 	popts := plfs.DefaultOptions()
 	popts.IndexBatch = *indexBatch
 	popts.WriteWorkers = *writeWorkers
+	popts.AutoTune = *autotune
+	if plane != nil {
+		store = harness.Instrument(store, plane)
+		cfg.Hints.Collector = plane
+		popts.Stats = plane
+	}
 
 	start := time.Now()
 	var wrote, read int64
@@ -60,6 +74,11 @@ func main() {
 		}
 	})
 	if err != nil {
+		if plane != nil {
+			// log.Fatal skips defers; a failing run is exactly when the
+			// per-layer snapshot matters, so dump it first.
+			fmt.Fprint(os.Stderr, plane.Snapshot().String())
+		}
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start).Seconds()
@@ -71,5 +90,8 @@ func main() {
 		*method, shape, *np, *ppn, wrote, read, elapsed, float64(wrote+read)/elapsed/1e6)
 	if *verify {
 		fmt.Println("verification: OK (every rank validated its neighbour's blocks)")
+	}
+	if plane != nil {
+		fmt.Fprint(os.Stderr, plane.Snapshot().String())
 	}
 }

@@ -11,12 +11,19 @@
 //	plfsctl -root /tmp/store doctor /backend/data   # openhosts + index health report
 //	plfsctl -root /tmp/store -backends /tmp/b1,/tmp/b2 -fix doctor /backend/data
 //	plfsctl -root /tmp/store rm /backend/data
+//	plfsctl stats                                   # telemetry-plane snapshot demo
 //
 // compact consolidates the raw index droppings and persists the flattened
 // global index record cold opens load in O(extents). doctor reports per-
 // container index health — raw dropping and entry counts, flattened
 // generation and staleness — and with -fix refreshes or removes a stale
 // flattened record (fresh records are always left alone).
+//
+// stats runs one in-memory harness workload (the MPI-IO Test kernel over
+// the direct-PLFS method, 4 ranks) with the unified iostats telemetry
+// plane attached to every layer, and dumps the per-layer snapshot: the
+// posix backend, the plfs engines, the shared read caches and the
+// MPI-IO collective path — the full instrumentation plane from one run.
 package main
 
 import (
@@ -26,9 +33,14 @@ import (
 	"os"
 	"strings"
 
+	"ldplfs/internal/harness"
+	"ldplfs/internal/iostats"
+	"ldplfs/internal/mpi"
+	"ldplfs/internal/mpiio"
 	"ldplfs/internal/plfs"
 	idx "ldplfs/internal/plfs/index"
 	"ldplfs/internal/posix"
+	"ldplfs/internal/workload"
 )
 
 func main() {
@@ -48,13 +60,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	args := fl.Args()
-	if len(args) < 2 {
-		fmt.Fprintln(stderr, "usage: plfsctl [flags] {info|index|flatten|compact|doctor|rm} CONTAINER [DST]")
-		return 2
-	}
 	fail := func(format string, a ...any) int {
 		fmt.Fprintf(stderr, "plfsctl: "+format+"\n", a...)
 		return 1
+	}
+	if len(args) >= 1 && args[0] == "stats" {
+		return runStats(stdout, fail)
+	}
+	if len(args) < 2 {
+		fmt.Fprintln(stderr, "usage: plfsctl [flags] {info|index|flatten|compact|doctor|rm|stats} CONTAINER [DST]")
+		return 2
 	}
 
 	osfs, err := posix.NewOSFS(*root)
@@ -232,6 +247,42 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	default:
 		return fail("unknown command %q", args[0])
 	}
+	return 0
+}
+
+// runStats drives one small harness workload with every layer wired to
+// a single telemetry plane, then dumps the plane: a self-contained
+// demonstration (and e2e test fixture) that the whole stack reports
+// through one Collector — posix backend, plfs engines, readcache,
+// mpiio.
+func runStats(stdout io.Writer, fail func(string, ...any) int) int {
+	plane := iostats.NewPlane()
+	store := harness.Instrument(harness.NewStore(), plane)
+	popts := plfs.DefaultOptions()
+	popts.Stats = plane
+	hints := mpiio.DefaultHints()
+	hints.Collector = plane
+	cfg := workload.MPIIOTestConfig{
+		BytesPerProc: 1 << 20,
+		BlockSize:    128 << 10,
+		Verify:       true,
+		Hints:        hints,
+	}
+	err := mpi.Run(4, 2, func(r *mpi.Rank) {
+		drv, pathFor, err := harness.DriverForOpts("romio", store, r.Rank(), popts)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := workload.RunMPIIOTest(r, drv, pathFor("stats-probe.out"), cfg); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		return fail("stats probe workload: %v", err)
+	}
+	fmt.Fprintln(stdout, "iostats snapshot (mpiio-test kernel, 4 ranks, direct-PLFS method, in-memory store)")
+	fmt.Fprintln(stdout)
+	plane.Snapshot().Format(stdout)
 	return 0
 }
 

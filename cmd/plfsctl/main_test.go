@@ -19,6 +19,30 @@ func exec(t *testing.T, argv ...string) (int, string) {
 	return code, out.String() + errb.String()
 }
 
+// TestStatsCoversAllLayers is the acceptance check for the telemetry
+// plane's CLI surface: one `plfsctl stats` run must produce a snapshot
+// with per-layer sections for all four instrumented stages — the posix
+// backend, the plfs engines, the shared read caches and the MPI-IO
+// collective path — with real traffic recorded in each.
+func TestStatsCoversAllLayers(t *testing.T) {
+	code, out := exec(t, "stats")
+	if code != 0 {
+		t.Fatalf("stats exited %d:\n%s", code, out)
+	}
+	for _, layer := range []string{"layer posix", "layer plfs", "layer readcache", "layer mpiio"} {
+		if !strings.Contains(out, layer) {
+			t.Errorf("snapshot missing %q:\n%s", layer, out)
+		}
+	}
+	// Each layer carries substance, not just a heading: backend and
+	// engine bytes, cache lookups, collective calls.
+	for _, want := range []string{"bytes", "lookups = ", "collective_calls = "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestDoctorAcrossBackends is the end-to-end multi-backend doctor
 // scenario: a container whose droppings span three host directories, one
 // openhosts record whose writer lives on a shadow backend (live — the

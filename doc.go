@@ -47,6 +47,20 @@
 // README.md ("The flattened global index") and
 // internal/plfs/index/flattened.go for the lifecycle and trust rules.
 //
+// Telemetry is a single cross-cutting plane (internal/iostats): the
+// posix backends (via the composable posix.InstrumentFS wrapper), the
+// PLFS engines and read caches (plfs.Options.Stats), the MPI-IO
+// collective path (mpiio.Hints.Collector) and the iotrace recorder all
+// report per-op counts, bytes and latency through one Collector of
+// sharded-atomic counters and fixed-bucket histograms — nil-safe, so an
+// uninstrumented stack pays one branch per call. On top of it,
+// plfs.Options.AutoTune starts an IOPathTune-style feedback controller
+// (internal/plfs/tune) that hill-climbs ReadWorkers, WriteWorkers and
+// IndexBatch online from observed throughput within hard ladder
+// bounds. `plfsctl stats` dumps a four-layer snapshot; the workload
+// CLIs take -stats and -autotune. See README.md ("The telemetry plane
+// and online tuning").
+//
 // The on-disk format is guarded by golden container fixtures for both
 // format versions (internal/plfs/testdata/golden), native fuzz targets
 // over the dropping parser, index merge and flattened record

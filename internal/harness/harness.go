@@ -12,6 +12,7 @@ import (
 
 	"ldplfs/internal/core"
 	"ldplfs/internal/fuse"
+	"ldplfs/internal/iostats"
 	"ldplfs/internal/mpiio"
 	"ldplfs/internal/plfs"
 	"ldplfs/internal/posix"
@@ -56,6 +57,17 @@ func NewStoreN(n int) posix.FS {
 		panic(err.Error())
 	}
 	return striped
+}
+
+// Instrument wraps store so that every backend operation — whichever
+// method and PLFS machinery runs above it — reports to c's "posix"
+// layer. A nil collector returns the store unchanged, so the CLIs can
+// thread their -stats flag through unconditionally.
+func Instrument(store posix.FS, c iostats.Collector) posix.FS {
+	if c == nil {
+		return store
+	}
+	return posix.NewInstrumentFS(store, c)
 }
 
 // PrepareStore creates the standard directories on an existing FS (for

@@ -4,6 +4,15 @@
 // write streams (OSS object management), bytes moved, and the write-size
 // distribution (cache-absorbability).
 //
+// Since the unified telemetry plane landed, the recorder is a consumer
+// of it rather than a parallel implementation: the Recorder is a thin
+// event sink over posix.InstrumentFS — the same wrapper every layer
+// uses for counters — keeping only what the plane deliberately does
+// not: the per-path event stream that the per-file aggregation
+// (Summarize) needs. Wrapping with a Collector therefore gives both
+// views from one pass: aggregate layer stats on the plane ("iotrace"
+// layer) and the semantic event stream here.
+//
 // Wrapping the shared backend under a full experiment makes the paper's
 // mechanisms *measurable* on the functional stack: e.g. FLASH-IO through
 // LDPLFS creates ~2 files per process per checkpoint (the Fig. 5 MDS
@@ -15,6 +24,7 @@ import (
 	"strings"
 	"sync"
 
+	"ldplfs/internal/iostats"
 	"ldplfs/internal/posix"
 )
 
@@ -56,25 +66,54 @@ type Event struct {
 }
 
 // Recorder wraps a posix.FS and records every operation. It is safe for
-// concurrent use (ranks share one backend).
+// concurrent use (ranks share one backend). All posix.FS methods come
+// from the embedded InstrumentFS; the recorder only collects the event
+// stream the instrument observes.
 type Recorder struct {
-	inner posix.FS
+	*posix.InstrumentFS
 
 	mu     sync.Mutex
 	events []Event
 	seq    int64
-	fdPath map[int]string
 }
 
 // Wrap returns a recording view of inner.
-func Wrap(inner posix.FS) *Recorder {
-	return &Recorder{inner: inner, fdPath: make(map[int]string)}
+func Wrap(inner posix.FS) *Recorder { return WrapWith(inner, nil) }
+
+// WrapWith is Wrap with the instrument's counters registered on a
+// telemetry plane (layer "iotrace"), so one wrapped backend feeds both
+// the event stream and the plane.
+func WrapWith(inner posix.FS, c iostats.Collector) *Recorder {
+	r := &Recorder{}
+	r.InstrumentFS = posix.NewInstrumentFS(inner, c,
+		posix.WithLayerName("iotrace"), posix.WithObserver(r.observe))
+	return r
 }
 
-func (r *Recorder) record(kind OpKind, path string, bytes int64) {
+// observe converts the instrument's event into the recorder's
+// vocabulary, preserving the conventions the aggregation was built on
+// (directory creates marked by a trailing slash).
+func (r *Recorder) observe(ev posix.OpEvent) {
+	var kind OpKind
+	path := ev.Path
+	switch {
+	case ev.Op == iostats.Open && ev.Created:
+		kind = OpCreate
+		if ev.Dir {
+			path += "/"
+		}
+	case ev.Op == iostats.Open:
+		kind = OpOpen
+	case ev.Op == iostats.Read:
+		kind = OpRead
+	case ev.Op == iostats.Write:
+		kind = OpWrite
+	default:
+		kind = OpMeta
+	}
 	r.mu.Lock()
 	r.seq++
-	r.events = append(r.events, Event{Kind: kind, Path: path, Bytes: bytes, Seq: r.seq})
+	r.events = append(r.events, Event{Kind: kind, Path: path, Bytes: ev.Bytes, Seq: r.seq})
 	r.mu.Unlock()
 }
 
@@ -92,152 +131,6 @@ func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.events = nil
 	r.mu.Unlock()
-}
-
-// --- posix.FS ---------------------------------------------------------------
-
-// Open implements posix.FS.
-func (r *Recorder) Open(path string, flags int, mode uint32) (int, error) {
-	kind := OpOpen
-	if flags&posix.O_CREAT != 0 {
-		if _, err := r.inner.Stat(path); err != nil {
-			kind = OpCreate
-		}
-	}
-	fd, err := r.inner.Open(path, flags, mode)
-	if err != nil {
-		return fd, err
-	}
-	r.mu.Lock()
-	r.fdPath[fd] = path
-	r.mu.Unlock()
-	r.record(kind, path, 0)
-	return fd, nil
-}
-
-func (r *Recorder) pathOf(fd int) string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.fdPath[fd]
-}
-
-// Close implements posix.FS.
-func (r *Recorder) Close(fd int) error {
-	r.mu.Lock()
-	delete(r.fdPath, fd)
-	r.mu.Unlock()
-	return r.inner.Close(fd)
-}
-
-// Read implements posix.FS.
-func (r *Recorder) Read(fd int, p []byte) (int, error) {
-	n, err := r.inner.Read(fd, p)
-	if n > 0 {
-		r.record(OpRead, r.pathOf(fd), int64(n))
-	}
-	return n, err
-}
-
-// Write implements posix.FS.
-func (r *Recorder) Write(fd int, p []byte) (int, error) {
-	n, err := r.inner.Write(fd, p)
-	if n > 0 {
-		r.record(OpWrite, r.pathOf(fd), int64(n))
-	}
-	return n, err
-}
-
-// Pread implements posix.FS.
-func (r *Recorder) Pread(fd int, p []byte, off int64) (int, error) {
-	n, err := r.inner.Pread(fd, p, off)
-	if n > 0 {
-		r.record(OpRead, r.pathOf(fd), int64(n))
-	}
-	return n, err
-}
-
-// Pwrite implements posix.FS.
-func (r *Recorder) Pwrite(fd int, p []byte, off int64) (int, error) {
-	n, err := r.inner.Pwrite(fd, p, off)
-	if n > 0 {
-		r.record(OpWrite, r.pathOf(fd), int64(n))
-	}
-	return n, err
-}
-
-// Lseek implements posix.FS (not recorded: pure client-side).
-func (r *Recorder) Lseek(fd int, offset int64, whence int) (int64, error) {
-	return r.inner.Lseek(fd, offset, whence)
-}
-
-// Fsync implements posix.FS.
-func (r *Recorder) Fsync(fd int) error {
-	r.record(OpMeta, r.pathOf(fd), 0)
-	return r.inner.Fsync(fd)
-}
-
-// Ftruncate implements posix.FS.
-func (r *Recorder) Ftruncate(fd int, size int64) error {
-	r.record(OpMeta, r.pathOf(fd), 0)
-	return r.inner.Ftruncate(fd, size)
-}
-
-// Fstat implements posix.FS.
-func (r *Recorder) Fstat(fd int) (posix.Stat, error) {
-	r.record(OpMeta, r.pathOf(fd), 0)
-	return r.inner.Fstat(fd)
-}
-
-// Stat implements posix.FS.
-func (r *Recorder) Stat(path string) (posix.Stat, error) {
-	r.record(OpMeta, path, 0)
-	return r.inner.Stat(path)
-}
-
-// Truncate implements posix.FS.
-func (r *Recorder) Truncate(path string, size int64) error {
-	r.record(OpMeta, path, 0)
-	return r.inner.Truncate(path, size)
-}
-
-// Unlink implements posix.FS.
-func (r *Recorder) Unlink(path string) error {
-	r.record(OpMeta, path, 0)
-	return r.inner.Unlink(path)
-}
-
-// Mkdir implements posix.FS.
-func (r *Recorder) Mkdir(path string, mode uint32) error {
-	err := r.inner.Mkdir(path, mode)
-	if err == nil {
-		// The trailing slash marks directory creates for Summarize.
-		r.record(OpCreate, path+"/", 0)
-	}
-	return err
-}
-
-// Rmdir implements posix.FS.
-func (r *Recorder) Rmdir(path string) error {
-	r.record(OpMeta, path, 0)
-	return r.inner.Rmdir(path)
-}
-
-// Readdir implements posix.FS.
-func (r *Recorder) Readdir(path string) ([]posix.DirEntry, error) {
-	r.record(OpMeta, path, 0)
-	return r.inner.Readdir(path)
-}
-
-// Rename implements posix.FS.
-func (r *Recorder) Rename(oldpath, newpath string) error {
-	r.record(OpMeta, oldpath, 0)
-	return r.inner.Rename(oldpath, newpath)
-}
-
-// Access implements posix.FS.
-func (r *Recorder) Access(path string, mode int) error {
-	r.record(OpMeta, path, 0)
-	return r.inner.Access(path, mode)
 }
 
 var _ posix.FS = (*Recorder)(nil)

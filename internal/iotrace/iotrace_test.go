@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ldplfs/internal/core"
+	"ldplfs/internal/iostats"
 	"ldplfs/internal/mpi"
 	"ldplfs/internal/mpiio"
 	"ldplfs/internal/plfs"
@@ -55,6 +56,33 @@ func TestRecorderBasics(t *testing.T) {
 	}
 	if s.MetaOps == 0 {
 		t.Error("Fstat not counted as meta")
+	}
+}
+
+// TestRecorderFeedsPlane checks the rebuilt recorder is a true consumer
+// of the telemetry plane: one WrapWith gives the event stream here and
+// the aggregate counters on the plane's "iotrace" layer.
+func TestRecorderFeedsPlane(t *testing.T) {
+	mem := posix.NewMemFS()
+	plane := iostats.NewPlane()
+	rec := WrapWith(mem, plane)
+
+	fd, err := rec.Open("/f", posix.O_CREAT|posix.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Write(fd, make([]byte, 100))
+	rec.Close(fd)
+
+	if got := Summarize(rec.Events()); got.BytesWritten != 100 || got.FileCreates != 1 {
+		t.Fatalf("event stream summary = %+v", got)
+	}
+	ls := plane.Layer("iotrace")
+	if got := ls.OpBytes(iostats.Write); got != 100 {
+		t.Fatalf("plane write bytes = %d, want 100", got)
+	}
+	if got := ls.OpCount(iostats.Open); got != 1 {
+		t.Fatalf("plane open count = %d, want 1", got)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"ldplfs/internal/iostats"
 	"ldplfs/internal/mpi"
 )
 
@@ -24,6 +25,11 @@ type Hints struct {
 	// SieveBufferSize is the sieving block (ind_rd_buffer_size, 4 MiB
 	// default).
 	SieveBufferSize int
+	// Collector attaches the MPI-IO layer to a telemetry plane: every
+	// collective and independent call reports count/bytes/latency to
+	// layer "mpiio" (plus collective_calls/independent_calls counters).
+	// Nil leaves the layer unobserved.
+	Collector iostats.Collector
 }
 
 // DefaultHints match ROMIO defaults plus the paper's configuration: one
@@ -38,6 +44,10 @@ func DefaultHints() Hints {
 }
 
 // Stats counts what the layer did — used by tests and the cost model.
+//
+// Deprecated-but-kept: the iostats plane (Hints.Collector, layer
+// "mpiio") is the unified reporting surface; this struct remains so
+// the cost model and existing tests keep compiling.
 type Stats struct {
 	CollectiveCalls  atomic.Int64
 	IndependentCalls atomic.Int64
@@ -60,6 +70,12 @@ type File struct {
 	// Stats is shared across the whole communicator's handles (rank 0's
 	// is authoritative; others alias it via Open's bcast).
 	Stats *Stats
+
+	// ls is the telemetry-plane layer (nil = unobserved); ccol/cind are
+	// its collective/independent call counters, grabbed once at Open.
+	ls   *iostats.LayerStats
+	ccol *iostats.Counter
+	cind *iostats.Counter
 }
 
 // Segment is one contiguous piece of a file access (a flattened datatype).
@@ -99,7 +115,15 @@ func Open(r *mpi.Rank, driver Driver, path string, amode int, hints Hints) (*Fil
 	if s := r.Bcast(0, stats); s != nil {
 		stats = s.(*Stats)
 	}
-	return &File{rank: r, df: df, hints: hints, path: path, Stats: stats}, nil
+	f := &File{rank: r, df: df, hints: hints, path: path, Stats: stats}
+	if hints.Collector != nil {
+		// Every rank asks for the same layer name, so the whole
+		// communicator aggregates into one view of the plane.
+		f.ls = hints.Collector.Layer("mpiio")
+		f.ccol = f.ls.Counter("collective_calls")
+		f.cind = f.ls.Counter("independent_calls")
+	}
+	return f, nil
 }
 
 // Close closes the handle collectively — MPI_File_close.
@@ -111,7 +135,9 @@ func (f *File) Close() error {
 
 // Sync flushes this rank's data — MPI_File_sync (collective).
 func (f *File) Sync() error {
+	start := f.ls.Start()
 	err := f.df.Sync()
+	f.ls.End(iostats.Sync, 0, start, err)
 	f.rank.Barrier()
 	return err
 }
@@ -141,14 +167,21 @@ func (f *File) WriteAt(buf []byte, off int64) (int, error) {
 	f.Stats.IndependentCalls.Add(1)
 	f.Stats.DriverWrites.Add(1)
 	f.Stats.BytesWritten.Add(int64(len(buf)))
-	return f.df.PwriteAt(buf, off)
+	f.cind.Add(1)
+	start := f.ls.Start()
+	n, err := f.df.PwriteAt(buf, off)
+	f.ls.End(iostats.Write, int64(n), start, err)
+	return n, err
 }
 
 // ReadAt reads one contiguous block independently — MPI_File_read_at.
 func (f *File) ReadAt(buf []byte, off int64) (int, error) {
 	f.Stats.IndependentCalls.Add(1)
 	f.Stats.DriverReads.Add(1)
+	f.cind.Add(1)
+	start := f.ls.Start()
 	n, err := f.df.PreadAt(buf, off)
+	f.ls.End(iostats.Read, int64(n), start, err)
 	f.Stats.BytesRead.Add(int64(n))
 	return n, err
 }
@@ -157,6 +190,14 @@ func (f *File) ReadAt(buf []byte, off int64) (int, error) {
 // data sieving when the holes are small enough that one read-modify-write
 // beats many small writes (ROMIO's romio_ds_write heuristic).
 func (f *File) WriteStrided(segs []Segment, buf []byte) (int, error) {
+	f.cind.Add(1)
+	start := f.ls.Start()
+	n, err := f.writeStrided(segs, buf)
+	f.ls.End(iostats.Write, int64(n), start, err)
+	return n, err
+}
+
+func (f *File) writeStrided(segs []Segment, buf []byte) (int, error) {
 	f.Stats.IndependentCalls.Add(1)
 	if len(segs) == 0 {
 		return 0, nil
@@ -219,6 +260,14 @@ func (f *File) WriteStrided(segs []Segment, buf []byte) (int, error) {
 // ReadStrided reads a flattened strided access independently with data
 // sieving: one big read, then scatter.
 func (f *File) ReadStrided(segs []Segment, buf []byte) (int, error) {
+	f.cind.Add(1)
+	start := f.ls.Start()
+	n, err := f.readStrided(segs, buf)
+	f.ls.End(iostats.Read, int64(n), start, err)
+	return n, err
+}
+
+func (f *File) readStrided(segs []Segment, buf []byte) (int, error) {
 	f.Stats.IndependentCalls.Add(1)
 	if len(segs) == 0 {
 		return 0, nil
@@ -398,12 +447,20 @@ func (f *File) exchangeExtent(segs []Segment) (lo, hi, domain int64, aggs []int)
 // WriteAll performs a collective strided write — MPI_File_write_all with
 // a flattened view. All ranks must call it; segs may be empty on some.
 func (f *File) WriteAll(segs []Segment, buf []byte) (int, error) {
+	f.ccol.Add(1)
+	start := f.ls.Start()
+	n, err := f.writeAll(segs, buf)
+	f.ls.End(iostats.Write, int64(n), start, err)
+	return n, err
+}
+
+func (f *File) writeAll(segs []Segment, buf []byte) (int, error) {
 	f.Stats.CollectiveCalls.Add(1)
 	if err := validateSegs(segs, buf); err != nil {
 		return 0, err
 	}
 	if !f.hints.CollectiveBuffering {
-		n, err := f.WriteStrided(segs, buf)
+		n, err := f.writeStrided(segs, buf)
 		f.rank.Barrier()
 		return n, err
 	}
@@ -504,12 +561,20 @@ func (f *File) WriteAtAll(buf []byte, off int64) (int, error) {
 // Aggregators read coalesced runs of their file domain and scatter the
 // requested pieces back.
 func (f *File) ReadAll(segs []Segment, buf []byte) (int, error) {
+	f.ccol.Add(1)
+	start := f.ls.Start()
+	n, err := f.readAll(segs, buf)
+	f.ls.End(iostats.Read, int64(n), start, err)
+	return n, err
+}
+
+func (f *File) readAll(segs []Segment, buf []byte) (int, error) {
 	f.Stats.CollectiveCalls.Add(1)
 	if err := validateSegs(segs, buf); err != nil {
 		return 0, err
 	}
 	if !f.hints.CollectiveBuffering {
-		n, err := f.ReadStrided(segs, buf)
+		n, err := f.readStrided(segs, buf)
 		f.rank.Barrier()
 		return n, err
 	}

@@ -1,0 +1,65 @@
+package mpiio
+
+import (
+	"testing"
+
+	"ldplfs/internal/iostats"
+	"ldplfs/internal/mpi"
+	"ldplfs/internal/posix"
+)
+
+// TestCollectorObservesCollectivePath checks the MPI-IO layer reports
+// its collective and independent calls to the telemetry plane when a
+// collector rides in on the hints.
+func TestCollectorObservesCollectivePath(t *testing.T) {
+	mem := posix.NewMemFS()
+	if err := mem.Mkdir("/scratch", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	plane := iostats.NewPlane()
+	hints := DefaultHints()
+	hints.Collector = plane
+
+	const ranks, block = 4, 4096
+	err := mpi.Run(ranks, 2, func(r *mpi.Rank) {
+		fh, err := Open(r, NewUFS(posix.NewDispatch(mem)), "/scratch/obs", ModeCreate|ModeRdwr, hints)
+		if err != nil {
+			panic(err)
+		}
+		buf := make([]byte, block)
+		for i := range buf {
+			buf[i] = byte(r.Rank())
+		}
+		if _, err := fh.WriteAtAll(buf, int64(r.Rank())*block); err != nil {
+			panic(err)
+		}
+		if _, err := fh.ReadAtAll(buf, int64((r.Rank()+1)%ranks)*block); err != nil {
+			panic(err)
+		}
+		if _, err := fh.WriteAt(buf, int64(ranks*block+r.Rank()*block)); err != nil {
+			panic(err)
+		}
+		if err := fh.Close(); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ls := plane.Layer("mpiio")
+	// One collective write + one collective read + one independent
+	// write per rank.
+	if got := ls.Counter("collective_calls").Load(); got != 2*ranks {
+		t.Errorf("collective_calls = %d, want %d", got, 2*ranks)
+	}
+	if got := ls.Counter("independent_calls").Load(); got != ranks {
+		t.Errorf("independent_calls = %d, want %d", got, ranks)
+	}
+	if got := ls.OpBytes(iostats.Write); got != 2*ranks*block {
+		t.Errorf("write bytes = %d, want %d (collective + independent)", got, 2*ranks*block)
+	}
+	if got := ls.OpBytes(iostats.Read); got != ranks*block {
+		t.Errorf("read bytes = %d, want %d", got, ranks*block)
+	}
+}

@@ -32,8 +32,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ldplfs/internal/iostats"
 	idx "ldplfs/internal/plfs/index"
 	"ldplfs/internal/plfs/readcache"
+	"ldplfs/internal/plfs/tune"
 	"ldplfs/internal/posix"
 )
 
@@ -114,6 +116,30 @@ type Options struct {
 	// top of the result, independent of container history length.
 	MergeChunkRecords int
 
+	// Stats attaches the instance to a telemetry plane: the engines
+	// report per-op counts, bytes and latency to layer "plfs" and the
+	// shared index cache registers its counters on layer "readcache".
+	// Nil leaves telemetry off; the data paths then pay one nil check
+	// per operation and never touch the clock.
+	Stats iostats.Collector
+
+	// AutoTune starts the online feedback controller
+	// (internal/plfs/tune): ReadWorkers, WriteWorkers and IndexBatch
+	// are hill-climbed from observed throughput within fixed bounds
+	// (see the ladders in telemetry.go), overriding their static
+	// values. Leave it off to pin the knobs to the Options fields.
+	AutoTune bool
+
+	// TuneWindowBytes is the autotune measurement window: the
+	// controller re-evaluates after this many bytes have moved through
+	// the engines (0 = tune.DefaultWindowBytes). Benchmarks align it
+	// with their phase size so every window measures the same mix.
+	TuneWindowBytes int64
+
+	// TuneClock injects the controller's clock (nil = wall clock);
+	// tests use tune.ManualClock to drive deterministic climbs.
+	TuneClock tune.Clock
+
 	// Backends stripes the instance across multiple stores: the canonical
 	// container metadata (access marker, version, meta/, openhosts/)
 	// lives on Backends[0] and hostdirs — hence data and index droppings
@@ -164,6 +190,19 @@ type FS struct {
 	// flattenOff disables the flattened-record read path at runtime
 	// (SetFlattenedReads); initialised from Options.DisableFlattenedReads.
 	flattenOff atomic.Bool
+
+	// stats is the instance's engine telemetry layer (nil = off) and
+	// tuner the autotune controller (nil = off); tuneBytes accumulates
+	// the data-path bytes the tuner's throughput windows are cut from.
+	// The knob atomics are runtime overrides the engines consult ahead
+	// of the Options fields (0 = no override) — the surface the tuner
+	// (and SetReadWorkers & friends) steer without a reopen.
+	stats            *iostats.LayerStats
+	tuner            *tune.Controller
+	tuneBytes        atomic.Int64
+	knobReadWorkers  atomic.Int32
+	knobWriteWorkers atomic.Int32
+	knobIndexBatch   atomic.Int32
 }
 
 // New returns a PLFS instance over backend. With Options.Backends set,
@@ -183,8 +222,9 @@ func New(backend posix.FS, opts Options) *FS {
 		handles: make(map[string]map[*File]struct{}),
 		seeded:  make(map[string]bool),
 	}
+	p.initTelemetry()
 	if !opts.DisableIndexCache {
-		p.cache = readcache.NewIndexCache(opts.MaxCachedIndexes)
+		p.cache = readcache.NewIndexCacheWith(opts.MaxCachedIndexes, p.cacheStatsLayer())
 	}
 	p.flattenOff.Store(opts.DisableFlattenedReads)
 	return p
@@ -192,6 +232,14 @@ func New(backend posix.FS, opts Options) *FS {
 
 // IndexCacheStats reports the shared index cache's counters (zero value
 // when the cache is disabled).
+//
+// Deprecated-but-kept: the counters live on the iostats plane (layer
+// "readcache" when Options.Stats is set); this accessor remains as a
+// thin shim so existing tests and callers keep compiling. Note that
+// with a shared collector the layer — and therefore this snapshot —
+// aggregates every FS instance attached to the same plane (that is
+// the plane's point); per-instance numbers exist only on instances
+// without Options.Stats.
 func (p *FS) IndexCacheStats() readcache.Stats {
 	if p.cache == nil {
 		return readcache.Stats{}
@@ -259,10 +307,28 @@ func (p *FS) openHandles(path string) []*File {
 // (the striped composite, for a multi-backend instance).
 func (p *FS) Backend() posix.FS { return p.backend }
 
+// stripedBackend finds the striped composite this instance runs over,
+// seeing through instrumentation (or other Unwrap-able wrappers) the
+// backend may be dressed in. Nil for a plain single store.
+func (p *FS) stripedBackend() *posix.StripedFS {
+	fs := p.backend
+	for fs != nil {
+		if s, ok := fs.(*posix.StripedFS); ok {
+			return s
+		}
+		u, ok := fs.(interface{ Unwrap() posix.FS })
+		if !ok {
+			return nil
+		}
+		fs = u.Unwrap()
+	}
+	return nil
+}
+
 // NumBackends reports how many stores this instance stripes over (1 for
 // a plain single-backend instance).
 func (p *FS) NumBackends() int {
-	if s, ok := p.backend.(*posix.StripedFS); ok {
+	if s := p.stripedBackend(); s != nil {
 		return s.NumBackends()
 	}
 	return 1
@@ -277,7 +343,7 @@ func (p *FS) ContainerSpread(path string) ([]int, error) {
 	if !p.IsContainer(path) {
 		return nil, posix.ENOENT
 	}
-	striped, _ := p.backend.(*posix.StripedFS)
+	striped := p.stripedBackend()
 	spread := make([]int, p.NumBackends())
 	dirs, err := p.backend.Readdir(path)
 	if err != nil {
@@ -539,6 +605,13 @@ type File struct {
 // Open opens (and with O_CREAT, creates) the container at path, returning
 // a file handle. pid identifies the calling writer, as in plfs_open.
 func (p *FS) Open(path string, flags int, pid uint32, mode uint32) (*File, error) {
+	start := p.opStart()
+	f, err := p.open(path, flags, pid, mode)
+	p.observeOp(iostats.Open, 0, start, err)
+	return f, err
+}
+
+func (p *FS) open(path string, flags int, pid uint32, mode uint32) (*File, error) {
 	exists := p.IsContainer(path)
 	if !exists {
 		if st, err := p.backend.Stat(path); err == nil && st.IsDir() {
@@ -642,6 +715,13 @@ func openIndexWriter(p *FS, path string) (*idx.Writer, error) {
 // non-nil — so the logical file reflects exactly the durable prefix and
 // the writer's physical cursor never desynchronizes from the dropping.
 func (f *File) Write(buf []byte, off int64, pid uint32) (int, error) {
+	start := f.fs.opStart()
+	n, err := f.write(buf, off, pid)
+	f.fs.observeOp(iostats.Write, int64(n), start, err)
+	return n, err
+}
+
+func (f *File) write(buf []byte, off int64, pid uint32) (int, error) {
 	if f.flags&posix.O_ACCMODE == posix.O_RDONLY {
 		return 0, posix.EBADF
 	}
@@ -753,6 +833,13 @@ func (f *File) readIndex() (*idx.Index, error) {
 // bytes buf[:n] are valid, bytes beyond n are unspecified — and the
 // error describes the first failing extent.
 func (f *File) Read(buf []byte, off int64) (int, error) {
+	start := f.fs.opStart()
+	n, err := f.read(buf, off)
+	f.fs.observeOp(iostats.Read, int64(n), start, err)
+	return n, err
+}
+
+func (f *File) read(buf []byte, off int64) (int, error) {
 	if f.flags&posix.O_ACCMODE == posix.O_WRONLY {
 		return 0, posix.EBADF
 	}
@@ -801,6 +888,13 @@ func (f *File) Size() (int64, error) {
 // Sync flushes pid's buffered index records and data — plfs_sync. Syncs
 // for distinct pids proceed in parallel, like the writes they flush.
 func (f *File) Sync(pid uint32) error {
+	start := f.fs.opStart()
+	err := f.sync(pid)
+	f.fs.observeOp(iostats.Sync, 0, start, err)
+	return err
+}
+
+func (f *File) sync(pid uint32) error {
 	f.mu.RLock()
 	w, ok := f.writers[pid]
 	if !ok {

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ldplfs/internal/iostats"
 	idx "ldplfs/internal/plfs/index"
 )
 
@@ -55,9 +56,17 @@ type Loader func() (*idx.Index, Signature, BuildKind, error)
 type SigFunc func() (Signature, error)
 
 // Stats counts cache activity. Snapshot via IndexCache.Stats.
+//
+// Deprecated-but-kept: the counters behind it live on the iostats
+// plane (layer "readcache" when the owning plfs.FS is built with a
+// collector); this struct remains as a point-in-time view so existing
+// tests and callers keep compiling. Every Get is exactly one of Hits,
+// Builds or LoadErrors, so Hits+Builds+LoadErrors == Lookups always.
 type Stats struct {
+	Lookups         int64 // Get calls
 	Hits            int64 // Get served from cache
-	Builds          int64 // Get ran the loader
+	Builds          int64 // Get ran the loader successfully (misses)
+	LoadErrors      int64 // Get ran the loader and it failed
 	FlattenedBuilds int64 // of Builds, how many loaded a flattened record
 	Revalidations   int64 // signature checks performed
 	Invalidations   int64 // generation bumps
@@ -74,11 +83,13 @@ type IndexCache struct {
 	max     int
 	tick    uint64
 
-	hits            atomic.Int64
-	builds          atomic.Int64
-	flattenedBuilds atomic.Int64
-	revalidations   atomic.Int64
-	invalidations   atomic.Int64
+	lookups         *iostats.Counter
+	hits            *iostats.Counter
+	builds          *iostats.Counter
+	loadErrors      *iostats.Counter
+	flattenedBuilds *iostats.Counter
+	revalidations   *iostats.Counter
+	invalidations   *iostats.Counter
 }
 
 type cacheEntry struct {
@@ -92,12 +103,29 @@ type cacheEntry struct {
 }
 
 // NewIndexCache returns a cache holding at most max container indexes
-// (DefaultMaxContainers if max <= 0).
-func NewIndexCache(max int) *IndexCache {
+// (DefaultMaxContainers if max <= 0), with standalone counters.
+func NewIndexCache(max int) *IndexCache { return NewIndexCacheWith(max, nil) }
+
+// NewIndexCacheWith is NewIndexCache with the cache's counters
+// registered on an iostats layer (typically the owning plfs.FS's
+// "readcache" layer), so cache activity shows up on the shared
+// telemetry plane. A nil layer keeps the counters standalone —
+// IndexCache.Stats works either way.
+func NewIndexCacheWith(max int, ls *iostats.LayerStats) *IndexCache {
 	if max <= 0 {
 		max = DefaultMaxContainers
 	}
-	return &IndexCache{entries: make(map[string]*cacheEntry), max: max}
+	return &IndexCache{
+		entries:         make(map[string]*cacheEntry),
+		max:             max,
+		lookups:         ls.Counter("lookups"),
+		hits:            ls.Counter("hits"),
+		builds:          ls.Counter("builds"),
+		loadErrors:      ls.Counter("load_errors"),
+		flattenedBuilds: ls.Counter("flattened_builds"),
+		revalidations:   ls.Counter("revalidations"),
+		invalidations:   ls.Counter("invalidations"),
+	}
 }
 
 // entry returns (creating if needed) the entry for path and stamps its
@@ -143,6 +171,7 @@ func (c *IndexCache) evictLocked(keep string) {
 // ran. Concurrent Gets for one container serialize on its entry, so a
 // build happens once however many readers race for it.
 func (c *IndexCache) Get(path string, revalidate bool, sig SigFunc, load Loader) (index *idx.Index, built bool, err error) {
+	c.lookups.Add(1)
 	e := c.entry(path)
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -165,6 +194,7 @@ func (c *IndexCache) Get(path string, revalidate bool, sig SigFunc, load Loader)
 
 	index, s, kind, err := load()
 	if err != nil {
+		c.loadErrors.Add(1)
 		return nil, false, err
 	}
 	c.builds.Add(1)
@@ -207,8 +237,10 @@ func (c *IndexCache) Len() int {
 // Stats returns a snapshot of the cache counters.
 func (c *IndexCache) Stats() Stats {
 	return Stats{
+		Lookups:         c.lookups.Load(),
 		Hits:            c.hits.Load(),
 		Builds:          c.builds.Load(),
+		LoadErrors:      c.loadErrors.Load(),
 		FlattenedBuilds: c.flattenedBuilds.Load(),
 		Revalidations:   c.revalidations.Load(),
 		Invalidations:   c.invalidations.Load(),

@@ -164,6 +164,80 @@ func TestConcurrentGetSingleflight(t *testing.T) {
 	}
 }
 
+// TestStatsCoherenceUnderRaces hammers one cache with concurrent Gets,
+// Invalidates and Drops over a handful of containers (run under -race
+// in CI) and then checks the counter invariant the migration to the
+// iostats plane promises: every lookup resolved as exactly one of a
+// hit, a build or a load error — however the goroutines interleaved.
+func TestStatsCoherenceUnderRaces(t *testing.T) {
+	c := NewIndexCache(4)
+	paths := []string{"/a", "/b", "/c", "/d", "/e", "/f"}
+	var builds atomic.Int64
+
+	const goroutines = 12
+	const opsPer = 400
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			rng := uint64(seed*2654435761 + 1)
+			next := func(n int) int {
+				// xorshift: a private deterministic stream per goroutine,
+				// so the interleaving is randomized but reproducible.
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int(rng % uint64(n))
+			}
+			for i := 0; i < opsPer; i++ {
+				path := paths[next(len(paths))]
+				switch next(10) {
+				case 0:
+					c.Invalidate(path)
+				case 1:
+					c.Drop(path)
+				default:
+					revalidate := next(2) == 0
+					if _, _, err := c.Get(path, revalidate, sigFn("s"), loader(&builds, "s")); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := c.Stats()
+	if s.Lookups == 0 {
+		t.Fatal("no lookups recorded")
+	}
+	if s.Hits+s.Builds+s.LoadErrors != s.Lookups {
+		t.Fatalf("counter incoherence: hits %d + builds %d + loadErrors %d != lookups %d (stats %+v)",
+			s.Hits, s.Builds, s.LoadErrors, s.Lookups, s)
+	}
+	if s.LoadErrors != 0 {
+		t.Fatalf("loader never fails in this test, got %d load errors", s.LoadErrors)
+	}
+	if s.Builds != builds.Load() {
+		t.Fatalf("Builds counter %d != loader invocations %d", s.Builds, builds.Load())
+	}
+}
+
+func TestLoadErrorCounted(t *testing.T) {
+	c := NewIndexCache(0)
+	boom := errors.New("boom")
+	fail := func() (*idx.Index, Signature, BuildKind, error) { return nil, "", BuildMerge, boom }
+	c.Get("/c", false, sigFn("s"), fail)
+	var builds atomic.Int64
+	c.Get("/c", false, sigFn("s"), loader(&builds, "s"))
+	c.Get("/c", false, sigFn("s"), loader(&builds, "s"))
+	s := c.Stats()
+	if s.Lookups != 3 || s.LoadErrors != 1 || s.Builds != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want 3 lookups = 1 error + 1 build + 1 hit", s)
+	}
+}
+
 func TestFlattenedBuildsCounted(t *testing.T) {
 	c := NewIndexCache(0)
 	flat := func() (*idx.Index, Signature, BuildKind, error) {

@@ -40,7 +40,13 @@ func defaultWorkers() int {
 	return n
 }
 
+// readWorkers resolves the scatter-gather fan-out: the runtime
+// override (the autotune controller / SetReadWorkers) wins over the
+// static Options value.
 func (p *FS) readWorkers() int {
+	if n := p.knobReadWorkers.Load(); n > 0 {
+		return int(n)
+	}
 	if p.opts.ReadWorkers > 0 {
 		return p.opts.ReadWorkers
 	}

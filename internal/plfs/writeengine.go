@@ -17,11 +17,18 @@ package plfs
 import (
 	"fmt"
 
+	"ldplfs/internal/iostats"
 	idx "ldplfs/internal/plfs/index"
 	"ldplfs/internal/posix"
 )
 
+// writeWorkers resolves the vectored-write fan-out: the runtime
+// override (the autotune controller / SetWriteWorkers) wins over the
+// static Options value.
 func (p *FS) writeWorkers() int {
+	if n := p.knobWriteWorkers.Load(); n > 0 {
+		return int(n)
+	}
 	if p.opts.WriteWorkers > 0 {
 		return p.opts.WriteWorkers
 	}
@@ -29,8 +36,12 @@ func (p *FS) writeWorkers() int {
 }
 
 // indexBatchRecords returns the group-flush threshold in records, or 0
-// when auto-flushing is disabled (Options.IndexBatch < 0).
+// when auto-flushing is disabled (Options.IndexBatch < 0). The runtime
+// override (autotune / SetIndexBatch) wins over the static value.
 func (p *FS) indexBatchRecords() int {
+	if n := p.knobIndexBatch.Load(); n > 0 {
+		return int(n)
+	}
 	switch {
 	case p.opts.IndexBatch > 0:
 		return p.opts.IndexBatch
@@ -168,6 +179,13 @@ type WriteSeg struct {
 // count is the length of the contiguous error-free prefix of the vector,
 // and the error describes the first failing segment.
 func (f *File) WriteV(segs []WriteSeg, pid uint32) (int64, error) {
+	start := f.fs.opStart()
+	n, err := f.writeV(segs, pid)
+	f.fs.observeOp(iostats.Write, n, start, err)
+	return n, err
+}
+
+func (f *File) writeV(segs []WriteSeg, pid uint32) (int64, error) {
 	if f.flags&posix.O_ACCMODE == posix.O_RDONLY {
 		return 0, posix.EBADF
 	}

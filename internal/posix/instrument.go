@@ -1,0 +1,296 @@
+package posix
+
+import (
+	"sync"
+
+	"ldplfs/internal/iostats"
+)
+
+// OpEvent is one operation as seen by an InstrumentFS observer — the
+// semantic stream iotrace builds its per-path analysis on. Events
+// follow the recorder conventions this repository has used since the
+// tracing work: reads and writes are emitted only when bytes moved,
+// opens only on success, meta operations unconditionally.
+type OpEvent struct {
+	// Op classifies the operation (iostats vocabulary).
+	Op iostats.Op
+	// Path is the operand path (an fd-based op reports its open path).
+	Path string
+	// Bytes is the byte count moved (reads/writes).
+	Bytes int64
+	// Created marks an Open that created a previously absent file, or
+	// a successful Mkdir.
+	Created bool
+	// Dir marks a directory creation (Mkdir).
+	Dir bool
+}
+
+// InstrumentOption configures an InstrumentFS.
+type InstrumentOption func(*InstrumentFS)
+
+// WithLayerName overrides the layer the wrapper reports to (default
+// "posix") — so several instrumented stores on one plane stay apart.
+func WithLayerName(name string) InstrumentOption {
+	return func(f *InstrumentFS) { f.layerName = name }
+}
+
+// WithObserver attaches a per-operation event callback. Observation
+// implies per-fd path tracking (and a pre-open stat to classify
+// creates), which the counter-only wrapper skips.
+func WithObserver(fn func(OpEvent)) InstrumentOption {
+	return func(f *InstrumentFS) { f.obs = fn }
+}
+
+// InstrumentFS wraps an FS and reports every operation — count, bytes,
+// latency, errors — to one layer of an iostats plane. It composes like
+// FaultFS and StripedFS: wrap the backend before handing it to PLFS
+// (or to the dispatch) and the whole stack above it is measured
+// without touching a line of it, the LD_PRELOAD trick applied to
+// telemetry.
+//
+// With a nil collector the wrapper still forwards every call (an
+// observer may still be attached); with neither collector nor
+// observer it is pure passthrough plus one nil check per call.
+type InstrumentFS struct {
+	inner     FS
+	ls        *iostats.LayerStats
+	obs       func(OpEvent)
+	layerName string
+
+	mu  sync.Mutex
+	fds map[int]string // open path per fd, for event attribution
+}
+
+// NewInstrumentFS wraps inner, reporting to c's "posix" layer (or the
+// WithLayerName override). c may be nil when only an observer is
+// wanted.
+func NewInstrumentFS(inner FS, c iostats.Collector, opts ...InstrumentOption) *InstrumentFS {
+	f := &InstrumentFS{inner: inner, layerName: "posix"}
+	for _, o := range opts {
+		o(f)
+	}
+	if c != nil {
+		f.ls = c.Layer(f.layerName)
+	}
+	if f.obs != nil {
+		f.fds = make(map[int]string)
+	}
+	return f
+}
+
+// Stats returns the layer handle the wrapper reports to (nil when no
+// collector was attached).
+func (f *InstrumentFS) Stats() *iostats.LayerStats { return f.ls }
+
+// Unwrap exposes the wrapped FS, so capability probes (e.g. PLFS's
+// striped-backend introspection) can see through the instrumentation
+// the same way errors.Unwrap sees through wrapped errors.
+func (f *InstrumentFS) Unwrap() FS { return f.inner }
+
+func (f *InstrumentFS) pathOf(fd int) string {
+	if f.fds == nil {
+		return ""
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fds[fd]
+}
+
+// emit sends one event to the observer, if any.
+func (f *InstrumentFS) emit(ev OpEvent) {
+	if f.obs != nil {
+		f.obs(ev)
+	}
+}
+
+// Open implements FS.
+func (f *InstrumentFS) Open(path string, flags int, mode uint32) (int, error) {
+	created := false
+	if f.obs != nil && flags&O_CREAT != 0 {
+		// Classify creates the way the tracer always has: O_CREAT of a
+		// previously absent path. The probe stat goes straight to the
+		// inner FS so it is not counted as workload traffic.
+		if _, err := f.inner.Stat(path); err != nil {
+			created = true
+		}
+	}
+	start := f.ls.Start()
+	fd, err := f.inner.Open(path, flags, mode)
+	f.ls.End(iostats.Open, 0, start, err)
+	if err != nil {
+		return fd, err
+	}
+	if f.fds != nil {
+		f.mu.Lock()
+		f.fds[fd] = path
+		f.mu.Unlock()
+	}
+	f.emit(OpEvent{Op: iostats.Open, Path: path, Created: created})
+	return fd, nil
+}
+
+// Close implements FS (counted as meta; not observed, matching the
+// tracer's event stream).
+func (f *InstrumentFS) Close(fd int) error {
+	if f.fds != nil {
+		f.mu.Lock()
+		delete(f.fds, fd)
+		f.mu.Unlock()
+	}
+	start := f.ls.Start()
+	err := f.inner.Close(fd)
+	f.ls.End(iostats.Meta, 0, start, err)
+	return err
+}
+
+// Read implements FS.
+func (f *InstrumentFS) Read(fd int, p []byte) (int, error) {
+	start := f.ls.Start()
+	n, err := f.inner.Read(fd, p)
+	f.ls.End(iostats.Read, int64(n), start, err)
+	if n > 0 {
+		f.emit(OpEvent{Op: iostats.Read, Path: f.pathOf(fd), Bytes: int64(n)})
+	}
+	return n, err
+}
+
+// Write implements FS.
+func (f *InstrumentFS) Write(fd int, p []byte) (int, error) {
+	start := f.ls.Start()
+	n, err := f.inner.Write(fd, p)
+	f.ls.End(iostats.Write, int64(n), start, err)
+	if n > 0 {
+		f.emit(OpEvent{Op: iostats.Write, Path: f.pathOf(fd), Bytes: int64(n)})
+	}
+	return n, err
+}
+
+// Pread implements FS.
+func (f *InstrumentFS) Pread(fd int, p []byte, off int64) (int, error) {
+	start := f.ls.Start()
+	n, err := f.inner.Pread(fd, p, off)
+	f.ls.End(iostats.Read, int64(n), start, err)
+	if n > 0 {
+		f.emit(OpEvent{Op: iostats.Read, Path: f.pathOf(fd), Bytes: int64(n)})
+	}
+	return n, err
+}
+
+// Pwrite implements FS.
+func (f *InstrumentFS) Pwrite(fd int, p []byte, off int64) (int, error) {
+	start := f.ls.Start()
+	n, err := f.inner.Pwrite(fd, p, off)
+	f.ls.End(iostats.Write, int64(n), start, err)
+	if n > 0 {
+		f.emit(OpEvent{Op: iostats.Write, Path: f.pathOf(fd), Bytes: int64(n)})
+	}
+	return n, err
+}
+
+// Lseek implements FS (pure client-side: neither counted nor observed).
+func (f *InstrumentFS) Lseek(fd int, offset int64, whence int) (int64, error) {
+	return f.inner.Lseek(fd, offset, whence)
+}
+
+// Fsync implements FS.
+func (f *InstrumentFS) Fsync(fd int) error {
+	f.emit(OpEvent{Op: iostats.Meta, Path: f.pathOf(fd)})
+	start := f.ls.Start()
+	err := f.inner.Fsync(fd)
+	f.ls.End(iostats.Sync, 0, start, err)
+	return err
+}
+
+// Ftruncate implements FS.
+func (f *InstrumentFS) Ftruncate(fd int, size int64) error {
+	f.emit(OpEvent{Op: iostats.Meta, Path: f.pathOf(fd)})
+	start := f.ls.Start()
+	err := f.inner.Ftruncate(fd, size)
+	f.ls.End(iostats.Meta, 0, start, err)
+	return err
+}
+
+// Fstat implements FS.
+func (f *InstrumentFS) Fstat(fd int) (Stat, error) {
+	f.emit(OpEvent{Op: iostats.Meta, Path: f.pathOf(fd)})
+	start := f.ls.Start()
+	st, err := f.inner.Fstat(fd)
+	f.ls.End(iostats.Meta, 0, start, err)
+	return st, err
+}
+
+// Stat implements FS.
+func (f *InstrumentFS) Stat(path string) (Stat, error) {
+	f.emit(OpEvent{Op: iostats.Meta, Path: path})
+	start := f.ls.Start()
+	st, err := f.inner.Stat(path)
+	f.ls.End(iostats.Meta, 0, start, err)
+	return st, err
+}
+
+// Truncate implements FS.
+func (f *InstrumentFS) Truncate(path string, size int64) error {
+	f.emit(OpEvent{Op: iostats.Meta, Path: path})
+	start := f.ls.Start()
+	err := f.inner.Truncate(path, size)
+	f.ls.End(iostats.Meta, 0, start, err)
+	return err
+}
+
+// Unlink implements FS.
+func (f *InstrumentFS) Unlink(path string) error {
+	f.emit(OpEvent{Op: iostats.Meta, Path: path})
+	start := f.ls.Start()
+	err := f.inner.Unlink(path)
+	f.ls.End(iostats.Meta, 0, start, err)
+	return err
+}
+
+// Mkdir implements FS.
+func (f *InstrumentFS) Mkdir(path string, mode uint32) error {
+	start := f.ls.Start()
+	err := f.inner.Mkdir(path, mode)
+	f.ls.End(iostats.Meta, 0, start, err)
+	if err == nil {
+		f.emit(OpEvent{Op: iostats.Open, Path: path, Created: true, Dir: true})
+	}
+	return err
+}
+
+// Rmdir implements FS.
+func (f *InstrumentFS) Rmdir(path string) error {
+	f.emit(OpEvent{Op: iostats.Meta, Path: path})
+	start := f.ls.Start()
+	err := f.inner.Rmdir(path)
+	f.ls.End(iostats.Meta, 0, start, err)
+	return err
+}
+
+// Readdir implements FS.
+func (f *InstrumentFS) Readdir(path string) ([]DirEntry, error) {
+	f.emit(OpEvent{Op: iostats.Meta, Path: path})
+	start := f.ls.Start()
+	entries, err := f.inner.Readdir(path)
+	f.ls.End(iostats.Meta, 0, start, err)
+	return entries, err
+}
+
+// Rename implements FS.
+func (f *InstrumentFS) Rename(oldpath, newpath string) error {
+	f.emit(OpEvent{Op: iostats.Meta, Path: oldpath})
+	start := f.ls.Start()
+	err := f.inner.Rename(oldpath, newpath)
+	f.ls.End(iostats.Meta, 0, start, err)
+	return err
+}
+
+// Access implements FS.
+func (f *InstrumentFS) Access(path string, mode int) error {
+	f.emit(OpEvent{Op: iostats.Meta, Path: path})
+	start := f.ls.Start()
+	err := f.inner.Access(path, mode)
+	f.ls.End(iostats.Meta, 0, start, err)
+	return err
+}
+
+var _ FS = (*InstrumentFS)(nil)
