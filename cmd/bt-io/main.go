@@ -1,8 +1,10 @@
 // Command bt-io runs the NAS BT-IO kernel (multi-partition diagonal
 // decomposition, five doubles per grid point) over the in-process MPI
-// runtime with any access method.
+// runtime with any access method, or against a plfsd gateway with
+// -remote.
 //
 //	bt-io -np 4 -grid 24 -steps 5 -method romio
+//	bt-io -np 4 -remote localhost:7725 -tenant batch
 package main
 
 import (
@@ -13,52 +15,41 @@ import (
 	"time"
 
 	"ldplfs/internal/harness"
-	"ldplfs/internal/iostats"
+	"ldplfs/internal/harness/flags"
 	"ldplfs/internal/mpi"
 	"ldplfs/internal/mpiio"
-	"ldplfs/internal/plfs"
 	"ldplfs/internal/workload"
 )
 
 func main() {
-	np := flag.Int("np", 4, "number of ranks (must be square)")
-	ppn := flag.Int("ppn", 2, "processes per node")
+	var job flags.Job
+	var ptune flags.Plfs
+	var remote flags.Remote
+	job.Register(flag.CommandLine, 4, "ldplfs")
+	ptune.Register(flag.CommandLine)
+	remote.Register(flag.CommandLine)
 	grid := flag.Int("grid", 24, "grid points per dimension")
 	steps := flag.Int("steps", 5, "write timesteps")
-	method := flag.String("method", "ldplfs", "access method: mpiio|fuse|romio|ldplfs")
 	epio := flag.Bool("epio", false, "epio subtype: N-N write phase, one file per rank (default: collective N-1)")
-	backends := flag.Int("backends", 1, "stripe the store over this many backends (hostdirs spread across them; 1 = single backend)")
-	indexBatch := flag.Int("index-batch", 0, "PLFS index group-flush threshold in records (0 = default, <0 = flush only on sync)")
-	writeWorkers := flag.Int("write-workers", 0, "PLFS parallel pwrites per vectored write (0 = default)")
-	stats := flag.Bool("stats", false, "attach the iostats telemetry plane to every layer and dump a snapshot at exit")
-	autotune := flag.Bool("autotune", false, "let the PLFS feedback controller adapt ReadWorkers/WriteWorkers/IndexBatch online")
-	verify := flag.Bool("verify", true, "read back and verify the final step")
 	flag.Parse()
 
-	var plane *iostats.Plane
-	if *stats {
-		plane = iostats.NewPlane()
-	}
-	store := harness.NewStoreN(*backends)
+	plane := ptune.NewPlane()
+	store := harness.NewStoreN(job.Backends)
 	cfg := workload.BTIOConfig{Grid: *grid, Steps: *steps, EPIO: *epio, Hints: mpiio.DefaultHints()}
-	popts := plfs.DefaultOptions()
-	popts.IndexBatch = *indexBatch
-	popts.WriteWorkers = *writeWorkers
-	popts.AutoTune = *autotune
 	if plane != nil {
 		store = harness.Instrument(store, plane)
 		cfg.Hints.Collector = plane
-		popts.Stats = plane
 	}
+	popts := ptune.Options(plane)
 
 	start := time.Now()
 	var wrote int64
-	err := mpi.Run(*np, *ppn, func(r *mpi.Rank) {
-		drv, pathFor, err := harness.DriverForOpts(*method, store, r.Rank(), popts)
+	err := mpi.Run(job.NP, job.PPN, func(r *mpi.Rank) {
+		drv, pathFor, err := harness.RankDriver(&remote, job.Method, store, r.Rank(), popts...)
 		if err != nil {
 			panic(err)
 		}
-		res, err := workload.RunBTIO(r, drv, pathFor("btio.out"), cfg, *verify)
+		res, err := workload.RunBTIO(r, drv, pathFor("btio.out"), cfg, job.Verify)
 		if err != nil {
 			panic(err)
 		}
@@ -81,8 +72,8 @@ func main() {
 		subtype = "epio"
 	}
 	fmt.Printf("bt-io: method=%s subtype=%s np=%d grid=%d steps=%d wrote=%d bytes in %.3fs (%.1f MB/s)\n",
-		*method, subtype, *np, *grid, *steps, wrote, elapsed, float64(wrote)/elapsed/1e6)
-	if *verify {
+		job.Method, subtype, job.NP, *grid, *steps, wrote, elapsed, float64(wrote)/elapsed/1e6)
+	if job.Verify {
 		fmt.Println("verification: OK")
 	}
 	if plane != nil {

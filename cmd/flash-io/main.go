@@ -1,8 +1,10 @@
 // Command flash-io runs the FLASH-IO checkpoint kernel (three HDF5-style
 // files: checkpoint, plotfile, corner plotfile) over the in-process MPI
-// runtime with any access method.
+// runtime with any access method, or against a plfsd gateway with
+// -remote.
 //
 //	flash-io -np 4 -nxb 8 -nblocks 4 -nvars 8 -method ldplfs
+//	flash-io -np 4 -remote localhost:7725 -tenant batch
 package main
 
 import (
@@ -13,50 +15,39 @@ import (
 	"time"
 
 	"ldplfs/internal/harness"
-	"ldplfs/internal/iostats"
+	"ldplfs/internal/harness/flags"
 	"ldplfs/internal/mpi"
 	"ldplfs/internal/mpiio"
-	"ldplfs/internal/plfs"
 	"ldplfs/internal/workload"
 )
 
 func main() {
-	np := flag.Int("np", 4, "number of ranks")
-	ppn := flag.Int("ppn", 2, "processes per node")
+	var job flags.Job
+	var ptune flags.Plfs
+	var remote flags.Remote
+	job.Register(flag.CommandLine, 4, "ldplfs")
+	ptune.Register(flag.CommandLine)
+	remote.Register(flag.CommandLine)
 	nxb := flag.Int("nxb", 8, "cells per block dimension (paper: 24)")
 	nblocks := flag.Int("nblocks", 4, "blocks per process (FLASH default: 80)")
 	nvars := flag.Int("nvars", 8, "unknowns per cell (FLASH: 24)")
-	method := flag.String("method", "ldplfs", "access method: mpiio|fuse|romio|ldplfs")
 	split := flag.Bool("split", false, "split checkpoints: N-N write phase, one file triplet per rank (default: shared N-1)")
-	backends := flag.Int("backends", 1, "stripe the store over this many backends (hostdirs spread across them; 1 = single backend)")
-	indexBatch := flag.Int("index-batch", 0, "PLFS index group-flush threshold in records (0 = default, <0 = flush only on sync)")
-	writeWorkers := flag.Int("write-workers", 0, "PLFS parallel pwrites per vectored write (0 = default)")
-	stats := flag.Bool("stats", false, "attach the iostats telemetry plane to every layer and dump a snapshot at exit")
-	autotune := flag.Bool("autotune", false, "let the PLFS feedback controller adapt ReadWorkers/WriteWorkers/IndexBatch online")
-	verify := flag.Bool("verify", true, "read back and verify all files")
 	flag.Parse()
 
-	var plane *iostats.Plane
-	if *stats {
-		plane = iostats.NewPlane()
-	}
-	store := harness.NewStoreN(*backends)
+	plane := ptune.NewPlane()
+	store := harness.NewStoreN(job.Backends)
 	cfg := workload.FlashIOConfig{NXB: *nxb, NBlocks: *nblocks, NVars: *nvars, SplitFiles: *split, Hints: mpiio.DefaultHints()}
 	fmt.Printf("flash-io: ~%.1f MB per process\n", float64(cfg.BytesPerProcess())/1e6)
-	popts := plfs.DefaultOptions()
-	popts.IndexBatch = *indexBatch
-	popts.WriteWorkers = *writeWorkers
-	popts.AutoTune = *autotune
 	if plane != nil {
 		store = harness.Instrument(store, plane)
 		cfg.Hints.Collector = plane
-		popts.Stats = plane
 	}
+	popts := ptune.Options(plane)
 
 	start := time.Now()
 	var wrote int64
-	err := mpi.Run(*np, *ppn, func(r *mpi.Rank) {
-		drv, pathFor, err := harness.DriverForOpts(*method, store, r.Rank(), popts)
+	err := mpi.Run(job.NP, job.PPN, func(r *mpi.Rank) {
+		drv, pathFor, err := harness.RankDriver(&remote, job.Method, store, r.Rank(), popts...)
 		if err != nil {
 			panic(err)
 		}
@@ -64,7 +55,7 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		if *verify {
+		if job.Verify {
 			for i, f := range res.Files {
 				if err := workload.VerifyFlashFile(r, drv, f, cfg, i); err != nil {
 					panic(err)
@@ -85,8 +76,8 @@ func main() {
 	}
 	elapsed := time.Since(start).Seconds()
 	fmt.Printf("flash-io: method=%s np=%d wrote=%d bytes across 3 files in %.3fs (%.1f MB/s)\n",
-		*method, *np, wrote, elapsed, float64(wrote)/elapsed/1e6)
-	if *verify {
+		job.Method, job.NP, wrote, elapsed, float64(wrote)/elapsed/1e6)
+	if job.Verify {
 		fmt.Println("verification: OK (all three files)")
 	}
 	if plane != nil {

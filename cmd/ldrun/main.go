@@ -6,9 +6,12 @@
 //
 // Without -preload the tools see raw container directories; with it they
 // see PLFS containers as single files and can read and write them. The
-// tree lives under -root on the host file system.
+// tree lives under -root on the host file system. With -remote the tools
+// run against a plfsd gateway instead: the daemon holds the containers
+// and the preload decision, and ldrun only speaks the wire protocol.
 //
 //	ldrun -root /tmp/store -preload -mnt /mnt/plfs=/backend md5sum /mnt/plfs/data
+//	ldrun -remote localhost:7725 -tenant ops cat /mnt/plfs/data
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"os"
 
 	"ldplfs/internal/core"
+	"ldplfs/internal/harness/flags"
 	"ldplfs/internal/iostats"
 	"ldplfs/internal/plfs"
 	"ldplfs/internal/posix"
@@ -25,19 +29,15 @@ import (
 )
 
 func main() {
+	var ptune flags.Plfs
+	var remote flags.Remote
 	root := flag.String("root", ".", "host directory backing the tree (canonical backend)")
 	backends := flag.String("backends", "", "comma-separated extra host directories to stripe container droppings across (shadow backends)")
 	preload := flag.Bool("preload", false, "preload LDPLFS into the symbol table")
 	mnt := flag.String("mnt", "/mnt/plfs=/backend", "mount spec (point=backend[,point=backend])")
 	pid := flag.Uint("pid", uint(os.Getpid()), "writer id passed to PLFS")
-	indexBatch := flag.Int("index-batch", 0, "PLFS index group-flush threshold in records (0 = default, <0 = flush only on sync)")
-	writeWorkers := flag.Int("write-workers", 0, "PLFS parallel pwrites per vectored write (0 = default)")
-	readWorkers := flag.Int("read-workers", 0, "PLFS parallel preads per scatter-gather read (0 = default)")
-	mergeChunkRecords := flag.Int("merge-chunk-records", 0, "records buffered per dropping stream during the index merge (0 = default; bounds merge memory)")
-	noAutoFlatten := flag.Bool("no-auto-flatten", false, "do not persist a flattened global index when a container's last writer closes")
-	noFlattenedReads := flag.Bool("no-flattened-reads", false, "ignore flattened index records; every cold open runs the streaming merge")
-	stats := flag.Bool("stats", false, "attach the iostats telemetry plane (posix backend + PLFS layers) and dump a snapshot to stderr at exit")
-	autotune := flag.Bool("autotune", false, "let the PLFS feedback controller adapt ReadWorkers/WriteWorkers/IndexBatch online")
+	ptune.Register(flag.CommandLine)
+	remote.Register(flag.CommandLine)
 	flag.Parse()
 
 	args := flag.Args()
@@ -46,39 +46,42 @@ func main() {
 		os.Exit(2)
 	}
 
-	osfs, err := posix.NewOSFS(*root)
-	if err != nil {
-		log.Fatalf("ldrun: root %s: %v", *root, err)
-	}
-	fs, err := posix.NewStripedRoots(osfs, *backends)
-	if err != nil {
-		log.Fatalf("ldrun: %v", err)
-	}
+	var d *posix.Dispatch
 	var plane *iostats.Plane
-	if *stats {
-		plane = iostats.NewPlane()
-		fs = posix.NewInstrumentFS(fs, plane)
-	}
-	d := posix.NewDispatch(fs)
-
-	if *preload {
-		mounts, err := core.ParseMounts(*mnt)
+	if remote.Enabled() {
+		conn, err := remote.Dial()
 		if err != nil {
-			log.Fatal(err)
+			log.Fatalf("ldrun: %v", err)
 		}
-		popts := plfs.DefaultOptions()
-		popts.IndexBatch = *indexBatch
-		popts.WriteWorkers = *writeWorkers
-		popts.ReadWorkers = *readWorkers
-		popts.MergeChunkRecords = *mergeChunkRecords
-		popts.DisableAutoFlatten = *noAutoFlatten
-		popts.DisableFlattenedReads = *noFlattenedReads
-		popts.AutoTune = *autotune
+		defer conn.Close()
+		d = conn.Dispatch()
+	} else {
+		osfs, err := posix.NewOSFS(*root)
+		if err != nil {
+			log.Fatalf("ldrun: root %s: %v", *root, err)
+		}
+		fs, err := posix.NewStripedRoots(osfs, *backends)
+		if err != nil {
+			log.Fatalf("ldrun: %v", err)
+		}
+		plane = ptune.NewPlane()
 		if plane != nil {
-			popts.Stats = plane
+			fs = posix.NewInstrumentFS(fs, plane)
 		}
-		if _, err := core.Preload(d, core.Config{Mounts: mounts, Pid: uint32(*pid), PlfsOptions: popts}); err != nil {
-			log.Fatalf("ldrun: preload: %v", err)
+		d = posix.NewDispatch(fs)
+
+		if *preload {
+			mounts, err := core.ParseMounts(*mnt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := core.Preload(d, core.Config{
+				Mounts: mounts,
+				Pid:    uint32(*pid),
+				Plfs:   plfs.New(fs, ptune.Options(plane)...),
+			}); err != nil {
+				log.Fatalf("ldrun: preload: %v", err)
+			}
 		}
 	}
 	// The snapshot must survive failing commands too — that is when an

@@ -3,6 +3,11 @@
 // measured (wall-clock) write/read bandwidth on the functional stack.
 //
 //	mpiio-test -np 8 -ppn 2 -method ldplfs -size 8388608 -block 1048576
+//	mpiio-test -np 4 -remote localhost:7725 -tenant batch
+//
+// With -remote the kernel runs against a plfsd gateway instead of an
+// in-process store: each rank dials its own connection (one gateway
+// session, one PLFS pid) and the collective structure is unchanged.
 package main
 
 import (
@@ -13,54 +18,43 @@ import (
 	"time"
 
 	"ldplfs/internal/harness"
-	"ldplfs/internal/iostats"
+	"ldplfs/internal/harness/flags"
 	"ldplfs/internal/mpi"
 	"ldplfs/internal/mpiio"
-	"ldplfs/internal/plfs"
 	"ldplfs/internal/workload"
 )
 
 func main() {
-	np := flag.Int("np", 8, "number of ranks")
-	ppn := flag.Int("ppn", 2, "processes per node")
-	method := flag.String("method", "ldplfs", "access method: mpiio|fuse|romio|ldplfs")
+	var job flags.Job
+	var ptune flags.Plfs
+	var remote flags.Remote
+	job.Register(flag.CommandLine, 8, "ldplfs")
+	ptune.Register(flag.CommandLine)
+	remote.Register(flag.CommandLine)
 	size := flag.Int64("size", 8<<20, "bytes per process")
 	block := flag.Int64("block", 1<<20, "block size per collective call")
 	nn := flag.Bool("nn", false, "N-N write phase: each rank writes its own file (default: strided N-1)")
-	backends := flag.Int("backends", 1, "stripe the store over this many backends (hostdirs spread across them; 1 = single backend)")
-	indexBatch := flag.Int("index-batch", 0, "PLFS index group-flush threshold in records (0 = default, <0 = flush only on sync)")
-	writeWorkers := flag.Int("write-workers", 0, "PLFS parallel pwrites per vectored write (0 = default)")
-	stats := flag.Bool("stats", false, "attach the iostats telemetry plane to every layer and dump a snapshot at exit")
-	autotune := flag.Bool("autotune", false, "let the PLFS feedback controller adapt ReadWorkers/WriteWorkers/IndexBatch online")
-	verify := flag.Bool("verify", true, "read back and verify")
 	flag.Parse()
 
-	var plane *iostats.Plane
-	if *stats {
-		plane = iostats.NewPlane()
-	}
-	store := harness.NewStoreN(*backends)
+	plane := ptune.NewPlane()
+	store := harness.NewStoreN(job.Backends)
 	cfg := workload.MPIIOTestConfig{
 		BytesPerProc: *size,
 		BlockSize:    *block,
 		FilePerProc:  *nn,
-		Verify:       *verify,
+		Verify:       job.Verify,
 		Hints:        mpiio.DefaultHints(),
 	}
-	popts := plfs.DefaultOptions()
-	popts.IndexBatch = *indexBatch
-	popts.WriteWorkers = *writeWorkers
-	popts.AutoTune = *autotune
 	if plane != nil {
 		store = harness.Instrument(store, plane)
 		cfg.Hints.Collector = plane
-		popts.Stats = plane
 	}
+	popts := ptune.Options(plane)
 
 	start := time.Now()
 	var wrote, read int64
-	err := mpi.Run(*np, *ppn, func(r *mpi.Rank) {
-		drv, pathFor, err := harness.DriverForOpts(*method, store, r.Rank(), popts)
+	err := mpi.Run(job.NP, job.PPN, func(r *mpi.Rank) {
+		drv, pathFor, err := harness.RankDriver(&remote, job.Method, store, r.Rank(), popts...)
 		if err != nil {
 			panic(err)
 		}
@@ -87,8 +81,8 @@ func main() {
 		shape = "n-n file-per-proc"
 	}
 	fmt.Printf("mpiio-test: method=%s shape=%s np=%d ppn=%d wrote=%d read=%d in %.3fs (%.1f MB/s end-to-end)\n",
-		*method, shape, *np, *ppn, wrote, read, elapsed, float64(wrote+read)/elapsed/1e6)
-	if *verify {
+		job.Method, shape, job.NP, job.PPN, wrote, read, elapsed, float64(wrote+read)/elapsed/1e6)
+	if job.Verify {
 		fmt.Println("verification: OK (every rank validated its neighbour's blocks)")
 	}
 	if plane != nil {

@@ -40,6 +40,7 @@ import (
 	"ldplfs/internal/plfs"
 	idx "ldplfs/internal/plfs/index"
 	"ldplfs/internal/posix"
+	"ldplfs/internal/service/client"
 	"ldplfs/internal/workload"
 )
 
@@ -56,6 +57,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	backends := fl.String("backends", "", "comma-separated extra host directories the container's droppings are striped across")
 	hostdirs := fl.Int("hostdirs", 32, "hostdir buckets (must match the writer's setting)")
 	fix := fl.Bool("fix", false, "doctor: remove the stale openhosts records it finds")
+	remote := fl.String("remote", "", "plfsd gateway address; stats and doctor run against the live daemon")
+	tenant := fl.String("tenant", "default", "tenant name for -remote connections")
 	if err := fl.Parse(argv); err != nil {
 		return 2
 	}
@@ -63,6 +66,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fail := func(format string, a ...any) int {
 		fmt.Fprintf(stderr, "plfsctl: "+format+"\n", a...)
 		return 1
+	}
+	if *remote != "" {
+		return runRemote(*remote, *tenant, args, *fix, stdout, fail)
 	}
 	if len(args) >= 1 && args[0] == "stats" {
 		return runStats(stdout, fail)
@@ -246,6 +252,41 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "removed %s\n", path)
 	default:
 		return fail("unknown command %q", args[0])
+	}
+	return 0
+}
+
+// runRemote executes stats/doctor against a live plfsd daemon: stats
+// fetches the gateway's telemetry-plane snapshot, doctor runs the
+// container health report (with -fix, repairs) through the daemon's
+// own PLFS instance — the mount path is the client-visible one.
+func runRemote(addr, tenant string, args []string, fix bool, stdout io.Writer, fail func(string, ...any) int) int {
+	if len(args) < 1 {
+		return fail("-remote needs a command: stats | doctor PATH")
+	}
+	conn, err := client.Dial(addr, tenant)
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer conn.Close()
+	switch args[0] {
+	case "stats":
+		text, err := conn.Stats()
+		if err != nil {
+			return fail("%v", err)
+		}
+		fmt.Fprint(stdout, text)
+	case "doctor":
+		if len(args) != 2 {
+			return fail("doctor PATH")
+		}
+		report, err := conn.Doctor(args[1], fix)
+		if err != nil {
+			return fail("%v", err)
+		}
+		fmt.Fprint(stdout, report)
+	default:
+		return fail("command %q does not support -remote (want stats or doctor)", args[0])
 	}
 	return 0
 }

@@ -65,12 +65,13 @@ type fuseFD struct {
 }
 
 // Mount creates a FUSE view: mountPoint becomes a window onto PLFS
-// containers stored under backendDir of inner.
-func Mount(inner posix.FS, mountPoint, backendDir string, opts plfs.Options) *FS {
+// containers stored under backendDir of inner. opts take any mix of
+// grouped plfs option values (or the deprecated flat plfs.Options).
+func Mount(inner posix.FS, mountPoint, backendDir string, opts ...plfs.Option) *FS {
 	return &FS{
 		mountPoint: strings.TrimRight(mountPoint, "/"),
 		backend:    strings.TrimRight(backendDir, "/"),
-		plfs:       plfs.New(inner, opts),
+		plfs:       plfs.New(inner, opts...),
 		inner:      inner,
 		fds:        make(map[int]*fuseFD),
 		nextFD:     3,

@@ -1,0 +1,116 @@
+// Package flags centralises the flag registration the workload CLIs
+// (ldrun, mpiio-test, bt-io, flash-io) used to duplicate: PLFS engine
+// tuning, telemetry, MPI job shape, and the remote-gateway connection.
+// Each tool registers the groups it needs on its own FlagSet and keeps
+// its tool-specific flags local.
+package flags
+
+import (
+	"flag"
+	"fmt"
+
+	"ldplfs/internal/iostats"
+	"ldplfs/internal/plfs"
+	"ldplfs/internal/service/client"
+)
+
+// Plfs is the engine-tuning flag group shared by every tool that can
+// run over PLFS.
+type Plfs struct {
+	IndexBatch        int
+	WriteWorkers      int
+	ReadWorkers       int
+	MergeChunkRecords int
+	NoAutoFlatten     bool
+	NoFlattenedReads  bool
+	AutoTune          bool
+	Stats             bool
+}
+
+// Register installs the group's flags on fl.
+func (p *Plfs) Register(fl *flag.FlagSet) {
+	fl.IntVar(&p.IndexBatch, "index-batch", 0, "PLFS index group-flush threshold in records (0 = default, <0 = flush only on sync)")
+	fl.IntVar(&p.WriteWorkers, "write-workers", 0, "PLFS parallel pwrites per vectored write (0 = default)")
+	fl.IntVar(&p.ReadWorkers, "read-workers", 0, "PLFS parallel preads per scatter-gather read (0 = default)")
+	fl.IntVar(&p.MergeChunkRecords, "merge-chunk-records", 0, "records buffered per dropping stream during the index merge (0 = default; bounds merge memory)")
+	fl.BoolVar(&p.NoAutoFlatten, "no-auto-flatten", false, "do not persist a flattened global index when a container's last writer closes")
+	fl.BoolVar(&p.NoFlattenedReads, "no-flattened-reads", false, "ignore flattened index records; every cold open runs the streaming merge")
+	fl.BoolVar(&p.AutoTune, "autotune", false, "let the PLFS feedback controller adapt ReadWorkers/WriteWorkers/IndexBatch online")
+	fl.BoolVar(&p.Stats, "stats", false, "attach the iostats telemetry plane to every layer and dump a snapshot at exit")
+}
+
+// Options renders the group as grouped plfs options. The plane may be
+// nil (no telemetry) — taking the concrete *iostats.Plane rather than
+// the Collector interface keeps a typed-nil plane from turning into a
+// non-nil interface downstream.
+func (p *Plfs) Options(plane *iostats.Plane) []plfs.Option {
+	var tel plfs.TelemetryOptions
+	if plane != nil {
+		tel.Stats = plane
+	}
+	return []plfs.Option{
+		plfs.EngineOptions{
+			IndexBatch:   p.IndexBatch,
+			WriteWorkers: p.WriteWorkers,
+			ReadWorkers:  p.ReadWorkers,
+		},
+		plfs.IndexOptions{
+			MergeChunkRecords:     p.MergeChunkRecords,
+			DisableAutoFlatten:    p.NoAutoFlatten,
+			DisableFlattenedReads: p.NoFlattenedReads,
+		},
+		tel,
+		plfs.TuneOptions{Enable: p.AutoTune},
+	}
+}
+
+// NewPlane returns the telemetry plane the flags ask for, or nil.
+func (p *Plfs) NewPlane() *iostats.Plane {
+	if !p.Stats {
+		return nil
+	}
+	return iostats.NewPlane()
+}
+
+// Job is the MPI job-shape flag group of the workload kernels.
+type Job struct {
+	NP       int
+	PPN      int
+	Method   string
+	Backends int
+	Verify   bool
+}
+
+// Register installs the group's flags on fl with the given defaults
+// for rank count and method.
+func (j *Job) Register(fl *flag.FlagSet, defaultNP int, defaultMethod string) {
+	fl.IntVar(&j.NP, "np", defaultNP, "number of ranks")
+	fl.IntVar(&j.PPN, "ppn", 2, "processes per node")
+	fl.StringVar(&j.Method, "method", defaultMethod, "access method: mpiio|fuse|romio|ldplfs")
+	fl.IntVar(&j.Backends, "backends", 1, "stripe the store over this many backends (hostdirs spread across them; 1 = single backend)")
+	fl.BoolVar(&j.Verify, "verify", true, "read back and verify")
+}
+
+// Remote is the gateway-connection flag group: when -remote is set the
+// tool runs against a plfsd daemon instead of an in-process store.
+type Remote struct {
+	Addr   string
+	Tenant string
+}
+
+// Register installs the group's flags on fl.
+func (r *Remote) Register(fl *flag.FlagSet) {
+	fl.StringVar(&r.Addr, "remote", "", "plfsd gateway address (host:port); empty = run in-process")
+	fl.StringVar(&r.Tenant, "tenant", "default", "tenant name sent in the gateway hello")
+}
+
+// Enabled reports whether a gateway address was given.
+func (r *Remote) Enabled() bool { return r.Addr != "" }
+
+// Dial connects one rank to the gateway.
+func (r *Remote) Dial() (*client.Conn, error) {
+	if !r.Enabled() {
+		return nil, fmt.Errorf("flags: -remote not set")
+	}
+	return client.Dial(r.Addr, r.Tenant)
+}

@@ -1,0 +1,137 @@
+package flags
+
+import (
+	"flag"
+	"net"
+	"testing"
+
+	"ldplfs/internal/core"
+	"ldplfs/internal/plfs"
+	"ldplfs/internal/posix"
+	"ldplfs/internal/service"
+)
+
+func TestPlfsGroup(t *testing.T) {
+	var p Plfs
+	fl := flag.NewFlagSet("test", flag.ContinueOnError)
+	p.Register(fl)
+	err := fl.Parse([]string{
+		"-index-batch", "64", "-write-workers", "4", "-read-workers", "2",
+		"-merge-chunk-records", "128", "-no-auto-flatten", "-no-flattened-reads",
+		"-autotune", "-stats",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plane := p.NewPlane()
+	if plane == nil {
+		t.Fatal("-stats must build a plane")
+	}
+	var eng plfs.EngineOptions
+	var idx plfs.IndexOptions
+	var tel plfs.TelemetryOptions
+	var tun plfs.TuneOptions
+	for _, o := range p.Options(plane) {
+		switch v := o.(type) {
+		case plfs.EngineOptions:
+			eng = v
+		case plfs.IndexOptions:
+			idx = v
+		case plfs.TelemetryOptions:
+			tel = v
+		case plfs.TuneOptions:
+			tun = v
+		default:
+			t.Fatalf("unexpected option type %T", o)
+		}
+	}
+	if eng.IndexBatch != 64 || eng.WriteWorkers != 4 || eng.ReadWorkers != 2 {
+		t.Fatalf("engine group = %+v", eng)
+	}
+	if idx.MergeChunkRecords != 128 || !idx.DisableAutoFlatten || !idx.DisableFlattenedReads {
+		t.Fatalf("index group = %+v", idx)
+	}
+	if tel.Stats != plane || !tun.Enable {
+		t.Fatal("telemetry/tune groups not rendered")
+	}
+
+	var off Plfs
+	if off.NewPlane() != nil {
+		t.Fatal("plane without -stats")
+	}
+}
+
+func TestJobGroup(t *testing.T) {
+	var j Job
+	fl := flag.NewFlagSet("test", flag.ContinueOnError)
+	j.Register(fl, 8, "ldplfs")
+	if err := fl.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if j.NP != 8 || j.Method != "ldplfs" || j.PPN != 2 || j.Backends != 1 || !j.Verify {
+		t.Fatalf("defaults = %+v", j)
+	}
+}
+
+func TestRemoteGroup(t *testing.T) {
+	var r Remote
+	fl := flag.NewFlagSet("test", flag.ContinueOnError)
+	r.Register(fl)
+	if err := fl.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.Enabled() {
+		t.Fatal("enabled without -remote")
+	}
+	if _, err := r.Dial(); err == nil {
+		t.Fatal("Dial without -remote succeeded")
+	}
+
+	// Against a live loopback gateway.
+	mem := posix.NewMemFS()
+	if err := mem.Mkdir("/backend", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	mounts, err := core.ParseMounts("/mnt/plfs=/backend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := service.NewGateway(service.Config{
+		Backend: mem,
+		Mounts:  mounts,
+		Tenants: []service.TenantConfig{{Name: "default"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := service.NewServer(g)
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	fl = flag.NewFlagSet("test", flag.ContinueOnError)
+	r = Remote{}
+	r.Register(fl)
+	if err := fl.Parse([]string{"-remote", ln.Addr().String()}); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Enabled() {
+		t.Fatal("not enabled with -remote")
+	}
+	conn, err := r.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fd, err := conn.Open("/mnt/plfs/x", posix.O_CREAT|posix.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.CloseFd(fd); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -85,19 +85,21 @@ func PrepareStore(fs posix.FS) error {
 // with default PLFS options, and returns the application-visible path
 // for the given file name.
 func DriverFor(method string, fs posix.FS, rank int) (mpiio.Driver, func(name string) string, error) {
-	return DriverForOpts(method, fs, rank, plfs.DefaultOptions())
+	return DriverForOpts(method, fs, rank)
 }
 
-// DriverForOpts is DriverFor with explicit PLFS options, so the CLI
-// tools can thread engine tuning (ReadWorkers, WriteWorkers, IndexBatch,
-// ...) down to whichever methods run over PLFS.
-func DriverForOpts(method string, fs posix.FS, rank int, opts plfs.Options) (mpiio.Driver, func(name string) string, error) {
+// DriverForOpts is DriverFor with explicit PLFS options — any mix of
+// grouped option structs (plfs.EngineOptions{...}), a whole
+// plfs.Config, or the deprecated flat plfs.Options — so the CLI tools
+// can thread engine tuning (ReadWorkers, WriteWorkers, IndexBatch, ...)
+// down to whichever methods run over PLFS.
+func DriverForOpts(method string, fs posix.FS, rank int, opts ...plfs.Option) (mpiio.Driver, func(name string) string, error) {
 	switch method {
 	case "mpiio":
 		return mpiio.NewUFS(posix.NewDispatch(fs)),
 			func(name string) string { return ScratchDir + "/" + name }, nil
 	case "romio":
-		p := plfs.New(fs, opts)
+		p := plfs.New(fs, opts...)
 		drv := mpiio.NewPLFSDriver(p, func(path string) (string, bool) {
 			if strings.HasPrefix(path, MountPoint+"/") {
 				return BackendDir + path[len(MountPoint):], true
@@ -108,16 +110,16 @@ func DriverForOpts(method string, fs posix.FS, rank int, opts plfs.Options) (mpi
 	case "ldplfs":
 		d := posix.NewDispatch(fs)
 		if _, err := core.Preload(d, core.Config{
-			Mounts:      []core.Mount{{Point: MountPoint, Backend: BackendDir}},
-			Pid:         uint32(rank),
-			PlfsOptions: opts,
+			Mounts: []core.Mount{{Point: MountPoint, Backend: BackendDir}},
+			Pid:    uint32(rank),
+			Plfs:   plfs.New(fs, opts...),
 		}); err != nil {
 			return nil, nil, err
 		}
 		return mpiio.NewUFS(d),
 			func(name string) string { return MountPoint + "/" + name }, nil
 	case "fuse":
-		return mpiio.NewUFS(fuse.Mount(fs, MountPoint, BackendDir, opts)),
+		return mpiio.NewUFS(fuse.Mount(fs, MountPoint, BackendDir, opts...)),
 			func(name string) string { return MountPoint + "/" + name }, nil
 	}
 	return nil, nil, fmt.Errorf("harness: unknown method %q (want one of %v)", method, Methods)

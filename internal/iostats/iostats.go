@@ -352,8 +352,14 @@ func NewPlane() *Plane {
 	return &Plane{layers: make(map[string]*LayerStats)}
 }
 
-// Layer implements Collector.
+// Layer implements Collector. Like the LayerStats handles it returns,
+// it is nil-receiver safe: a nil *Plane (telemetry off) yields a nil
+// handle — important because a typed-nil *Plane stored in a Collector
+// interface still dispatches here.
 func (p *Plane) Layer(name string) *LayerStats {
+	if p == nil {
+		return nil
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	l, ok := p.layers[name]

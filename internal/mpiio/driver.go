@@ -30,6 +30,11 @@ const (
 	ModeAppend
 )
 
+// AmodeToFlags translates MPI_MODE_* to POSIX open flags — the same
+// mapping the in-tree drivers use, exported so out-of-package drivers
+// (the harness's remote-gateway driver) agree with them.
+func AmodeToFlags(amode int) (int, error) { return amodeToPosix(amode) }
+
 // amodeToPosix translates MPI_MODE_* to POSIX open flags.
 func amodeToPosix(amode int) (int, error) {
 	flags := 0

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
-	"sync/atomic"
 
 	"ldplfs/internal/iostats"
 	"ldplfs/internal/mpi"
@@ -43,21 +42,6 @@ func DefaultHints() Hints {
 	}
 }
 
-// Stats counts what the layer did — used by tests and the cost model.
-//
-// Deprecated-but-kept: the iostats plane (Hints.Collector, layer
-// "mpiio") is the unified reporting surface; this struct remains so
-// the cost model and existing tests keep compiling.
-type Stats struct {
-	CollectiveCalls  atomic.Int64
-	IndependentCalls atomic.Int64
-	DriverWrites     atomic.Int64 // pwrite calls issued to the driver
-	DriverReads      atomic.Int64
-	BytesWritten     atomic.Int64
-	BytesRead        atomic.Int64
-	SieveRMWs        atomic.Int64 // read-modify-write cycles
-}
-
 // File is an open MPI file handle, one per rank (like MPI_File). The
 // handle embeds the rank because every collective entry point must be
 // called by all ranks of the communicator.
@@ -67,16 +51,25 @@ type File struct {
 	hints Hints
 	path  string
 
-	// Stats is shared across the whole communicator's handles (rank 0's
-	// is authoritative; others alias it via Open's bcast).
-	Stats *Stats
-
-	// ls is the telemetry-plane layer (nil = unobserved); ccol/cind are
-	// its collective/independent call counters, grabbed once at Open.
+	// ls is the layer every handle of the communicator reports to —
+	// Hints.Collector's "mpiio" layer, or a standalone layer bcast from
+	// rank 0 when no plane is attached. The named counters (grabbed
+	// once at Open) are what the retired Stats struct used to tally:
+	// collective/independent calls, driver-level reads/writes and their
+	// bytes, and data-sieving read-modify-write cycles.
 	ls   *iostats.LayerStats
-	ccol *iostats.Counter
-	cind *iostats.Counter
+	ccol *iostats.Counter // collective_calls
+	cind *iostats.Counter // independent_calls
+	cdw  *iostats.Counter // driver_writes
+	cdr  *iostats.Counter // driver_reads
+	cbw  *iostats.Counter // bytes_written
+	cbr  *iostats.Counter // bytes_read
+	csr  *iostats.Counter // sieve_rmws
 }
+
+// Layer is the handle's telemetry layer, shared by the whole
+// communicator — the counters above plus per-op latency records.
+func (f *File) Layer() *iostats.LayerStats { return f.ls }
 
 // Segment is one contiguous piece of a file access (a flattened datatype).
 type Segment struct {
@@ -111,18 +104,28 @@ func Open(r *mpi.Rank, driver Driver, path string, amode int, hints Hints) (*Fil
 	if err != nil {
 		return nil, err
 	}
-	stats := &Stats{}
-	if s := r.Bcast(0, stats); s != nil {
-		stats = s.(*Stats)
-	}
-	f := &File{rank: r, df: df, hints: hints, path: path, Stats: stats}
+	f := &File{rank: r, df: df, hints: hints, path: path}
 	if hints.Collector != nil {
 		// Every rank asks for the same layer name, so the whole
 		// communicator aggregates into one view of the plane.
 		f.ls = hints.Collector.Layer("mpiio")
-		f.ccol = f.ls.Counter("collective_calls")
-		f.cind = f.ls.Counter("independent_calls")
+	} else {
+		// No plane attached: the communicator still shares one
+		// standalone layer (rank 0's, via bcast), so per-handle tallies
+		// aggregate across ranks.
+		ls := iostats.NewLayerStats("mpiio")
+		if s := r.Bcast(0, ls); s != nil {
+			ls = s.(*iostats.LayerStats)
+		}
+		f.ls = ls
 	}
+	f.ccol = f.ls.Counter("collective_calls")
+	f.cind = f.ls.Counter("independent_calls")
+	f.cdw = f.ls.Counter("driver_writes")
+	f.cdr = f.ls.Counter("driver_reads")
+	f.cbw = f.ls.Counter("bytes_written")
+	f.cbr = f.ls.Counter("bytes_read")
+	f.csr = f.ls.Counter("sieve_rmws")
 	return f, nil
 }
 
@@ -164,9 +167,8 @@ func (f *File) Rank() *mpi.Rank { return f.rank }
 
 // WriteAt writes one contiguous block independently — MPI_File_write_at.
 func (f *File) WriteAt(buf []byte, off int64) (int, error) {
-	f.Stats.IndependentCalls.Add(1)
-	f.Stats.DriverWrites.Add(1)
-	f.Stats.BytesWritten.Add(int64(len(buf)))
+	f.cdw.Add(1)
+	f.cbw.Add(int64(len(buf)))
 	f.cind.Add(1)
 	start := f.ls.Start()
 	n, err := f.df.PwriteAt(buf, off)
@@ -176,13 +178,12 @@ func (f *File) WriteAt(buf []byte, off int64) (int, error) {
 
 // ReadAt reads one contiguous block independently — MPI_File_read_at.
 func (f *File) ReadAt(buf []byte, off int64) (int, error) {
-	f.Stats.IndependentCalls.Add(1)
-	f.Stats.DriverReads.Add(1)
+	f.cdr.Add(1)
 	f.cind.Add(1)
 	start := f.ls.Start()
 	n, err := f.df.PreadAt(buf, off)
 	f.ls.End(iostats.Read, int64(n), start, err)
-	f.Stats.BytesRead.Add(int64(n))
+	f.cbr.Add(int64(n))
 	return n, err
 }
 
@@ -198,7 +199,6 @@ func (f *File) WriteStrided(segs []Segment, buf []byte) (int, error) {
 }
 
 func (f *File) writeStrided(segs []Segment, buf []byte) (int, error) {
-	f.Stats.IndependentCalls.Add(1)
 	if len(segs) == 0 {
 		return 0, nil
 	}
@@ -217,15 +217,15 @@ func (f *File) writeStrided(segs []Segment, buf []byte) (int, error) {
 		// Vector-capable drivers (PLFS) take the whole flattened access
 		// in one call instead of a pwrite per segment.
 		if vw, ok := f.df.(VectorWriter); ok && len(segs) > 1 {
-			f.Stats.DriverWrites.Add(1)
+			f.cdw.Add(1)
 			n, err := vw.PwritevAt(segs, buf[:total])
-			f.Stats.BytesWritten.Add(int64(n))
+			f.cbw.Add(int64(n))
 			return n, err
 		}
 		written := 0
 		cursor := 0
 		for _, s := range segs {
-			f.Stats.DriverWrites.Add(1)
+			f.cdw.Add(1)
 			n, err := f.df.PwriteAt(buf[cursor:cursor+int(s.Len)], s.Off)
 			written += n
 			if err != nil {
@@ -233,14 +233,14 @@ func (f *File) writeStrided(segs []Segment, buf []byte) (int, error) {
 			}
 			cursor += int(s.Len)
 		}
-		f.Stats.BytesWritten.Add(int64(written))
+		f.cbw.Add(int64(written))
 		return written, nil
 	}
 
 	// Data sieving: read [lo,hi), overlay the segments, write back once.
-	f.Stats.SieveRMWs.Add(1)
+	f.csr.Add(1)
 	block := make([]byte, span)
-	f.Stats.DriverReads.Add(1)
+	f.cdr.Add(1)
 	if _, err := f.df.PreadAt(block, lo); err != nil {
 		return 0, err
 	}
@@ -249,11 +249,11 @@ func (f *File) writeStrided(segs []Segment, buf []byte) (int, error) {
 		copy(block[s.Off-lo:s.Off-lo+s.Len], buf[cursor:cursor+int(s.Len)])
 		cursor += int(s.Len)
 	}
-	f.Stats.DriverWrites.Add(1)
+	f.cdw.Add(1)
 	if _, err := f.df.PwriteAt(block, lo); err != nil {
 		return 0, err
 	}
-	f.Stats.BytesWritten.Add(total)
+	f.cbw.Add(total)
 	return int(total), nil
 }
 
@@ -268,7 +268,6 @@ func (f *File) ReadStrided(segs []Segment, buf []byte) (int, error) {
 }
 
 func (f *File) readStrided(segs []Segment, buf []byte) (int, error) {
-	f.Stats.IndependentCalls.Add(1)
 	if len(segs) == 0 {
 		return 0, nil
 	}
@@ -281,7 +280,7 @@ func (f *File) readStrided(segs []Segment, buf []byte) (int, error) {
 
 	if f.hints.DataSieving && len(segs) > 1 && span <= int64(f.hints.SieveBufferSize) {
 		block := make([]byte, span)
-		f.Stats.DriverReads.Add(1)
+		f.cdr.Add(1)
 		n, err := f.df.PreadAt(block, lo)
 		if err != nil {
 			return 0, err
@@ -298,14 +297,14 @@ func (f *File) readStrided(segs []Segment, buf []byte) (int, error) {
 			}
 			cursor += int(s.Len)
 		}
-		f.Stats.BytesRead.Add(int64(got))
+		f.cbr.Add(int64(got))
 		return got, nil
 	}
 
 	got := 0
 	cursor := 0
 	for _, s := range segs {
-		f.Stats.DriverReads.Add(1)
+		f.cdr.Add(1)
 		n, err := f.df.PreadAt(buf[cursor:cursor+int(s.Len)], s.Off)
 		got += n
 		if err != nil {
@@ -313,7 +312,7 @@ func (f *File) readStrided(segs []Segment, buf []byte) (int, error) {
 		}
 		cursor += int(s.Len)
 	}
-	f.Stats.BytesRead.Add(int64(got))
+	f.cbr.Add(int64(got))
 	return got, nil
 }
 
@@ -455,7 +454,6 @@ func (f *File) WriteAll(segs []Segment, buf []byte) (int, error) {
 }
 
 func (f *File) writeAll(segs []Segment, buf []byte) (int, error) {
-	f.Stats.CollectiveCalls.Add(1)
 	if err := validateSegs(segs, buf); err != nil {
 		return 0, err
 	}
@@ -536,10 +534,10 @@ func (f *File) flushPieces(pieces []piece) (int64, error) {
 			run = append(run, pieces[j].data...)
 			j++
 		}
-		f.Stats.DriverWrites.Add(1)
+		f.cdw.Add(1)
 		n, err := f.df.PwriteAt(run, runOff)
 		total += int64(n)
-		f.Stats.BytesWritten.Add(int64(n))
+		f.cbw.Add(int64(n))
 		if err != nil {
 			return total, err
 		}
@@ -569,7 +567,6 @@ func (f *File) ReadAll(segs []Segment, buf []byte) (int, error) {
 }
 
 func (f *File) readAll(segs []Segment, buf []byte) (int, error) {
-	f.Stats.CollectiveCalls.Add(1)
 	if err := validateSegs(segs, buf); err != nil {
 		return 0, err
 	}
@@ -706,12 +703,12 @@ func (f *File) answerReadRequests(gotReqs [][]byte, replies [][]byte) error {
 			j++
 		}
 		data := make([]byte, runEnd-runOff)
-		f.Stats.DriverReads.Add(1)
+		f.cdr.Add(1)
 		n, err := f.df.PreadAt(data, runOff)
 		if err != nil {
 			return err
 		}
-		f.Stats.BytesRead.Add(int64(n))
+		f.cbr.Add(int64(n))
 		runs = append(runs, run{off: runOff, data: data[:n]})
 		i = j
 	}

@@ -8,6 +8,7 @@ import (
 
 	"ldplfs/internal/core"
 	"ldplfs/internal/fuse"
+	"ldplfs/internal/iostats"
 	"ldplfs/internal/mpi"
 	"ldplfs/internal/plfs"
 	"ldplfs/internal/posix"
@@ -138,7 +139,7 @@ func TestCollectiveBufferingAggregatesWrites(t *testing.T) {
 		block = 4 << 10
 	)
 	mem := newWorldFS(t)
-	var stats *Stats
+	var stats *iostats.LayerStats
 	err := mpi.Run(ranks, ppn, func(r *mpi.Rank) {
 		fh, err := Open(r, NewUFS(posix.NewDispatch(mem)), "/scratch/agg", ModeCreate|ModeWronly, DefaultHints())
 		if err != nil {
@@ -149,7 +150,7 @@ func TestCollectiveBufferingAggregatesWrites(t *testing.T) {
 			panic(err)
 		}
 		if r.Rank() == 0 {
-			stats = fh.Stats
+			stats = fh.Layer()
 		}
 		fh.Close()
 	})
@@ -158,7 +159,7 @@ func TestCollectiveBufferingAggregatesWrites(t *testing.T) {
 	}
 	// The whole 32 KiB extent splits into 2 aggregator domains, each
 	// contiguous: exactly 2 driver writes.
-	if got := stats.DriverWrites.Load(); got != 2 {
+	if got := stats.Counter("driver_writes").Load(); got != 2 {
 		t.Fatalf("driver writes = %d, want 2 (one per aggregator)", got)
 	}
 	st, err := mem.Stat("/scratch/agg")
@@ -268,14 +269,14 @@ func TestDataSievingWrite(t *testing.T) {
 			segs = append(segs, Segment{Off: int64(i * 64), Len: 32})
 			buf = append(buf, bytes.Repeat([]byte{byte(i)}, 32)...)
 		}
-		before := fh.Stats.DriverWrites.Load()
+		before := fh.Layer().Counter("driver_writes").Load()
 		if _, err := fh.WriteStrided(segs, buf); err != nil {
 			panic(err)
 		}
-		if got := fh.Stats.DriverWrites.Load() - before; got != 1 {
+		if got := fh.Layer().Counter("driver_writes").Load() - before; got != 1 {
 			panic(fmt.Sprintf("sieved write issued %d driver writes, want 1", got))
 		}
-		if fh.Stats.SieveRMWs.Load() != 1 {
+		if fh.Layer().Counter("sieve_rmws").Load() != 1 {
 			panic("sieve RMW not recorded")
 		}
 		// Verify overlay: stripes of i and preserved 0xFF gaps.
@@ -311,9 +312,9 @@ func TestSievingDisabledIssuesPerSegmentWrites(t *testing.T) {
 			segs = append(segs, Segment{Off: int64(i * 100), Len: 50})
 			buf = append(buf, bytes.Repeat([]byte{byte(i)}, 50)...)
 		}
-		before := fh.Stats.DriverWrites.Load()
+		before := fh.Layer().Counter("driver_writes").Load()
 		fh.WriteStrided(segs, buf)
-		if got := fh.Stats.DriverWrites.Load() - before; got != 8 {
+		if got := fh.Layer().Counter("driver_writes").Load() - before; got != 8 {
 			panic(fmt.Sprintf("driver writes = %d, want 8", got))
 		}
 		fh.Close()

@@ -201,7 +201,7 @@ func (p *FS) writeFlattened(path string) (FlattenedInfo, error) {
 // writer has closed. Best-effort, like the meta size hints: a failed
 // flatten costs the next cold open a streaming merge, nothing more.
 func (p *FS) maybeAutoFlatten(path string) {
-	if p.opts.DisableAutoFlatten {
+	if p.cfg.Index.DisableAutoFlatten {
 		return
 	}
 	if p.hasOpenWriters(path) {

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"ldplfs/internal/iostats"
 	idx "ldplfs/internal/plfs/index"
 	"ldplfs/internal/posix"
 )
@@ -115,7 +116,7 @@ func TestAutoFlattenOnLastWriterClose(t *testing.T) {
 	if got := readAllBytes(t, cold, "/backend/af"); !bytes.Equal(got, want) {
 		t.Fatal("flattened-backed read diverged")
 	}
-	if s := cold.IndexCacheStats(); s.Builds != 1 || s.FlattenedBuilds != 1 {
+	if s := cacheStats(cold); s.Builds != 1 || s.FlattenedBuilds != 1 {
 		t.Fatalf("cold stats = %+v, want the one build to load the flattened record", s)
 	}
 }
@@ -152,7 +153,7 @@ func TestFlattenedStaleAfterNewWrites(t *testing.T) {
 	if !bytes.Equal(got[4*4*64:], tail) {
 		t.Fatal("stale flattened record served old bytes")
 	}
-	if s := cold.IndexCacheStats(); s.FlattenedBuilds != 0 {
+	if s := cacheStats(cold); s.FlattenedBuilds != 0 {
 		t.Fatalf("stats = %+v: stale record was trusted", s)
 	}
 	if h, err := cold.IndexHealth("/backend/stale"); err != nil || h.Flattened == nil || h.Flattened.Fresh {
@@ -178,7 +179,7 @@ func TestCorruptFlattenedFallsBackSilently(t *testing.T) {
 	if got := readAllBytes(t, cold, "/backend/corrupt"); !bytes.Equal(got, want) {
 		t.Fatal("corrupt flattened record corrupted reads")
 	}
-	if s := cold.IndexCacheStats(); s.FlattenedBuilds != 0 {
+	if s := cacheStats(cold); s.FlattenedBuilds != 0 {
 		t.Fatal("corrupt record was trusted")
 	}
 	// Truncate the record to a torn tail: same story.
@@ -211,7 +212,7 @@ func TestFlattenedDistrustedWhileWriterLive(t *testing.T) {
 
 	cold := New(p.backend, Options{NumHostdirs: 4})
 	readAllBytes(t, cold, "/backend/live-w")
-	if s := cold.IndexCacheStats(); s.FlattenedBuilds != 0 {
+	if s := cacheStats(cold); s.FlattenedBuilds != 0 {
 		t.Fatal("flattened record trusted while a writer is live")
 	}
 	g.Close(3)
@@ -228,7 +229,7 @@ func TestSetFlattenedReadsRuntimeToggle(t *testing.T) {
 	if got := readAllBytes(t, cold, "/backend/knob"); !bytes.Equal(got, want) {
 		t.Fatal("merge-path read diverged")
 	}
-	if s := cold.IndexCacheStats(); s.FlattenedBuilds != 0 {
+	if s := cacheStats(cold); s.FlattenedBuilds != 0 {
 		t.Fatal("disabled flattened reads still loaded the record")
 	}
 	// Flip the knob live; invalidate to force a rebuild.
@@ -237,7 +238,7 @@ func TestSetFlattenedReadsRuntimeToggle(t *testing.T) {
 	if got := readAllBytes(t, cold, "/backend/knob"); !bytes.Equal(got, want) {
 		t.Fatal("flattened-path read diverged")
 	}
-	if s := cold.IndexCacheStats(); s.FlattenedBuilds != 1 {
+	if s := cacheStats(cold); s.FlattenedBuilds != 1 {
 		t.Fatalf("stats after live enable = %+v", s)
 	}
 }
@@ -285,7 +286,7 @@ func TestDropFlattenedIndex(t *testing.T) {
 	if got := readAllBytes(t, cold, "/backend/dropf"); !bytes.Equal(got, want) {
 		t.Fatal("read after drop diverged")
 	}
-	if s := cold.IndexCacheStats(); s.FlattenedBuilds != 0 {
+	if s := cacheStats(cold); s.FlattenedBuilds != 0 {
 		t.Fatal("dropped record still served a build")
 	}
 	if n, err := p.DropFlattenedIndex("/backend/dropf"); err != nil || n != 0 {
@@ -334,7 +335,7 @@ func TestCompactIndexRefreshesFlattened(t *testing.T) {
 	if got := readAllBytes(t, cold, "/backend/cflat"); !bytes.Equal(got, want) {
 		t.Fatal("read after compact+flatten diverged")
 	}
-	if s := cold.IndexCacheStats(); s.FlattenedBuilds != 1 {
+	if s := cacheStats(cold); s.FlattenedBuilds != 1 {
 		t.Fatalf("cold stats after compact = %+v", s)
 	}
 }
@@ -351,7 +352,7 @@ func TestFlattenedSurvivesRename(t *testing.T) {
 	if got := readAllBytes(t, cold, "/backend/mv-b"); !bytes.Equal(got, want) {
 		t.Fatal("read after rename diverged")
 	}
-	if s := cold.IndexCacheStats(); s.FlattenedBuilds != 1 {
+	if s := cacheStats(cold); s.FlattenedBuilds != 1 {
 		t.Fatalf("flattened record not trusted after rename: %+v", s)
 	}
 }
@@ -389,7 +390,7 @@ func TestStripedFlattenedPlacement(t *testing.T) {
 	if got := readAllBytes(t, cold, "/backend/fplace"); !bytes.Equal(got, want) {
 		t.Fatal("striped flattened read diverged")
 	}
-	if s := cold.IndexCacheStats(); s.FlattenedBuilds != 1 {
+	if s := cacheStats(cold); s.FlattenedBuilds != 1 {
 		t.Fatalf("striped cold open did not use the flattened record: %+v", s)
 	}
 }
@@ -422,7 +423,7 @@ func TestFlattenedStaleGenerationNameMismatch(t *testing.T) {
 	if got := readAllBytes(t, cold, "/backend/genm"); !bytes.Equal(got, want) {
 		t.Fatal("gen-mismatched record corrupted reads")
 	}
-	if s := cold.IndexCacheStats(); s.FlattenedBuilds != 0 {
+	if s := cacheStats(cold); s.FlattenedBuilds != 0 {
 		t.Fatal("gen-mismatched record was trusted")
 	}
 	if h, err := cold.IndexHealth("/backend/genm"); err != nil || h.Flattened == nil || h.Flattened.Fresh || h.StaleRecords != 2 {
@@ -521,9 +522,12 @@ func TestColdOpenDroppingReadCost(t *testing.T) {
 	countReads := func(disable bool) int {
 		mem2 := posix.NewMemFS()
 		copyTree(t, p.backend, mem2, "/backend")
-		ffs := posix.NewFaultFS(mem2)
-		cold := New(ffs, Options{NumHostdirs: 4, DisableFlattenedReads: disable})
-		before := ffs.OpCount(posix.FaultOpen)
+		plane := iostats.NewPlane()
+		ins := posix.NewInstrumentFS(mem2, plane, posix.WithLayerName("backend"))
+		cold := New(ins,
+			EngineOptions{NumHostdirs: 4},
+			IndexOptions{DisableFlattenedReads: disable})
+		before := plane.Layer("backend").OpCount(iostats.Open)
 		f, err := cold.Open("/backend/cost", posix.O_RDONLY, 50, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -532,7 +536,7 @@ func TestColdOpenDroppingReadCost(t *testing.T) {
 		if _, err := f.Size(); err != nil {
 			t.Fatal(err)
 		}
-		return int(ffs.OpCount(posix.FaultOpen) - before)
+		return int(plane.Layer("backend").OpCount(iostats.Open) - before)
 	}
 	flat := countReads(false)
 	merge := countReads(true)

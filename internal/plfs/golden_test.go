@@ -319,7 +319,7 @@ func TestGoldenContainerV2(t *testing.T) {
 	if got != string(wantBytes) {
 		t.Fatalf("v2 container no longer reads identically.\n-- want --\n%s\n-- got --\n%s", wantBytes, got)
 	}
-	if s := p.IndexCacheStats(); s.FlattenedBuilds == 0 {
+	if s := cacheStats(p); s.FlattenedBuilds == 0 {
 		t.Fatalf("v2 fixture read did not load its flattened record: %+v", s)
 	}
 

@@ -1,0 +1,263 @@
+// Configuration surface of a PLFS instance.
+//
+// The public API is a functional-options constructor over four cohesive
+// groups — engine fan-out (EngineOptions), index/cache behavior
+// (IndexOptions), telemetry (TelemetryOptions) and the online tuner
+// (TuneOptions) — plus the backend stripe set:
+//
+//	p := plfs.New(backend,
+//	        plfs.EngineOptions{WriteWorkers: 8, IndexBatch: 512},
+//	        plfs.IndexOptions{MaxCachedIndexes: 128},
+//	        plfs.WithStats(plane),
+//	        plfs.TuneOptions{Enable: true},
+//	)
+//
+// Each group value passed to New replaces that whole group, so a group
+// literal reads exactly like the configuration it produces. The
+// pre-redesign flat Options struct remains as a one-release
+// compatibility shim: it implements Option itself, so historical call
+// sites — plfs.New(fs, plfs.Options{WriteWorkers: 8}) — compile and
+// behave identically (see Options).
+package plfs
+
+import (
+	"ldplfs/internal/iostats"
+	"ldplfs/internal/plfs/tune"
+	"ldplfs/internal/posix"
+)
+
+// EngineOptions groups the data-path knobs of the read and write
+// engines: container geometry and the concurrency fan-outs. The zero
+// value means "defaults" for every field.
+type EngineOptions struct {
+	// NumHostdirs is the number of hostdir buckets per container (PLFS
+	// default is 32; tests use fewer to exercise collisions).
+	NumHostdirs int
+
+	// ReadWorkers bounds the number of concurrent preads one Read
+	// scatter-gathers across data droppings. 0 picks a default from
+	// GOMAXPROCS; 1 reads extents serially.
+	ReadWorkers int
+
+	// IndexWorkers bounds the number of concurrent dropping loads during
+	// index reconstruction. 0 picks a default from GOMAXPROCS; 1 loads
+	// droppings serially.
+	IndexWorkers int
+
+	// WriteWorkers bounds the number of concurrent pwrites one WriteV
+	// fans across its segments. 0 picks a default from GOMAXPROCS; 1
+	// writes segments serially.
+	WriteWorkers int
+
+	// IndexBatch is the group-flush threshold of the per-writer index
+	// buffer, in records: once a writer has buffered this many index
+	// records they are appended to its index dropping in one backend
+	// write (no fsync), so a long run of small writes costs
+	// O(writes/batch) index I/Os. 0 picks DefaultIndexBatch; negative
+	// disables auto-flushing entirely (records accumulate until
+	// Sync/Close/read, the pre-engine behavior).
+	IndexBatch int
+
+	// DisableWriteSharding reverts to the pre-engine write path: every
+	// Write and Sync on a File takes one exclusive handle lock, so
+	// writers serialize however many pids share the handle. Kept as the
+	// benchmark baseline.
+	DisableWriteSharding bool
+}
+
+// applyOption implements Option: the literal replaces the whole group.
+func (o EngineOptions) applyOption(c *Config) { c.Engine = o }
+
+// IndexOptions groups the metadata-path behavior: the shared read
+// caches, the streaming merge and the flattened-record lifecycle.
+type IndexOptions struct {
+	// MaxReadFDs caps the shared cache of read-only data-dropping
+	// descriptors (0 = readcache.DefaultMaxFDs). Wide containers with
+	// thousands of historical writers stay bounded.
+	MaxReadFDs int
+
+	// MaxCachedIndexes caps how many containers keep a cached merged
+	// index (0 = readcache.DefaultMaxContainers).
+	MaxCachedIndexes int
+
+	// DisableCache reverts to the pre-cache behavior — every File
+	// handle merges and holds its own private index, and Read serializes
+	// under one exclusive lock. Kept as the benchmark baseline.
+	DisableCache bool
+
+	// DisableAutoFlatten stops the instance from persisting a flattened
+	// global index record when a container's last writer closes. Reads
+	// still trust records written by other instances or plfsctl compact
+	// (unless DisableFlattenedReads). Used by baselines, and to stage
+	// deliberately stale records in tests.
+	DisableAutoFlatten bool
+
+	// DisableFlattenedReads makes the read path ignore flattened records
+	// entirely — every cold build runs the streaming merge over raw
+	// droppings. The setting is only the initial value; it can be toggled
+	// on a live instance via SetFlattenedReads.
+	DisableFlattenedReads bool
+
+	// MergeChunkRecords bounds the records each dropping stream buffers
+	// during the streaming index merge (0 = index.DefaultStreamChunk).
+	// Total merge memory is droppings x MergeChunkRecords x EntrySize on
+	// top of the result, independent of container history length.
+	MergeChunkRecords int
+}
+
+// applyOption implements Option.
+func (o IndexOptions) applyOption(c *Config) { c.Index = o }
+
+// TelemetryOptions groups the observability wiring.
+type TelemetryOptions struct {
+	// Stats attaches the instance to a telemetry plane: the engines
+	// report per-op counts, bytes and latency to layer "plfs" and the
+	// shared index cache registers its counters on layer "readcache".
+	// Nil leaves telemetry off; the data paths then pay one nil check
+	// per operation and never touch the clock.
+	Stats iostats.Collector
+}
+
+// applyOption implements Option.
+func (o TelemetryOptions) applyOption(c *Config) { c.Telemetry = o }
+
+// TuneOptions groups the online feedback controller
+// (internal/plfs/tune).
+type TuneOptions struct {
+	// Enable starts the controller: ReadWorkers, WriteWorkers and
+	// IndexBatch are hill-climbed from observed throughput within fixed
+	// bounds (see the ladders in telemetry.go), overriding their static
+	// values. Off pins the knobs to the EngineOptions fields.
+	Enable bool
+
+	// WindowBytes is the measurement window: the controller
+	// re-evaluates after this many bytes have moved through the engines
+	// (0 = tune.DefaultWindowBytes). Benchmarks align it with their
+	// phase size so every window measures the same mix.
+	WindowBytes int64
+
+	// Clock injects the controller's clock (nil = wall clock); tests
+	// use tune.ManualClock to drive deterministic climbs.
+	Clock tune.Clock
+}
+
+// applyOption implements Option.
+func (o TuneOptions) applyOption(c *Config) { c.Tune = o }
+
+// Config is the resolved configuration of an instance: the four groups
+// plus the backend stripe set. A Config is itself an Option (it
+// replaces everything), which is how the per-tenant service
+// configuration (internal/service) reuses these exact types.
+type Config struct {
+	Engine    EngineOptions
+	Index     IndexOptions
+	Telemetry TelemetryOptions
+	Tune      TuneOptions
+
+	// Backends stripes the instance across multiple stores: the canonical
+	// container metadata (access marker, version, meta/, openhosts/)
+	// lives on Backends[0] and hostdirs — hence data and index droppings
+	// — distribute across all of them by hostdir number, so parallel
+	// reads and writes aggregate bandwidth over independent backends.
+	// When set, the backend argument to New is ignored and the instance
+	// runs over posix.NewStripedFS(Backends...). A container must be
+	// reopened with the same backend list it was written with.
+	Backends []posix.FS
+}
+
+// applyOption implements Option.
+func (o Config) applyOption(c *Config) { *c = o }
+
+// Option is one configuration item accepted by New. The cohesive group
+// structs (EngineOptions, IndexOptions, TelemetryOptions, TuneOptions),
+// a whole Config, the functional helpers (WithBackends, WithStats) and
+// the deprecated flat Options all implement it.
+type Option interface {
+	applyOption(*Config)
+}
+
+// optionFunc adapts a function to the Option interface.
+type optionFunc func(*Config)
+
+func (f optionFunc) applyOption(c *Config) { f(c) }
+
+// WithBackends stripes the instance across the listed stores (see
+// Config.Backends).
+func WithBackends(backends ...posix.FS) Option {
+	return optionFunc(func(c *Config) { c.Backends = backends })
+}
+
+// WithStats attaches the instance to a telemetry plane (see
+// TelemetryOptions.Stats).
+func WithStats(stats iostats.Collector) Option {
+	return optionFunc(func(c *Config) { c.Telemetry.Stats = stats })
+}
+
+// Options is the pre-redesign flat configuration surface.
+//
+// Deprecated: use the grouped option structs (EngineOptions,
+// IndexOptions, TelemetryOptions, TuneOptions, WithBackends) with New.
+// Options remains for one release as a compatibility shim: it
+// implements Option by translating every flat field onto the grouped
+// Config, so plfs.New(fs, plfs.Options{...}) compiles and behaves
+// exactly as before the redesign.
+type Options struct {
+	NumHostdirs           int               // see EngineOptions.NumHostdirs
+	ReadWorkers           int               // see EngineOptions.ReadWorkers
+	IndexWorkers          int               // see EngineOptions.IndexWorkers
+	MaxReadFDs            int               // see IndexOptions.MaxReadFDs
+	MaxCachedIndexes      int               // see IndexOptions.MaxCachedIndexes
+	DisableIndexCache     bool              // see IndexOptions.DisableCache
+	WriteWorkers          int               // see EngineOptions.WriteWorkers
+	IndexBatch            int               // see EngineOptions.IndexBatch
+	DisableWriteSharding  bool              // see EngineOptions.DisableWriteSharding
+	DisableAutoFlatten    bool              // see IndexOptions.DisableAutoFlatten
+	DisableFlattenedReads bool              // see IndexOptions.DisableFlattenedReads
+	MergeChunkRecords     int               // see IndexOptions.MergeChunkRecords
+	Stats                 iostats.Collector // see TelemetryOptions.Stats
+	AutoTune              bool              // see TuneOptions.Enable
+	TuneWindowBytes       int64             // see TuneOptions.WindowBytes
+	TuneClock             tune.Clock        // see TuneOptions.Clock
+	Backends              []posix.FS        // see Config.Backends
+}
+
+// Grouped translates the flat fields onto the grouped Config — the
+// single point where the old surface maps to the new one.
+func (o Options) Grouped() Config {
+	return Config{
+		Engine: EngineOptions{
+			NumHostdirs:          o.NumHostdirs,
+			ReadWorkers:          o.ReadWorkers,
+			IndexWorkers:         o.IndexWorkers,
+			WriteWorkers:         o.WriteWorkers,
+			IndexBatch:           o.IndexBatch,
+			DisableWriteSharding: o.DisableWriteSharding,
+		},
+		Index: IndexOptions{
+			MaxReadFDs:            o.MaxReadFDs,
+			MaxCachedIndexes:      o.MaxCachedIndexes,
+			DisableCache:          o.DisableIndexCache,
+			DisableAutoFlatten:    o.DisableAutoFlatten,
+			DisableFlattenedReads: o.DisableFlattenedReads,
+			MergeChunkRecords:     o.MergeChunkRecords,
+		},
+		Telemetry: TelemetryOptions{Stats: o.Stats},
+		Tune: TuneOptions{
+			Enable:      o.AutoTune,
+			WindowBytes: o.TuneWindowBytes,
+			Clock:       o.TuneClock,
+		},
+		Backends: o.Backends,
+	}
+}
+
+// applyOption implements Option (the compatibility shim): the flat
+// struct replaces the whole Config, exactly as passing it to the old
+// two-argument New did.
+func (o Options) applyOption(c *Config) { *c = o.Grouped() }
+
+// DefaultOptions mirror PLFS 2.x defaults.
+//
+// Deprecated: the zero Config already means "defaults"; call New with
+// no options instead.
+func DefaultOptions() Options { return Options{NumHostdirs: 32} }

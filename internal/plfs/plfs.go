@@ -47,128 +47,21 @@ const (
 	versionText  = "ldplfs-go plfs container v1\n"
 )
 
-// Options configures a PLFS instance.
-type Options struct {
-	// NumHostdirs is the number of hostdir buckets per container (PLFS
-	// default is 32; tests use fewer to exercise collisions).
-	NumHostdirs int
-
-	// ReadWorkers bounds the number of concurrent preads one Read
-	// scatter-gathers across data droppings. 0 picks a default from
-	// GOMAXPROCS; 1 reads extents serially.
-	ReadWorkers int
-
-	// IndexWorkers bounds the number of concurrent dropping loads during
-	// index reconstruction. 0 picks a default from GOMAXPROCS; 1 loads
-	// droppings serially.
-	IndexWorkers int
-
-	// MaxReadFDs caps the shared cache of read-only data-dropping
-	// descriptors (0 = readcache.DefaultMaxFDs). Wide containers with
-	// thousands of historical writers stay bounded.
-	MaxReadFDs int
-
-	// MaxCachedIndexes caps how many containers keep a cached merged
-	// index (0 = readcache.DefaultMaxContainers).
-	MaxCachedIndexes int
-
-	// DisableIndexCache reverts to the pre-cache behavior — every File
-	// handle merges and holds its own private index, and Read serializes
-	// under one exclusive lock. Kept as the benchmark baseline.
-	DisableIndexCache bool
-
-	// WriteWorkers bounds the number of concurrent pwrites one WriteV
-	// fans across its segments. 0 picks a default from GOMAXPROCS; 1
-	// writes segments serially.
-	WriteWorkers int
-
-	// IndexBatch is the group-flush threshold of the per-writer index
-	// buffer, in records: once a writer has buffered this many index
-	// records they are appended to its index dropping in one backend
-	// write (no fsync), so a long run of small writes costs
-	// O(writes/batch) index I/Os. 0 picks DefaultIndexBatch; negative
-	// disables auto-flushing entirely (records accumulate until
-	// Sync/Close/read, the pre-engine behavior).
-	IndexBatch int
-
-	// DisableWriteSharding reverts to the pre-engine write path: every
-	// Write and Sync on a File takes one exclusive handle lock, so
-	// writers serialize however many pids share the handle. Kept as the
-	// benchmark baseline.
-	DisableWriteSharding bool
-
-	// DisableAutoFlatten stops the instance from persisting a flattened
-	// global index record when a container's last writer closes. Reads
-	// still trust records written by other instances or plfsctl compact
-	// (unless DisableFlattenedReads). Used by baselines, and to stage
-	// deliberately stale records in tests.
-	DisableAutoFlatten bool
-
-	// DisableFlattenedReads makes the read path ignore flattened records
-	// entirely — every cold build runs the streaming merge over raw
-	// droppings. The setting is only the initial value; it can be toggled
-	// on a live instance via SetFlattenedReads.
-	DisableFlattenedReads bool
-
-	// MergeChunkRecords bounds the records each dropping stream buffers
-	// during the streaming index merge (0 = index.DefaultStreamChunk).
-	// Total merge memory is droppings x MergeChunkRecords x EntrySize on
-	// top of the result, independent of container history length.
-	MergeChunkRecords int
-
-	// Stats attaches the instance to a telemetry plane: the engines
-	// report per-op counts, bytes and latency to layer "plfs" and the
-	// shared index cache registers its counters on layer "readcache".
-	// Nil leaves telemetry off; the data paths then pay one nil check
-	// per operation and never touch the clock.
-	Stats iostats.Collector
-
-	// AutoTune starts the online feedback controller
-	// (internal/plfs/tune): ReadWorkers, WriteWorkers and IndexBatch
-	// are hill-climbed from observed throughput within fixed bounds
-	// (see the ladders in telemetry.go), overriding their static
-	// values. Leave it off to pin the knobs to the Options fields.
-	AutoTune bool
-
-	// TuneWindowBytes is the autotune measurement window: the
-	// controller re-evaluates after this many bytes have moved through
-	// the engines (0 = tune.DefaultWindowBytes). Benchmarks align it
-	// with their phase size so every window measures the same mix.
-	TuneWindowBytes int64
-
-	// TuneClock injects the controller's clock (nil = wall clock);
-	// tests use tune.ManualClock to drive deterministic climbs.
-	TuneClock tune.Clock
-
-	// Backends stripes the instance across multiple stores: the canonical
-	// container metadata (access marker, version, meta/, openhosts/)
-	// lives on Backends[0] and hostdirs — hence data and index droppings
-	// — distribute across all of them by hostdir number, so parallel
-	// reads and writes aggregate bandwidth over independent backends.
-	// When set, the backend argument to New is ignored and the instance
-	// runs over posix.NewStripedFS(Backends...). A container must be
-	// reopened with the same backend list it was written with.
-	Backends []posix.FS
-}
-
 // DefaultIndexBatch is the per-writer index group-flush threshold used
-// when Options.IndexBatch is zero. 512 records is one 24 KiB append per
-// flush — large enough to amortize the backend call, small enough that a
-// crashed writer loses at most a modest index tail.
+// when EngineOptions.IndexBatch is zero. 512 records is one 24 KiB
+// append per flush — large enough to amortize the backend call, small
+// enough that a crashed writer loses at most a modest index tail.
 const DefaultIndexBatch = 512
-
-// DefaultOptions mirror PLFS 2.x defaults.
-func DefaultOptions() Options { return Options{NumHostdirs: 32} }
 
 // FS is a PLFS library instance bound to a backing store. It is safe for
 // concurrent use by multiple goroutines (ranks).
 type FS struct {
 	backend posix.FS
-	opts    Options
+	cfg     Config
 	clock   atomic.Uint64 // container-wide write ordering
 
 	// cache is the shared per-container merged-index cache (nil when
-	// Options.DisableIndexCache). fds is the shared read-descriptor
+	// IndexOptions.DisableCache). fds is the shared read-descriptor
 	// cache; both are the read-engine state shared by every File.
 	cache *readcache.IndexCache
 	fds   *readcache.FDCache
@@ -188,15 +81,16 @@ type FS struct {
 	seeded map[string]bool
 
 	// flattenOff disables the flattened-record read path at runtime
-	// (SetFlattenedReads); initialised from Options.DisableFlattenedReads.
+	// (SetFlattenedReads); initialised from
+	// IndexOptions.DisableFlattenedReads.
 	flattenOff atomic.Bool
 
 	// stats is the instance's engine telemetry layer (nil = off) and
 	// tuner the autotune controller (nil = off); tuneBytes accumulates
 	// the data-path bytes the tuner's throughput windows are cut from.
 	// The knob atomics are runtime overrides the engines consult ahead
-	// of the Options fields (0 = no override) — the surface the tuner
-	// (and SetReadWorkers & friends) steer without a reopen.
+	// of the EngineOptions fields (0 = no override) — the surface the
+	// tuner (and SetReadWorkers & friends) steer without a reopen.
 	stats            *iostats.LayerStats
 	tuner            *tune.Controller
 	tuneBytes        atomic.Int64
@@ -205,47 +99,39 @@ type FS struct {
 	knobIndexBatch   atomic.Int32
 }
 
-// New returns a PLFS instance over backend. With Options.Backends set,
-// backend is ignored (and may be nil) and the instance stripes its
-// containers across the listed stores.
-func New(backend posix.FS, opts Options) *FS {
-	if opts.NumHostdirs <= 0 {
-		opts.NumHostdirs = DefaultOptions().NumHostdirs
+// New returns a PLFS instance over backend, configured by the supplied
+// options (see Option; later options override earlier ones, group by
+// group). With Backends set (WithBackends, Config.Backends or the
+// deprecated flat Options), backend is ignored (and may be nil) and the
+// instance stripes its containers across the listed stores.
+func New(backend posix.FS, opts ...Option) *FS {
+	var cfg Config
+	for _, o := range opts {
+		o.applyOption(&cfg)
 	}
-	if len(opts.Backends) > 0 {
-		backend = posix.NewStripedFS(opts.Backends...)
+	if cfg.Engine.NumHostdirs <= 0 {
+		cfg.Engine.NumHostdirs = 32
+	}
+	if len(cfg.Backends) > 0 {
+		backend = posix.NewStripedFS(cfg.Backends...)
 	}
 	p := &FS{
 		backend: backend,
-		opts:    opts,
-		fds:     readcache.NewFDCache(backend, opts.MaxReadFDs),
+		cfg:     cfg,
+		fds:     readcache.NewFDCache(backend, cfg.Index.MaxReadFDs),
 		handles: make(map[string]map[*File]struct{}),
 		seeded:  make(map[string]bool),
 	}
 	p.initTelemetry()
-	if !opts.DisableIndexCache {
-		p.cache = readcache.NewIndexCacheWith(opts.MaxCachedIndexes, p.cacheStatsLayer())
+	if !cfg.Index.DisableCache {
+		p.cache = readcache.NewIndexCacheWith(cfg.Index.MaxCachedIndexes, p.cacheStatsLayer())
 	}
-	p.flattenOff.Store(opts.DisableFlattenedReads)
+	p.flattenOff.Store(cfg.Index.DisableFlattenedReads)
 	return p
 }
 
-// IndexCacheStats reports the shared index cache's counters (zero value
-// when the cache is disabled).
-//
-// Deprecated-but-kept: the counters live on the iostats plane (layer
-// "readcache" when Options.Stats is set); this accessor remains as a
-// thin shim so existing tests and callers keep compiling. Note that
-// with a shared collector the layer — and therefore this snapshot —
-// aggregates every FS instance attached to the same plane (that is
-// the plane's point); per-instance numbers exist only on instances
-// without Options.Stats.
-func (p *FS) IndexCacheStats() readcache.Stats {
-	if p.cache == nil {
-		return readcache.Stats{}
-	}
-	return p.cache.Stats()
-}
+// Config returns the instance's resolved configuration.
+func (p *FS) Config() Config { return p.cfg }
 
 // CachedReadFDs returns the number of read descriptors currently cached.
 func (p *FS) CachedReadFDs() int { return p.fds.Len() }
@@ -374,7 +260,7 @@ func (p *FS) ContainerSpread(path string) ([]int, error) {
 }
 
 func (p *FS) hostdir(path string, pid uint32) string {
-	return fmt.Sprintf("%s/hostdir.%d", path, int(pid)%p.opts.NumHostdirs)
+	return fmt.Sprintf("%s/hostdir.%d", path, int(pid)%p.cfg.Engine.NumHostdirs)
 }
 
 func dataDropping(hostdir string, pid uint32) string {
@@ -849,7 +735,7 @@ func (f *File) read(buf []byte, off int64) (int, error) {
 	if len(buf) == 0 {
 		return 0, nil
 	}
-	if f.fs.opts.DisableIndexCache {
+	if f.fs.cfg.Index.DisableCache {
 		// Legacy serialized path: one exclusive lock across merge and
 		// gather, exactly the seed behavior. Benchmark baseline.
 		f.mu.Lock()
@@ -869,7 +755,7 @@ func (f *File) read(buf []byte, off int64) (int, error) {
 
 // Size returns the logical file size.
 func (f *File) Size() (int64, error) {
-	if f.fs.opts.DisableIndexCache {
+	if f.fs.cfg.Index.DisableCache {
 		f.mu.Lock()
 		defer f.mu.Unlock()
 		index, err := f.loadIndexLocked()

@@ -47,15 +47,15 @@ func (p *FS) readWorkers() int {
 	if n := p.knobReadWorkers.Load(); n > 0 {
 		return int(n)
 	}
-	if p.opts.ReadWorkers > 0 {
-		return p.opts.ReadWorkers
+	if p.cfg.Engine.ReadWorkers > 0 {
+		return p.cfg.Engine.ReadWorkers
 	}
 	return defaultWorkers()
 }
 
 func (p *FS) indexWorkers() int {
-	if p.opts.IndexWorkers > 0 {
-		return p.opts.IndexWorkers
+	if p.cfg.Engine.IndexWorkers > 0 {
+		return p.cfg.Engine.IndexWorkers
 	}
 	return defaultWorkers()
 }
@@ -231,7 +231,7 @@ func (p *FS) mergeIndex(droppings []string) (*idx.Index, error) {
 	streams := make([]*idx.DroppingStream, len(droppings))
 	errs := make([]error, len(droppings))
 	runParallel(len(droppings), p.indexWorkers(), func(i int) {
-		s, err := idx.OpenDroppingStream(p.backend, droppings[i], p.opts.MergeChunkRecords)
+		s, err := idx.OpenDroppingStream(p.backend, droppings[i], p.cfg.Index.MergeChunkRecords)
 		if err != nil {
 			errs[i] = err
 			return

@@ -78,7 +78,7 @@ func TestSharedIndexBuildsOncePerContainer(t *testing.T) {
 
 	// N sequential opens + reads: one full build; reopens revalidate by
 	// signature instead of re-merging every dropping.
-	base := p.IndexCacheStats().Builds
+	base := cacheStats(p).Builds
 	for i := 0; i < 6; i++ {
 		f, err := p.Open("/backend/shared", posix.O_RDONLY, uint32(100+i), 0)
 		if err != nil {
@@ -90,7 +90,7 @@ func TestSharedIndexBuildsOncePerContainer(t *testing.T) {
 		}
 		f.Close(uint32(100 + i))
 	}
-	s := p.IndexCacheStats()
+	s := cacheStats(p)
 	if builds := s.Builds - base; builds != 1 {
 		t.Fatalf("builds = %d across 6 opens, want 1 (shared cache)", builds)
 	}
@@ -470,7 +470,7 @@ func TestDisableIndexCacheBaseline(t *testing.T) {
 	if n, err := f.Read(got, 0); err != nil || n != len(want) || !bytes.Equal(got, want) {
 		t.Fatalf("baseline read = %d, %v", n, err)
 	}
-	if s := p.IndexCacheStats(); s.Builds != 0 {
+	if s := cacheStats(p); s.Builds != 0 {
 		t.Fatalf("disabled cache recorded %d builds", s.Builds)
 	}
 }

@@ -313,7 +313,7 @@ func checkFlattenModes(t *testing.T, name string, backend posix.FS, path string,
 	if got := readVia(onP, int64(len(want))); !bytes.Equal(got, want) {
 		t.Fatalf("[%s] flattened-on read diverged", name)
 	}
-	if s := onP.IndexCacheStats(); s.FlattenedBuilds == 0 {
+	if s := cacheStats(onP); s.FlattenedBuilds == 0 {
 		t.Fatalf("[%s] flattened-on read did not load the record: %+v", name, s)
 	}
 
@@ -322,7 +322,7 @@ func checkFlattenModes(t *testing.T, name string, backend posix.FS, path string,
 	if got := readVia(offP, int64(len(want))); !bytes.Equal(got, want) {
 		t.Fatalf("[%s] flattened-off read diverged", name)
 	}
-	if s := offP.IndexCacheStats(); s.FlattenedBuilds != 0 {
+	if s := cacheStats(offP); s.FlattenedBuilds != 0 {
 		t.Fatalf("[%s] disabled instance loaded the record: %+v", name, s)
 	}
 
@@ -344,7 +344,7 @@ func checkFlattenModes(t *testing.T, name string, backend posix.FS, path string,
 	if got := readVia(staleP, int64(len(wantStale))); !bytes.Equal(got, wantStale) {
 		t.Fatalf("[%s] stale-record read diverged", name)
 	}
-	if s := staleP.IndexCacheStats(); s.FlattenedBuilds != 0 {
+	if s := cacheStats(staleP); s.FlattenedBuilds != 0 {
 		t.Fatalf("[%s] stale record was trusted: %+v", name, s)
 	}
 }

@@ -36,10 +36,10 @@ var (
 // initTelemetry wires the stats layers and (optionally) the tuner.
 // Called once from New, after opts are normalised.
 func (p *FS) initTelemetry() {
-	if p.opts.Stats != nil {
-		p.stats = p.opts.Stats.Layer("plfs")
+	if p.cfg.Telemetry.Stats != nil {
+		p.stats = p.cfg.Telemetry.Stats.Layer("plfs")
 	}
-	if !p.opts.AutoTune {
+	if !p.cfg.Tune.Enable {
 		return
 	}
 	// The flush-only-on-sync mode (Options.IndexBatch < 0) reports a
@@ -52,8 +52,8 @@ func (p *FS) initTelemetry() {
 	}
 	p.tuner = tune.New(
 		tune.Config{
-			WindowBytes: p.opts.TuneWindowBytes,
-			Clock:       p.opts.TuneClock,
+			WindowBytes: p.cfg.Tune.WindowBytes,
+			Clock:       p.cfg.Tune.Clock,
 		},
 		p.tuneBytes.Load,
 		tune.Knob{Name: "read-workers", Ladder: readWorkersLadder,
@@ -68,10 +68,10 @@ func (p *FS) initTelemetry() {
 // cacheStatsLayer returns the layer the index cache should register
 // its counters on (nil when telemetry is off).
 func (p *FS) cacheStatsLayer() *iostats.LayerStats {
-	if p.opts.Stats == nil {
+	if p.cfg.Telemetry.Stats == nil {
 		return nil
 	}
-	return p.opts.Stats.Layer("readcache")
+	return p.cfg.Telemetry.Stats.Layer("readcache")
 }
 
 // opStart samples the clock for a latency measurement iff telemetry

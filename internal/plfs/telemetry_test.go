@@ -58,7 +58,7 @@ func TestStatsPlaneRecordsEngineOps(t *testing.T) {
 	if builds == 0 {
 		t.Error("readcache layer recorded no builds")
 	}
-	if shim := p.IndexCacheStats(); shim.Builds != builds {
+	if shim := cacheStats(p); shim.Builds != builds {
 		t.Errorf("IndexCacheStats shim reports %d builds, plane has %d", shim.Builds, builds)
 	}
 }

@@ -29,8 +29,8 @@ func (p *FS) writeWorkers() int {
 	if n := p.knobWriteWorkers.Load(); n > 0 {
 		return int(n)
 	}
-	if p.opts.WriteWorkers > 0 {
-		return p.opts.WriteWorkers
+	if p.cfg.Engine.WriteWorkers > 0 {
+		return p.cfg.Engine.WriteWorkers
 	}
 	return defaultWorkers()
 }
@@ -43,9 +43,9 @@ func (p *FS) indexBatchRecords() int {
 		return int(n)
 	}
 	switch {
-	case p.opts.IndexBatch > 0:
-		return p.opts.IndexBatch
-	case p.opts.IndexBatch < 0:
+	case p.cfg.Engine.IndexBatch > 0:
+		return p.cfg.Engine.IndexBatch
+	case p.cfg.Engine.IndexBatch < 0:
 		return 0
 	}
 	return DefaultIndexBatch
@@ -56,7 +56,7 @@ func (p *FS) indexBatchRecords() int {
 // releases both. With Options.DisableWriteSharding the handle lock is
 // taken exclusive instead — the pre-engine serialized baseline.
 func (f *File) lockWriter(pid uint32) (*writer, func(), error) {
-	if f.fs.opts.DisableWriteSharding {
+	if f.fs.cfg.Engine.DisableWriteSharding {
 		f.mu.Lock()
 		w, err := f.getWriterLocked(pid)
 		if err != nil {

@@ -4,8 +4,6 @@ import (
 	"strings"
 	"sync"
 	"time"
-
-	"ldplfs/internal/iostats"
 )
 
 // FaultFS wraps an FS and injects failures according to programmable
@@ -20,11 +18,6 @@ type FaultFS struct {
 	mu    sync.Mutex
 	rules []*FaultRule
 	fds   map[int]string // open path per fd, so fd-based ops match PathContains
-
-	// counts holds one iostats counter per operation class (faulted or
-	// not) — the per-class tallies OpCount serves, kept on the shared
-	// telemetry plane's counter type rather than a private map.
-	counts map[FaultOp]*iostats.Counter
 
 	svcOp FaultOp       // operation class the service time applies to
 	svcD  time.Duration // per-op service time (0 = disabled)
@@ -66,36 +59,11 @@ type FaultRule struct {
 	fired   int
 }
 
-// faultOpClasses are the concrete classes counted per operation.
-var faultOpClasses = []FaultOp{FaultOpen, FaultRead, FaultWrite, FaultMeta, FaultSync}
-
 // NewFaultFS wraps inner with no rules (transparent until Inject).
+// FaultFS carries no operation counters of its own: observe it by
+// wrapping in an InstrumentFS attached to a collector.
 func NewFaultFS(inner FS) *FaultFS {
-	counts := make(map[FaultOp]*iostats.Counter, len(faultOpClasses))
-	for _, op := range faultOpClasses {
-		counts[op] = iostats.NewCounter()
-	}
-	return &FaultFS{inner: inner, fds: make(map[int]string), counts: counts}
-}
-
-// OpCount reports how many operations of class op have passed through
-// (whether or not a rule fired); FaultAny returns the total across all
-// classes. Tests use it to assert I/O budgets — e.g. that a flattened
-// cold open does not touch every dropping.
-//
-// Deprecated-but-kept: the tallies now live on iostats counters (the
-// unified telemetry plane's primitive); OpCount remains as a thin shim
-// so existing tests and callers keep compiling. New code observing a
-// backend should wrap it in an InstrumentFS attached to a collector.
-func (f *FaultFS) OpCount(op FaultOp) int64 {
-	if op == FaultAny {
-		var total int64
-		for _, c := range f.counts {
-			total += c.Load()
-		}
-		return total
-	}
-	return f.counts[op].Load()
+	return &FaultFS{inner: inner, fds: make(map[int]string)}
 }
 
 // pathOf returns the path fd was opened under ("" if unknown).
@@ -168,7 +136,6 @@ func (f *FaultFS) check(op FaultOp, path string) error {
 // checkPartial is check plus the firing rule's Partial byte budget, for
 // the write paths that can honor a short-write-then-error injection.
 func (f *FaultFS) checkPartial(op FaultOp, path string) (error, int) {
-	f.counts[op].Add(1)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for _, r := range f.rules {

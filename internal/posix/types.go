@@ -60,6 +60,7 @@ const (
 	EMFILE    Errno = 24
 	ENOSPC    Errno = 28
 	ESPIPE    Errno = 29
+	ENOSYS    Errno = 38
 	ENOTEMPTY Errno = 39
 	EOVERFLOW Errno = 75
 )
@@ -78,6 +79,7 @@ var errnoNames = map[Errno]string{
 	EMFILE:    "EMFILE: too many open files",
 	ENOSPC:    "ENOSPC: no space left on device",
 	ESPIPE:    "ESPIPE: illegal seek",
+	ENOSYS:    "ENOSYS: function not implemented",
 	ENOTEMPTY: "ENOTEMPTY: directory not empty",
 	EOVERFLOW: "EOVERFLOW: value too large",
 }

@@ -1,0 +1,123 @@
+package client
+
+import (
+	"sync"
+
+	"ldplfs/internal/posix"
+)
+
+// Dispatch presents the connection as a process symbol table, so the
+// bundled UNIX tools (and anything else written against
+// *posix.Dispatch) run against a remote gateway. Sequential read/write
+// offsets are tracked client-side, the way libc tracks them for a
+// kernel that only really has pread/pwrite underneath. Operations the
+// wire protocol does not carry (mkdir, readdir, rename, ...) return
+// ENOSYS.
+func (c *Conn) Dispatch() *posix.Dispatch {
+	offs := &offsetTable{m: make(map[int]*int64)}
+	return &posix.Dispatch{
+		OpenFn: func(path string, flags int, mode uint32) (int, error) {
+			fd, err := c.Open(path, flags, mode)
+			if err == nil {
+				offs.add(fd)
+			}
+			return fd, err
+		},
+		CloseFn: func(fd int) error {
+			offs.drop(fd)
+			return c.CloseFd(fd)
+		},
+		ReadFn: func(fd int, p []byte) (int, error) {
+			off, ok := offs.get(fd)
+			if !ok {
+				return 0, posix.EBADF
+			}
+			n, err := c.Pread(fd, p, *off)
+			*off += int64(n)
+			return n, err
+		},
+		WriteFn: func(fd int, p []byte) (int, error) {
+			off, ok := offs.get(fd)
+			if !ok {
+				return 0, posix.EBADF
+			}
+			n, err := c.Pwrite(fd, p, *off)
+			*off += int64(n)
+			return n, err
+		},
+		PreadFn:  c.Pread,
+		PwriteFn: c.Pwrite,
+		LseekFn: func(fd int, offset int64, whence int) (int64, error) {
+			off, ok := offs.get(fd)
+			if !ok {
+				return 0, posix.EBADF
+			}
+			var base int64
+			switch whence {
+			case posix.SEEK_SET:
+				base = 0
+			case posix.SEEK_CUR:
+				base = *off
+			case posix.SEEK_END:
+				st, err := c.Fstat(fd)
+				if err != nil {
+					return 0, err
+				}
+				base = st.Size
+			default:
+				return 0, posix.EINVAL
+			}
+			pos := base + offset
+			if pos < 0 {
+				return 0, posix.EINVAL
+			}
+			*off = pos
+			return pos, nil
+		},
+		FsyncFn: c.Sync,
+		FtruncateFn: func(fd int, size int64) error {
+			// The wire carries path truncate only; no fd->path map is
+			// kept client-side.
+			return posix.ENOSYS
+		},
+		FstatFn:    c.Fstat,
+		StatFn:     c.Stat,
+		TruncateFn: c.Truncate,
+		UnlinkFn:   c.Unlink,
+		MkdirFn:    func(path string, mode uint32) error { return posix.ENOSYS },
+		RmdirFn:    func(path string) error { return posix.ENOSYS },
+		ReaddirFn:  func(path string) ([]posix.DirEntry, error) { return nil, posix.ENOSYS },
+		RenameFn:   func(oldpath, newpath string) error { return posix.ENOSYS },
+		AccessFn: func(path string, mode int) error {
+			_, err := c.Stat(path)
+			return err
+		},
+	}
+}
+
+// offsetTable tracks per-fd sequential positions. One goroutine per fd
+// is the expected pattern (it is what the tools do); the table itself
+// is safe for concurrent fds.
+type offsetTable struct {
+	mu sync.Mutex
+	m  map[int]*int64
+}
+
+func (t *offsetTable) add(fd int) {
+	t.mu.Lock()
+	t.m[fd] = new(int64)
+	t.mu.Unlock()
+}
+
+func (t *offsetTable) drop(fd int) {
+	t.mu.Lock()
+	delete(t.m, fd)
+	t.mu.Unlock()
+}
+
+func (t *offsetTable) get(fd int) (*int64, bool) {
+	t.mu.Lock()
+	off, ok := t.m[fd]
+	t.mu.Unlock()
+	return off, ok
+}

@@ -1,0 +1,171 @@
+package service
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ldplfs/internal/plfs/tune"
+)
+
+// TestTokenBucketNeverExceedsRate is the bucket's core property: a
+// caller that honors the returned delays never moves more than
+// rate*window + burst + one request over ANY window, for randomized
+// request/idle sequences. The manual clock makes the check exact.
+func TestTokenBucketNeverExceedsRate(t *testing.T) {
+	const rate, burst = 1000, 500
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		clock := &tune.ManualClock{}
+		b := NewTokenBucket(rate, burst, clock)
+
+		type event struct {
+			at time.Duration // when the bytes were admitted
+			n  int64
+		}
+		var events []event
+		var now time.Duration
+		var maxReq int64
+		for i := 0; i < 400; i++ {
+			n := int64(rng.Intn(2000) + 1)
+			if n > maxReq {
+				maxReq = n
+			}
+			if d := b.Take(n); d > 0 {
+				// Honor the debt before proceeding, as the QoS stage does.
+				clock.Advance(d)
+				now += d
+			}
+			events = append(events, event{at: now, n: n})
+			if rng.Intn(3) == 0 {
+				idle := time.Duration(rng.Intn(int(50 * time.Millisecond)))
+				clock.Advance(idle)
+				now += idle
+			}
+		}
+		// Check every window [i, j]: bytes admitted in the window must
+		// respect rate * span + burst + one request (the request that
+		// straddles the window start).
+		for i := 0; i < len(events); i += 7 {
+			var sum int64
+			for j := i; j < len(events); j++ {
+				sum += events[j].n
+				span := events[j].at - events[i].at
+				limit := int64(float64(rate)*span.Seconds()) + burst + maxReq
+				if sum > limit {
+					t.Fatalf("seed %d window [%d,%d]: %d bytes admitted over %v (limit %d)",
+						seed, i, j, sum, span, limit)
+				}
+			}
+		}
+	}
+}
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	b := NewTokenBucket(0, 0, &tune.ManualClock{})
+	for i := 0; i < 100; i++ {
+		if d := b.Take(1 << 30); d != 0 {
+			t.Fatalf("unlimited bucket delayed %v", d)
+		}
+	}
+}
+
+func TestTokenBucketSetRate(t *testing.T) {
+	clock := &tune.ManualClock{}
+	b := NewTokenBucket(1000, 1000, clock)
+	b.Take(1000) // drain the burst
+	b.SetRate(500)
+	if got := b.Rate(); got != 500 {
+		t.Fatalf("Rate = %d", got)
+	}
+	// From empty at 500 tokens/sec, 1s buys 500 tokens.
+	clock.Advance(time.Second)
+	if d := b.Take(500); d != 0 {
+		t.Fatalf("500 tokens after 1s at rate 500 delayed %v", d)
+	}
+	if d := b.Take(500); d == 0 {
+		t.Fatal("overdraft must delay")
+	}
+}
+
+func TestAdmissionLessOrdering(t *testing.T) {
+	gold := &Tenant{Name: "gold", Priority: 0, Weight: 1}
+	batch := &Tenant{Name: "batch", Priority: 1, Weight: 1}
+	heavy := &Tenant{Name: "heavy", Priority: 1, Weight: 2}
+	batch.served.Store(100)
+	heavy.served.Store(150) // deficit 75 < batch's 100
+
+	w := func(t_ *Tenant, seq uint64) *waiter {
+		return &waiter{priority: t_.Priority, tenant: t_, seq: seq}
+	}
+	// Strict priority beats any deficit.
+	if !admissionLess(w(gold, 9), w(batch, 1)) {
+		t.Fatal("priority 0 must beat priority 1")
+	}
+	// Within a class, lower served/weight goes first.
+	if !admissionLess(w(heavy, 9), w(batch, 1)) {
+		t.Fatal("weighted deficit must order within a class")
+	}
+	// Equal everything: FIFO.
+	if !admissionLess(w(batch, 1), w(batch, 2)) || admissionLess(w(batch, 2), w(batch, 1)) {
+		t.Fatal("FIFO tiebreak")
+	}
+}
+
+// TestAdmissionPriorityGrantOrder holds the only slot, queues a
+// background waiter then a foreground one, and asserts the foreground
+// waiter is granted first on release.
+func TestAdmissionPriorityGrantOrder(t *testing.T) {
+	gold := &Tenant{Name: "gold", Priority: 0}
+	batch := &Tenant{Name: "batch", Priority: 1}
+	a := newAdmission(1)
+	a.acquire(batch) // occupy the slot
+
+	order := make(chan string, 2)
+	var wg sync.WaitGroup
+	enqueue := func(name string, tn *Tenant) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.acquire(tn)
+			order <- name
+			a.release()
+		}()
+		// Wait until the waiter is actually queued so the enqueue order
+		// is deterministic.
+		for {
+			a.mu.Lock()
+			n := len(a.waiters)
+			a.mu.Unlock()
+			if n >= 1 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	enqueue("batch2", batch)
+	// Second waiter: wait for both to be queued.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		a.acquire(gold)
+		order <- "gold"
+		a.release()
+	}()
+	for {
+		a.mu.Lock()
+		n := len(a.waiters)
+		a.mu.Unlock()
+		if n == 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	a.release() // free the occupied slot
+	wg.Wait()
+	if first := <-order; first != "gold" {
+		t.Fatalf("first grant went to %s, want gold", first)
+	}
+}

@@ -1,0 +1,263 @@
+package service
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"sync"
+
+	"ldplfs/internal/posix"
+)
+
+// Server runs a Gateway over a net.Listener, one goroutine per
+// connection. The per-connection loop is serial (one frame in flight
+// per client), so cross-client concurrency — what the QoS stage
+// arbitrates — equals connection count.
+type Server struct {
+	g *Gateway
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewServer wraps a gateway for network serving.
+func NewServer(g *Gateway) *Server {
+	return &Server{g: g, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections until the listener closes. It always
+// returns a non-nil error; after Close it returns net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.track(conn, true)
+		go func() {
+			defer s.track(conn, false)
+			defer conn.Close()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+func (s *Server) track(c net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		if s.closed {
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+	} else {
+		delete(s.conns, c)
+	}
+}
+
+// Close stops accepting and tears down live connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = map[net.Conn]struct{}{}
+	s.mu.Unlock()
+	if ln != nil {
+		return ln.Close()
+	}
+	return nil
+}
+
+// handleConn speaks the frame protocol on one connection: a Hello
+// first, then a request/response loop until EOF or a protocol error.
+func (s *Server) handleConn(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	// Hello: tenant string. Anything else (or an undeclared tenant) is
+	// answered with the errno and the connection dropped.
+	f, err := ReadFrame(br)
+	if err != nil {
+		return
+	}
+	if f.Op != OpHello {
+		replyErr(bw, f.Op, posix.EINVAL)
+		bw.Flush()
+		return
+	}
+	r := WireReader{buf: f.Payload}
+	tenant := r.String()
+	sess, err := s.g.NewSession(tenant)
+	if err != nil {
+		replyErr(bw, OpHello, posix.EPERM)
+		bw.Flush()
+		return
+	}
+	defer sess.End()
+	var w WireWriter
+	w.I32(0)
+	w.String(tenant)
+	if err := writeReply(bw, OpHello, w.buf); err != nil {
+		return
+	}
+
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			return // EOF or corrupt stream: session ends, fds released
+		}
+		reply := s.handleFrame(sess, f)
+		if err := writeReply(bw, f.Op, reply); err != nil {
+			return
+		}
+	}
+}
+
+func writeReply(bw *bufio.Writer, op byte, payload []byte) error {
+	if err := WriteFrame(bw, op, payload); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func replyErr(w io.Writer, op byte, errno posix.Errno) {
+	var b WireWriter
+	b.I32(int32(errno))
+	WriteFrame(w, op, b.buf)
+}
+
+// handleFrame executes one request and renders the response payload.
+// Malformed payloads answer EINVAL rather than killing the connection:
+// the framing layer is still intact, so the stream stays usable.
+func (s *Server) handleFrame(sess *Session, f Frame) []byte {
+	r := WireReader{buf: f.Payload}
+	var w WireWriter
+	switch f.Op {
+	case OpOpen:
+		path := r.String()
+		flags := r.U32()
+		mode := r.U32()
+		if bad(&r, &w) {
+			return w.buf
+		}
+		fd, err := sess.Open(path, int(flags), mode)
+		w.I32(ErrnoOf(err))
+		if err == nil {
+			w.U32(uint32(fd))
+		}
+	case OpRead:
+		fd := r.U32()
+		off := r.U64()
+		n := r.U32()
+		if bad(&r, &w) {
+			return w.buf
+		}
+		if n > MaxFramePayload-64 {
+			w.I32(int32(posix.EINVAL))
+			return w.buf
+		}
+		buf := make([]byte, n)
+		got, err := sess.Pread(int(fd), buf, int64(off))
+		w.I32(ErrnoOf(err))
+		if err == nil {
+			w.Bytes(buf[:got])
+		}
+	case OpWrite:
+		fd := r.U32()
+		off := r.U64()
+		data := r.Rest()
+		if bad(&r, &w) {
+			return w.buf
+		}
+		n, err := sess.Pwrite(int(fd), data, int64(off))
+		w.I32(ErrnoOf(err))
+		if err == nil {
+			w.U32(uint32(n))
+		}
+	case OpSync:
+		fd := r.U32()
+		if bad(&r, &w) {
+			return w.buf
+		}
+		w.I32(ErrnoOf(sess.Sync(int(fd))))
+	case OpClose:
+		fd := r.U32()
+		if bad(&r, &w) {
+			return w.buf
+		}
+		w.I32(ErrnoOf(sess.Close(int(fd))))
+	case OpStat, OpFstat:
+		var st posix.Stat
+		var err error
+		if f.Op == OpStat {
+			path := r.String()
+			if bad(&r, &w) {
+				return w.buf
+			}
+			st, err = sess.Stat(path)
+		} else {
+			fd := r.U32()
+			if bad(&r, &w) {
+				return w.buf
+			}
+			st, err = sess.Fstat(int(fd))
+		}
+		w.I32(ErrnoOf(err))
+		if err == nil {
+			w.U64(uint64(st.Size))
+			w.U32(st.Mode)
+		}
+	case OpTrunc:
+		path := r.String()
+		size := r.U64()
+		if bad(&r, &w) {
+			return w.buf
+		}
+		w.I32(ErrnoOf(sess.Truncate(path, int64(size))))
+	case OpUnlink:
+		path := r.String()
+		if bad(&r, &w) {
+			return w.buf
+		}
+		w.I32(ErrnoOf(sess.Unlink(path)))
+	case OpStats:
+		text := s.g.StatsText()
+		w.I32(0)
+		if len(text) > MaxFramePayload-64 {
+			text = text[:MaxFramePayload-64]
+		}
+		w.Bytes([]byte(text))
+	case OpDoctor:
+		path := r.String()
+		fix := r.U8()
+		if bad(&r, &w) {
+			return w.buf
+		}
+		report, err := sess.Doctor(path, fix != 0)
+		w.I32(ErrnoOf(err))
+		if err == nil {
+			w.Bytes([]byte(report))
+		}
+	default:
+		w.I32(int32(posix.EINVAL))
+	}
+	return w.buf
+}
+
+// bad answers EINVAL for a payload the reader failed to decode.
+func bad(r *WireReader, w *WireWriter) bool {
+	if r.err == nil {
+		return false
+	}
+	w.I32(int32(posix.EINVAL))
+	return true
+}

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"ldplfs/internal/posix"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("ab"), 1000)}
+	for _, p := range payloads {
+		buf := AppendFrame(nil, OpWrite, p)
+		f, n, err := ParseFrame(buf)
+		if err != nil {
+			t.Fatalf("ParseFrame: %v", err)
+		}
+		if n != len(buf) {
+			t.Fatalf("consumed %d of %d", n, len(buf))
+		}
+		if f.Op != OpWrite || !bytes.Equal(f.Payload, p) {
+			t.Fatalf("frame mismatch: op %d payload %d bytes", f.Op, len(f.Payload))
+		}
+	}
+}
+
+func TestFrameStreamRoundTrip(t *testing.T) {
+	var stream bytes.Buffer
+	if err := WriteFrame(&stream, OpOpen, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&stream, OpClose, nil); err != nil {
+		t.Fatal(err)
+	}
+	f1, err := ReadFrame(&stream)
+	if err != nil || f1.Op != OpOpen || string(f1.Payload) != "hello" {
+		t.Fatalf("first frame: %+v, %v", f1, err)
+	}
+	f2, err := ReadFrame(&stream)
+	if err != nil || f2.Op != OpClose || len(f2.Payload) != 0 {
+		t.Fatalf("second frame: %+v, %v", f2, err)
+	}
+}
+
+func TestParseFrameTruncated(t *testing.T) {
+	full := AppendFrame(nil, OpRead, []byte("payload"))
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := ParseFrame(full[:cut]); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut %d: err %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestParseFrameOversize(t *testing.T) {
+	var hdr [frameHeaderSize]byte
+	hdr[0] = 0xff
+	hdr[1] = 0xff
+	hdr[2] = 0xff
+	hdr[3] = 0xff
+	if _, _, err := ParseFrame(hdr[:]); err != errFrameSize {
+		t.Fatalf("err %v, want errFrameSize", err)
+	}
+}
+
+func TestPayloadCodecRoundTrip(t *testing.T) {
+	var w WireWriter
+	w.U8(7)
+	w.U32(0xdeadbeef)
+	w.U64(1 << 40)
+	w.I32(int32(-posix.EIO))
+	w.String("tenant-a")
+	w.Bytes([]byte{1, 2, 3})
+
+	r := NewWireReader(w.Payload())
+	if v := r.U8(); v != 7 {
+		t.Fatalf("U8 = %d", v)
+	}
+	if v := r.U32(); v != 0xdeadbeef {
+		t.Fatalf("U32 = %#x", v)
+	}
+	if v := r.U64(); v != 1<<40 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if v := r.I32(); v != int32(-posix.EIO) {
+		t.Fatalf("I32 = %d", v)
+	}
+	if v := r.String(); v != "tenant-a" {
+		t.Fatalf("String = %q", v)
+	}
+	if v := r.Rest(); !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Fatalf("Rest = %v", v)
+	}
+	if r.Err() != nil {
+		t.Fatalf("codec err: %v", r.Err())
+	}
+	// Reading past the end sets the sticky error and zero-values out.
+	if v := r.U32(); v != 0 || r.Err() == nil {
+		t.Fatal("overread not detected")
+	}
+}
+
+func TestErrnoMapping(t *testing.T) {
+	if ErrnoOf(nil) != 0 || ErrnoErr(0) != nil {
+		t.Fatal("zero status must be nil error")
+	}
+	if ErrnoOf(posix.ENOENT) != int32(posix.ENOENT) {
+		t.Fatal("posix errno must keep its value")
+	}
+	if ErrnoOf(io.ErrUnexpectedEOF) != int32(posix.EIO) {
+		t.Fatal("foreign errors must degrade to EIO")
+	}
+	if ErrnoErr(int32(posix.EBADF)) != posix.EBADF {
+		t.Fatal("status must reconstruct the errno")
+	}
+}
+
+// FuzzFrameParse drives ParseFrame with arbitrary bytes: it must never
+// panic, never over-consume, and anything it accepts must re-encode to
+// the same frame (parse/append are inverses on the accepted set).
+func FuzzFrameParse(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFrame(nil, OpHello, []byte("t")))
+	f.Add(AppendFrame(nil, OpWrite, bytes.Repeat([]byte{0xaa}, 300)))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
+	f.Add([]byte{5, 0, 0, 0, 2, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := ParseFrame(data)
+		if err != nil {
+			return
+		}
+		if n < frameHeaderSize || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		if n != frameHeaderSize+len(fr.Payload) {
+			t.Fatalf("consumed %d, payload %d", n, len(fr.Payload))
+		}
+		re := AppendFrame(nil, fr.Op, fr.Payload)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode mismatch")
+		}
+		// The decoded payload must also survive a stream round trip.
+		fr2, err := ReadFrame(bytes.NewReader(data[:n]))
+		if err != nil || fr2.Op != fr.Op || !bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatalf("stream reparse: %v", err)
+		}
+	})
+}

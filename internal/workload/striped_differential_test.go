@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ldplfs/internal/harness"
+	"ldplfs/internal/iostats"
 	"ldplfs/internal/mpi"
 	"ldplfs/internal/mpiio"
 	"ldplfs/internal/plfs"
@@ -40,7 +41,7 @@ func stripedStores(t *testing.T) map[string]posix.FS {
 // count.
 func containerDigest(t *testing.T, store posix.FS, name string) (int64, [16]byte, int64) {
 	t.Helper()
-	p := plfs.New(store, plfs.DefaultOptions())
+	p := plfs.New(store)
 	path := harness.BackendDir + "/" + name
 	f, err := p.Open(path, posix.O_RDONLY, 999, 0)
 	if err != nil {
@@ -69,7 +70,7 @@ func checkSpread(t *testing.T, store posix.FS, name string) {
 	if _, ok := store.(*posix.StripedFS); !ok {
 		return
 	}
-	p := plfs.New(store, plfs.DefaultOptions())
+	p := plfs.New(store)
 	spread, err := p.ContainerSpread(harness.BackendDir + "/" + name)
 	if err != nil {
 		t.Fatal(err)
@@ -134,27 +135,29 @@ func diffAcrossStores(t *testing.T, outputs []string, run func(store posix.FS)) 
 			w := want[out]
 
 			// Forced on: refresh the record, read cold, assert it was
-			// actually loaded.
-			opts := plfs.DefaultOptions()
-			if _, err := plfs.New(store, opts).WriteFlattenedIndex(path); err != nil {
+			// actually loaded (each instance gets a private telemetry
+			// plane, so layer "readcache" counts only its own builds).
+			if _, err := plfs.New(store).WriteFlattenedIndex(path); err != nil {
 				t.Fatalf("[%s] flatten %s: %v", cfg, out, err)
 			}
-			onP := plfs.New(store, opts)
+			onPlane := iostats.NewPlane()
+			onP := plfs.New(store, plfs.WithStats(onPlane))
 			if size, sum, statSize := digestVia(t, onP, path); size != w.size || statSize != w.statSize || sum != w.sum {
 				t.Fatalf("[%s] %s flattened-on read diverged", cfg, out)
 			}
-			if s := onP.IndexCacheStats(); s.FlattenedBuilds == 0 {
-				t.Fatalf("[%s] %s flattened-on read did not use the record: %+v", cfg, out, s)
+			if n := onPlane.Layer("readcache").Counter("flattened_builds").Load(); n == 0 {
+				t.Fatalf("[%s] %s flattened-on read did not use the record", cfg, out)
 			}
 
 			// Forced off: streaming merge only.
-			offOpts := plfs.DefaultOptions()
-			offOpts.DisableFlattenedReads = true
-			offP := plfs.New(store, offOpts)
+			offPlane := iostats.NewPlane()
+			offP := plfs.New(store,
+				plfs.IndexOptions{DisableFlattenedReads: true},
+				plfs.WithStats(offPlane))
 			if size, sum, statSize := digestVia(t, offP, path); size != w.size || statSize != w.statSize || sum != w.sum {
 				t.Fatalf("[%s] %s flattened-off read diverged", cfg, out)
 			}
-			if s := offP.IndexCacheStats(); s.FlattenedBuilds != 0 {
+			if n := offPlane.Layer("readcache").Counter("flattened_builds").Load(); n != 0 {
 				t.Fatalf("[%s] %s disabled reads loaded the record", cfg, out)
 			}
 
@@ -162,9 +165,7 @@ func diffAcrossStores(t *testing.T, outputs []string, run func(store posix.FS)) 
 			// record's back; a cold default instance must fall back and
 			// serve the extended bytes.
 			tail := []byte("kernel-differential stale tail: " + out)
-			wOpts := plfs.DefaultOptions()
-			wOpts.DisableAutoFlatten = true
-			wP := plfs.New(store, wOpts)
+			wP := plfs.New(store, plfs.IndexOptions{DisableAutoFlatten: true})
 			f, err := wP.Open(path, posix.O_WRONLY, 424242, 0o644)
 			if err != nil {
 				t.Fatalf("[%s] stale staging open %s: %v", cfg, out, err)
@@ -175,18 +176,18 @@ func diffAcrossStores(t *testing.T, outputs []string, run func(store posix.FS)) 
 			if err := f.Close(424242); err != nil {
 				t.Fatal(err)
 			}
-			staleP := plfs.New(store, plfs.DefaultOptions())
+			stalePlane := iostats.NewPlane()
+			staleP := plfs.New(store, plfs.WithStats(stalePlane))
 			size, sum, statSize := digestVia(t, staleP, path)
 			if size != w.size+int64(len(tail)) || statSize != size {
 				t.Fatalf("[%s] %s stale read size = %d/%d, want %d", cfg, out, size, statSize, w.size+int64(len(tail)))
 			}
-			if s := staleP.IndexCacheStats(); s.FlattenedBuilds != 0 {
+			if n := stalePlane.Layer("readcache").Counter("flattened_builds").Load(); n != 0 {
 				t.Fatalf("[%s] %s stale record was trusted", cfg, out)
 			}
 			// And the merge path agrees byte-for-byte on the extended file.
-			off2 := plfs.DefaultOptions()
-			off2.DisableFlattenedReads = true
-			if s2, sum2, _ := digestVia(t, plfs.New(store, off2), path); s2 != size || sum2 != sum {
+			off2 := plfs.New(store, plfs.IndexOptions{DisableFlattenedReads: true})
+			if s2, sum2, _ := digestVia(t, off2, path); s2 != size || sum2 != sum {
 				t.Fatalf("[%s] %s stale-vs-merge digest diverged", cfg, out)
 			}
 		}
