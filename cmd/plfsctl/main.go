@@ -57,6 +57,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	backends := fl.String("backends", "", "comma-separated extra host directories the container's droppings are striped across")
 	hostdirs := fl.Int("hostdirs", 32, "hostdir buckets (must match the writer's setting)")
 	fix := fl.Bool("fix", false, "doctor: remove the stale openhosts records it finds")
+	lint := fl.Bool("lint", false, "doctor: also note how to run the repository's static-analysis gate")
 	remote := fl.String("remote", "", "plfsd gateway address; stats and doctor run against the live daemon")
 	tenant := fl.String("tenant", "default", "tenant name for -remote connections")
 	if err := fl.Parse(argv); err != nil {
@@ -159,6 +160,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			}
 		}
 	case "doctor":
+		// -lint: doctor diagnoses containers; the invariants of the code
+		// that writes them have their own checker. Surface it here because
+		// doctor is where operators already look when something is off.
+		if *lint {
+			fmt.Fprintln(stdout, "lint: container checks below cover on-disk state; for the data-path invariants run `go run ./cmd/plfslint ./...` (catalogue: internal/analysis/doc.go)")
+		}
 		// Stale openhosts records are the symptom of a writer that never
 		// cleanly closed (a crash, or the historical Trunc(0) leak):
 		// they pin Stat on the slow merged-index path and make compact

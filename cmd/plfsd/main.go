@@ -140,7 +140,7 @@ func parseTenants(spec string) ([]service.TenantConfig, error) {
 			}
 			v, err := strconv.ParseInt(p, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("tenant spec %q: %v", s, err)
+				return nil, fmt.Errorf("tenant spec %q: %w", s, err)
 			}
 			*fields[i] = v
 		}

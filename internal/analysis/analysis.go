@@ -1,0 +1,96 @@
+// Package analysis is a self-contained, dependency-free reimplementation
+// of the golang.org/x/tools/go/analysis surface this repository needs:
+// an Analyzer runs over one type-checked package at a time and reports
+// position-anchored Diagnostics. The build environment pins the module
+// to the standard library, so rather than importing x/tools we keep the
+// same shape (Analyzer / Pass / Diagnostic, an analysistest harness, a
+// multichecker driver) on top of go/ast + go/types — small enough to
+// read in one sitting, close enough that swapping the real framework in
+// later is a mechanical rename.
+//
+// See doc.go for the catalogue of invariants the shipped analyzers
+// enforce and the history of the bugs behind them.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Unlike x/tools there is no
+// Requires graph — the five plfslint analyzers are independent.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, inline suppression
+	// comments and the allowlist. Lowercase, no spaces.
+	Name string
+
+	// Doc is the one-paragraph description `plfslint -list` prints.
+	Doc string
+
+	// Run performs the check on one package and reports findings
+	// through pass.Report/Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Path is the package's import path (or fixture directory for
+	// analysistest packages).
+	Path string
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, msg string) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  msg,
+	})
+}
+
+// Reportf is Report with formatting.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// Diagnostics returns the findings accumulated so far.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
+
+// Run executes one analyzer over one loaded package and returns its
+// findings (inline suppressions NOT yet applied — the driver and
+// analysistest each decide how to treat them).
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Path:      pkg.ImportPath,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	return pass.diags, nil
+}

@@ -1,0 +1,120 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against `// want "regexp"` comments in the
+// fixture source — the same golden-comment contract as
+// golang.org/x/tools/go/analysis/analysistest, on the in-repo framework.
+//
+// Fixtures live under <testdata>/src/<name>/*.go and are ordinary
+// compilable Go: testdata is invisible to `go build ./...`, so a
+// fixture may violate every invariant the analyzers enforce without
+// breaking the build. Inline `//plfslint:ignore` comments are honored
+// exactly as the driver honors them, so fixtures also pin the
+// suppression behavior.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"ldplfs/internal/analysis"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *analysis.Loader
+)
+
+func sharedLoader() *analysis.Loader {
+	loaderOnce.Do(func() { loader = analysis.NewLoader(".") })
+	return loader
+}
+
+// want is one expectation: a diagnostic matching re must appear at
+// file:line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRE = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+
+// Run loads each fixture package under <testdata>/src and checks the
+// analyzer's surviving (non-suppressed) diagnostics against the
+// fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		pkg, err := sharedLoader().LoadDir(dir)
+		if err != nil {
+			t.Errorf("%s: load: %v", name, err)
+			continue
+		}
+		diags, err := analysis.Run(a, pkg)
+		if err != nil {
+			t.Errorf("%s: run: %v", name, err)
+			continue
+		}
+		kept, _ := analysis.Suppress(diags, analysis.ParseIgnores(pkg.Fset, pkg.Syntax))
+		checkWants(t, name, pkg, kept)
+	}
+}
+
+func checkWants(t *testing.T, name string, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", pos, q, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", name, base(d.Pos.Filename), d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", name, base(w.file), w.line, w.re)
+		}
+	}
+}
+
+func base(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"ldplfs/internal/analysis/analysistest"
+	"ldplfs/internal/analysis/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfield.Analyzer, "a")
+}

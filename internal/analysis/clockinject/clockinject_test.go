@@ -1,0 +1,12 @@
+package clockinject_test
+
+import (
+	"testing"
+
+	"ldplfs/internal/analysis/analysistest"
+	"ldplfs/internal/analysis/clockinject"
+)
+
+func TestClockInject(t *testing.T) {
+	analysistest.Run(t, "testdata", clockinject.Analyzer, "a")
+}

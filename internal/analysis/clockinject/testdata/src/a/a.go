@@ -1,0 +1,54 @@
+// Fixture for the clockinject analyzer: wall-clock access in a
+// package with an injectable-clock contract.
+package a
+
+import "time"
+
+// Clock mirrors tune.Clock: the injectable seam every timed decision
+// must flow through.
+type Clock interface {
+	Now() time.Time
+	Since(t time.Time) time.Duration
+}
+
+type controller struct {
+	clock Clock
+}
+
+// Regression: a stray wall-clock read behind the injected clock's
+// back. Convergence tests driven by a ManualClock stay green on a
+// fast machine and flake under load.
+func (c *controller) window() time.Time {
+	return time.Now() // want `time\.Now bypasses the injected tune\.Clock`
+}
+
+func (c *controller) pace(d time.Duration) {
+	time.Sleep(d) // want `time\.Sleep bypasses the injected tune\.Clock`
+}
+
+func (c *controller) age(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since bypasses the injected tune\.Clock`
+}
+
+func (c *controller) ticker() *time.Ticker {
+	return time.NewTicker(time.Second) // want `time\.NewTicker bypasses the injected tune\.Clock`
+}
+
+// --- allowed forms ---------------------------------------------------------
+
+// Reads through the injected clock are the contract, not a violation.
+func (c *controller) viaClock(start time.Time) time.Duration {
+	_ = c.clock.Now()
+	return c.clock.Since(start)
+}
+
+// Duration arithmetic and time-package constants don't touch the wall
+// clock.
+func durations(d time.Duration) time.Duration {
+	return d + 50*time.Millisecond
+}
+
+// Constructing times from explicit components is deterministic.
+func explicit() time.Time {
+	return time.Unix(0, 0)
+}

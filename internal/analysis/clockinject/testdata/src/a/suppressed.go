@@ -1,0 +1,16 @@
+package a
+
+import "time"
+
+// The real-clock implementation behind the injectable seam is the one
+// legitimate wall-time site; it carries an inline ignore exactly like
+// tune.wallClock in production.
+type wallClock struct{}
+
+//plfslint:ignore clockinject fixture pins that the real-clock implementation may read wall time
+func (wallClock) Now() time.Time { return time.Now() }
+
+func (wallClock) Since(t time.Time) time.Duration {
+	//plfslint:ignore clockinject fixture pins the since path of the real-clock implementation
+	return time.Since(t)
+}

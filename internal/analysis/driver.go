@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Check is one analyzer plus the import-path scope it runs over.
+type Check struct {
+	Analyzer *Analyzer
+
+	// Packages lists the import paths the analyzer applies to: an exact
+	// path, or a `prefix/...` subtree. Empty means every package.
+	Packages []string
+}
+
+// Driver is the multichecker: it loads packages, runs each scoped
+// analyzer, applies inline suppressions, and enforces that every
+// suppression is covered by the checked-in allowlist.
+type Driver struct {
+	Checks []Check
+
+	// Allowlist is the path of the suppression allowlist file ("" =
+	// no suppressions are permitted at all).
+	Allowlist string
+
+	// Out receives findings, one line each ("" discards).
+	Out io.Writer
+}
+
+// Run analyzes the packages matched by the go-list patterns, resolved
+// from dir. It returns the surviving findings: analyzer diagnostics not
+// suppressed inline, plus meta-findings for undocumented suppressions,
+// stale ignore comments, and stale allowlist entries. A clean tree
+// returns an empty slice.
+func (d *Driver) Run(dir string, patterns ...string) ([]Diagnostic, error) {
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	var allow []*AllowEntry
+	if d.Allowlist != "" {
+		allow, err = LoadAllowlist(d.Allowlist)
+		if err != nil {
+			return nil, err
+		}
+	}
+	loader := NewLoader(dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, c := range d.Checks {
+			if !scopeMatches(c.Packages, pkg.ImportPath) {
+				continue
+			}
+			ds, err := Run(c.Analyzer, pkg)
+			if err != nil {
+				return nil, err
+			}
+			diags = append(diags, ds...)
+		}
+		ignores := ParseIgnores(pkg.Fset, pkg.Syntax)
+		kept, suppressed := Suppress(diags, ignores)
+		findings = append(findings, kept...)
+		for _, s := range suppressed {
+			rel := relTo(root, s.Pos.Filename)
+			if !allowCovers(allow, s.Analyzer, rel) {
+				s.Message = fmt.Sprintf("suppression of %q has no %s entry for %s %s",
+					s.Message, allowName(d.Allowlist), s.Analyzer, rel)
+				findings = append(findings, s)
+			}
+		}
+		for _, ig := range ignores {
+			if ig.used {
+				continue
+			}
+			findings = append(findings, Diagnostic{
+				Analyzer: ig.Analyzer,
+				Pos:      ig.Pos,
+				Message:  "stale plfslint:ignore comment: no matching finding on this or the next line",
+			})
+		}
+	}
+	for _, e := range allow {
+		if e.used {
+			continue
+		}
+		findings = append(findings, Diagnostic{
+			Analyzer: e.Analyzer,
+			Pos:      Position(d.Allowlist, e.Line),
+			Message:  fmt.Sprintf("stale allowlist entry: no suppressed %s finding in %s", e.Analyzer, e.File),
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Message < findings[j].Message
+	})
+	if d.Out != nil {
+		for _, f := range findings {
+			fmt.Fprintf(d.Out, "%s:%d:%d: %s (%s)\n",
+				relTo(root, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+		}
+	}
+	return findings, nil
+}
+
+// Position builds a file:line position for non-AST findings (allowlist
+// entries).
+func Position(file string, line int) (p token.Position) {
+	p.Filename = file
+	p.Line = line
+	return p
+}
+
+// scopeMatches reports whether path falls inside any of the scopes
+// (empty scopes = everything).
+func scopeMatches(scopes []string, path string) bool {
+	if len(scopes) == 0 {
+		return true
+	}
+	for _, s := range scopes {
+		if sub, ok := strings.CutSuffix(s, "/..."); ok {
+			if path == sub || strings.HasPrefix(path, sub+"/") {
+				return true
+			}
+		} else if path == s {
+			return true
+		}
+	}
+	return false
+}
+
+// relTo renders an absolute filename module-relative with forward
+// slashes (the form the allowlist uses).
+func relTo(root, filename string) string {
+	if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+func allowName(path string) string {
+	if path == "" {
+		return "allowlist"
+	}
+	return filepath.Base(path)
+}

@@ -1,0 +1,171 @@
+// Package errnopreserve flags error wrapping that severs the
+// syscall-errno chain in packages whose errors reach the wire.
+//
+// The PR 6 gateway protocol answers every request with an i32 errno
+// status: service.ErrnoOf walks the error chain with errors.As looking
+// for a posix.Errno, and anything unrecognizable degrades to EIO. That
+// makes lossless wrapping a protocol obligation in internal/service,
+// internal/service/client, internal/posix and the daemon: an error
+// formatted with %v or %s (instead of %w) — or stringified via
+// err.Error() — still reads fine in a log line but turns ENOENT into
+// EIO on the wire, and remote tools start taking the wrong fallback
+// paths.
+//
+// Two forms are flagged:
+//
+//   - fmt.Errorf with an error-typed argument formatted by a verb other
+//     than %w,
+//   - err.Error() used as an argument to any formatting or
+//     concatenation that builds a new error (fmt.Errorf / errors.New
+//     arguments).
+package errnopreserve
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"ldplfs/internal/analysis"
+)
+
+// Analyzer is the production instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "errnopreserve",
+	Doc: "flags fmt.Errorf wrapping that drops syscall errnos (%v/%s on an error " +
+		"instead of %w) in packages whose errors cross the wire as i32 status",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch calleePath(pass, call) {
+			case "fmt.Errorf":
+				checkErrorf(pass, call)
+			case "errors.New":
+				for _, arg := range call.Args {
+					checkStringified(pass, arg)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorf verifies the verb/argument pairing of one fmt.Errorf
+// call.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) < 1 {
+		return
+	}
+	format, ok := stringConstant(pass, call.Args[0])
+	args := call.Args[1:]
+	if !ok {
+		// Non-constant format: fall back to stringification checks.
+		for _, arg := range args {
+			checkStringified(pass, arg)
+		}
+		return
+	}
+	verbs := parseVerbs(format)
+	for i, arg := range args {
+		checkStringified(pass, arg)
+		if i >= len(verbs) {
+			break
+		}
+		if verbs[i] == 'w' {
+			continue
+		}
+		if isErrorType(pass.TypesInfo.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(),
+				"error wrapped with %%%c drops its errno chain: use %%w so errors.As finds the posix.Errno behind the wire's i32 status", verbs[i])
+		}
+	}
+}
+
+// checkStringified flags err.Error() anywhere inside an argument that
+// builds a new error — including string concatenation like
+// errors.New("x: " + err.Error()).
+func checkStringified(pass *analysis.Pass, arg ast.Expr) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Error" {
+			return true
+		}
+		if isErrorType(pass.TypesInfo.TypeOf(sel.X)) {
+			pass.Reportf(call.Pos(),
+				"err.Error() flattens the error to a string and drops its errno chain: wrap with %%w instead")
+		}
+		return true
+	})
+}
+
+// parseVerbs returns the conversion verbs of a format string in
+// argument order ('*' width/precision arguments appear as '*').
+func parseVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width, precision; a '*' consumes an argument.
+	loop:
+		for ; i < len(format); i++ {
+			switch c := format[i]; {
+			case c == '*':
+				verbs = append(verbs, '*')
+			case c == '%':
+				break loop // literal %%
+			case (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+				verbs = append(verbs, c)
+				break loop
+			case strings.ContainsRune("+-# .0123456789[]", rune(c)):
+				// modifier: keep scanning
+			default:
+				break loop
+			}
+		}
+	}
+	return verbs
+}
+
+// stringConstant extracts a compile-time string value.
+func stringConstant(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// calleePath renders a called function as "pkg.Func" for stdlib
+// package-level callees.
+func calleePath(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements error.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}

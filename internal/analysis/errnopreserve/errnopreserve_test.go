@@ -1,0 +1,12 @@
+package errnopreserve_test
+
+import (
+	"testing"
+
+	"ldplfs/internal/analysis/analysistest"
+	"ldplfs/internal/analysis/errnopreserve"
+)
+
+func TestErrnoPreserve(t *testing.T) {
+	analysistest.Run(t, "testdata", errnopreserve.Analyzer, "a")
+}

@@ -1,0 +1,64 @@
+// Fixture for the errnopreserve analyzer: error wrapping that keeps
+// or drops the syscall-errno chain.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errno stands in for posix.Errno: the concrete payload errors.As
+// digs for when the gateway maps an error to the wire's i32 status.
+type Errno int
+
+func (e Errno) Error() string { return "errno" }
+
+// %w preserves the chain: ErrnoOf still finds the Errno underneath.
+func wrapOK(path string, err error) error {
+	return fmt.Errorf("open %s: %w", path, err)
+}
+
+// Regression: the PR 7 daemon bug. %v formats the error into the
+// message string; the chain ends here and ENOENT degrades to EIO on
+// the wire.
+func wrapV(s string, err error) error {
+	return fmt.Errorf("tenant spec %q: %v", s, err) // want `error wrapped with %v drops its errno chain`
+}
+
+func wrapS(err error) error {
+	return fmt.Errorf("lookup failed: %s", err) // want `error wrapped with %s drops its errno chain`
+}
+
+// Concrete error types are caught too, not just the error interface.
+func wrapErrno(e Errno) error {
+	return fmt.Errorf("syscall: %d failed: %v", 42, e) // want `error wrapped with %v drops its errno chain`
+}
+
+// err.Error() flattens to a string before the verb is even consulted.
+func stringified(err error) error {
+	return fmt.Errorf("read: %s", err.Error()) // want `err\.Error\(\) flattens the error to a string`
+}
+
+func stringifiedNew(err error) error {
+	return errors.New("write: " + err.Error()) // want `err\.Error\(\) flattens the error to a string`
+}
+
+// Literal %% consumes no argument; the pairing stays aligned.
+func percentLiteral(err error) error {
+	return fmt.Errorf("100%% of retries spent: %w", err)
+}
+
+// Flags, width and precision don't shift the verb/argument pairing.
+func modifiers(name string, err error) error {
+	return fmt.Errorf("%-8s: %w", name, err)
+}
+
+// A '*' width consumes an argument of its own.
+func starWidth(w, n int, err error) error {
+	return fmt.Errorf("%*d: %v", w, n, err) // want `error wrapped with %v drops its errno chain`
+}
+
+// Non-error arguments under %v are fine; only errors carry a chain.
+func nonError(path string, n int) error {
+	return fmt.Errorf("short write %s: %d bytes", path, n)
+}

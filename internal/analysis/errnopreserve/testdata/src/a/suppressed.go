@@ -1,0 +1,10 @@
+package a
+
+import "fmt"
+
+// A deliberately terminal error (the chain is summarized for a log
+// boundary, never sent on the wire) is silenced with an inline ignore.
+func suppressedSummary(err error) error {
+	//plfslint:ignore errnopreserve fixture pins that a justified ignore suppresses the wrapping finding
+	return fmt.Errorf("giving up: %v", err)
+}

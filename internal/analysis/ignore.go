@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Inline suppression: a finding is silenced by a comment of the form
+//
+//	//plfslint:ignore <analyzer> <justification...>
+//
+// on the flagged line or the line directly above it. The justification
+// is mandatory. The driver additionally requires every inline ignore to
+// be covered by an entry in the checked-in allowlist (plfslint.allow),
+// so a suppression can never land silently — see doc.go.
+
+// Ignore is one parsed inline suppression comment.
+type Ignore struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+	used     bool
+}
+
+const ignorePrefix = "//plfslint:ignore"
+
+// ParseIgnores extracts every inline suppression from the files.
+func ParseIgnores(fset *token.FileSet, files []*ast.File) []*Ignore {
+	var out []*Ignore
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				out = append(out, &Ignore{
+					Pos:      fset.Position(c.Pos()),
+					Analyzer: name,
+					Reason:   strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Suppress splits diags into kept and suppressed according to the
+// inline ignores, marking the ignores it consumed.
+func Suppress(diags []Diagnostic, ignores []*Ignore) (kept, suppressed []Diagnostic) {
+	for _, d := range diags {
+		matched := false
+		for _, ig := range ignores {
+			if ig.Analyzer != d.Analyzer || ig.Pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if ig.Pos.Line == d.Pos.Line || ig.Pos.Line == d.Pos.Line-1 {
+				ig.used = true
+				matched = true
+			}
+		}
+		if matched {
+			suppressed = append(suppressed, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	return kept, suppressed
+}
+
+// AllowEntry is one line of the checked-in allowlist: an analyzer name,
+// a module-relative file path, and a mandatory justification.
+type AllowEntry struct {
+	Analyzer string
+	File     string
+	Reason   string
+	Line     int
+	used     bool
+}
+
+// LoadAllowlist parses the allowlist file. Blank lines and #-comments
+// are skipped; every other line is `analyzer<space>path<space>reason`.
+func LoadAllowlist(path string) ([]*AllowEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []*AllowEntry
+	sc := bufio.NewScanner(f)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("%s:%d: allowlist entry needs `analyzer path justification`, got %q", path, ln, line)
+		}
+		out = append(out, &AllowEntry{
+			Analyzer: fields[0],
+			File:     filepath.ToSlash(fields[1]),
+			Reason:   strings.Join(fields[2:], " "),
+			Line:     ln,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// allow reports whether an entry covers the ignore at file (a
+// module-relative slash path).
+func allowCovers(entries []*AllowEntry, analyzer, file string) bool {
+	ok := false
+	for _, e := range entries {
+		if e.Analyzer == analyzer && e.File == file {
+			e.used = true
+			ok = true
+		}
+	}
+	return ok
+}

@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Package is one loaded, type-checked package — the unit an Analyzer
+// runs over.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// Loader type-checks packages of the enclosing module without any
+// dependency beyond the go toolchain: package metadata comes from
+// `go list -json`, module sources are parsed and checked directly, and
+// standard-library imports resolve through the stdlib's own
+// source-level importer (go/importer "source"), which compiles them
+// from GOROOT on demand and caches the result. One Loader shares one
+// FileSet and one type-object world, so positions and types.Object
+// identities are consistent across every package it returns.
+type Loader struct {
+	mu     sync.Mutex
+	dir    string // module-relative working directory for `go list`
+	fset   *token.FileSet
+	src    types.ImporterFrom
+	meta   map[string]*listedPackage
+	loaded map[string]*Package
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// NewLoader returns a loader that resolves patterns relative to dir
+// (any directory inside the module).
+func NewLoader(dir string) *Loader {
+	// The source importer consults the global build context. Cgo is
+	// disabled so packages with C fallbacks (net, os/user) resolve to
+	// their pure-Go variants, which type-check from source.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		dir:    dir,
+		fset:   fset,
+		src:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		meta:   make(map[string]*listedPackage),
+		loaded: make(map[string]*Package),
+	}
+}
+
+// Fset exposes the loader's shared FileSet.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load resolves the go-list patterns (e.g. "./...") and returns the
+// matched module packages, type-checked, in deterministic order.
+// Standard-library matches are resolved for import but never returned
+// for analysis.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	roots, err := l.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(roots)
+	out := make([]*Package, 0, len(roots))
+	for _, path := range roots {
+		pkg, err := l.loadLocked(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks the single package rooted at dir —
+// typically an analysistest fixture under testdata/, invisible to
+// go-list wildcards. Imports resolve against the module the loader was
+// created in.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			files = append(files, filepath.Join(abs, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	return l.checkLocked(abs, abs, files, nil)
+}
+
+// list runs `go list` for the patterns, merges the metadata of every
+// matched package and its dependency closure into l.meta, and returns
+// the import paths of the non-stdlib root matches.
+func (l *Loader) list(patterns []string) ([]string, error) {
+	args := append([]string{
+		"list", "-e", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Imports,ImportMap,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return nil, fmt.Errorf("analysis: go list %v: %v: %s", patterns, err, ee.Stderr)
+		}
+		return nil, fmt.Errorf("analysis: go list %v: %w", patterns, err)
+	}
+	var roots []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("analysis: go list decode: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		l.meta[p.ImportPath] = &p
+		if !p.DepOnly && !p.Standard {
+			roots = append(roots, p.ImportPath)
+		}
+	}
+	return roots, nil
+}
+
+// loadLocked returns the type-checked package for a module import path,
+// loading (and caching) it on first use.
+func (l *Loader) loadLocked(path string) (*Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg, nil
+	}
+	m := l.meta[path]
+	if m == nil {
+		return nil, fmt.Errorf("analysis: package %s not listed", path)
+	}
+	files := make([]string, len(m.GoFiles))
+	for i, f := range m.GoFiles {
+		files[i] = filepath.Join(m.Dir, f)
+	}
+	pkg, err := l.checkLocked(path, m.Dir, files, m.ImportMap)
+	if err != nil {
+		return nil, err
+	}
+	l.loaded[path] = pkg
+	return pkg, nil
+}
+
+// checkLocked parses and type-checks one package from explicit files.
+func (l *Loader) checkLocked(path, dir string, files []string, importMap map[string]string) (*Package, error) {
+	syntax := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		af, err := parser.ParseFile(l.fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		syntax = append(syntax, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(ip string) (*types.Package, error) {
+			if mapped, ok := importMap[ip]; ok {
+				ip = mapped
+			}
+			return l.importLocked(ip, dir)
+		}),
+	}
+	tpkg, err := conf.Check(path, l.fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", path, err)
+	}
+	return &Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       l.fset,
+		Syntax:     syntax,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// importLocked resolves one import: module packages re-enter loadLocked
+// (listing them on demand if a fixture imported something outside the
+// already-listed closure), everything else goes to the source importer.
+func (l *Loader) importLocked(path, srcDir string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	m := l.meta[path]
+	if m == nil {
+		// First sight of this path (fixture import): list its closure.
+		if _, err := l.list([]string{path}); err != nil {
+			return nil, err
+		}
+		m = l.meta[path]
+		if m == nil {
+			return nil, fmt.Errorf("analysis: cannot resolve import %s (from %s)", path, srcDir)
+		}
+	}
+	if m.Standard {
+		return l.src.ImportFrom(path, srcDir, 0)
+	}
+	pkg, err := l.loadLocked(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		if filepath.Dir(d) == d {
+			return "", fmt.Errorf("analysis: no go.mod above %s", abs)
+		}
+	}
+}

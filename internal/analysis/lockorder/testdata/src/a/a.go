@@ -1,0 +1,97 @@
+// Fixture for the lockorder analyzer. The structs mirror the data
+// path's lock owners: FS.hmu (handle registry, rank 0), File.mu
+// (handle, rank 1), writer.mu (per-pid shard, rank 2).
+package a
+
+import "sync"
+
+type FS struct {
+	hmu sync.RWMutex
+}
+
+type File struct {
+	mu sync.RWMutex
+}
+
+type writer struct {
+	mu sync.Mutex
+}
+
+// Correct order: registry, then handle, then writer shard.
+func inOrder(p *FS, f *File, w *writer) {
+	p.hmu.RLock()
+	f.mu.Lock()
+	w.mu.Lock()
+	w.mu.Unlock()
+	f.mu.Unlock()
+	p.hmu.RUnlock()
+}
+
+// Regression: the PR 2 deadlock shape. Resolving a handle back through
+// the registry while holding the handle's own lock inverts rank 0 and
+// rank 1; with a concurrent container truncate quiescing handles in
+// seq order the two block on each other forever.
+func registryUnderHandle(p *FS, f *File) {
+	f.mu.Lock()
+	p.hmu.RLock() // want `acquires FS\.hmu \(rank 0\) while holding File\.mu \(rank 1\)`
+	p.hmu.RUnlock()
+	f.mu.Unlock()
+}
+
+func writerBeforeHandle(f *File, w *writer) {
+	w.mu.Lock()
+	f.mu.Lock() // want `acquires File\.mu \(rank 1\) while holding writer\.mu \(rank 2\)`
+	f.mu.Unlock()
+	w.mu.Unlock()
+}
+
+// A deferred unlock pins the rank held to function end, so a later
+// lower-rank acquisition is still an inversion.
+func deferredHold(p *FS, f *File) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	p.hmu.RLock() // want `acquires FS\.hmu \(rank 0\) while holding File\.mu \(rank 1\)`
+	p.hmu.RUnlock()
+}
+
+// An explicit unlock releases the rank: re-entering the registry after
+// dropping the handle lock is the documented retry shape.
+func unlockThenRegistry(p *FS, f *File) {
+	f.mu.Lock()
+	f.mu.Unlock()
+	p.hmu.RLock()
+	p.hmu.RUnlock()
+}
+
+// Same-rank reacquisition is allowed: distinct handles of one
+// container are ordered dynamically by File.seq, beyond static reach.
+func twoHandles(f1, f2 *File) {
+	f1.mu.Lock()
+	f2.mu.Lock()
+	f2.mu.Unlock()
+	f1.mu.Unlock()
+}
+
+// Closures inherit the enclosing held-set: the inversion does not
+// escape by hiding in a func literal.
+func closureHeld(p *FS, f *File) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	probe := func() {
+		p.hmu.RLock() // want `acquires FS\.hmu \(rank 0\) while holding File\.mu \(rank 1\)`
+		p.hmu.RUnlock()
+	}
+	probe()
+}
+
+type cache struct {
+	mu sync.Mutex
+}
+
+// Locks outside the ranking are ignored.
+func unranked(c *cache, f *File) {
+	f.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	f.mu.Unlock()
+}

@@ -1,0 +1,476 @@
+// Package nilcollector flags stores of possibly-nil concrete pointers
+// into the repository's guarded interface types (iostats.Collector,
+// posix.FS).
+//
+// The bug class is the one PR 6 had to hot-fix: a typed-nil
+// *iostats.Plane wrapped into a Collector interface value is != nil, so
+// every downstream `if collector != nil` guard passes and the first
+// method call dereferences nil — the telemetry-off path segfaulted. The
+// compiler cannot catch this; the conversion site can.
+//
+// A pointer-to-interface conversion is accepted only when the source is
+// provably non-nil at the site:
+//
+//   - a nil literal (an honest nil interface),
+//   - a call expression (constructors own their nilness),
+//   - an address expression (&T{...} or &x),
+//   - an expression lexically guarded by `if x != nil` (or the else arm
+//     of `if x == nil`),
+//   - an expression normalized earlier in the same function by
+//     `if x == nil { x = <non-nil> }`,
+//   - a local variable whose every assignment in the function is one of
+//     the allowed forms above.
+//
+// Anything else — a parameter, a struct field, a variable of unknown
+// provenance — must be guarded or suppressed.
+package nilcollector
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ldplfs/internal/analysis"
+)
+
+// DefaultGuarded names the interface types the analyzer protects, as
+// "import/path.TypeName".
+var DefaultGuarded = []string{
+	"ldplfs/internal/iostats.Collector",
+	"ldplfs/internal/posix.FS",
+}
+
+// Analyzer is the production instance over DefaultGuarded.
+var Analyzer = New(DefaultGuarded...)
+
+// New builds an analyzer guarding the given interface types.
+func New(guarded ...string) *analysis.Analyzer {
+	set := make(map[string]bool, len(guarded))
+	for _, g := range guarded {
+		set[g] = true
+	}
+	return &analysis.Analyzer{
+		Name: "nilcollector",
+		Doc: "flags possibly-nil concrete pointers stored into guarded interface types " +
+			"(typed-nil interface values defeat != nil checks)",
+		Run: func(pass *analysis.Pass) error { return run(pass, set) },
+	}
+}
+
+func run(pass *analysis.Pass, guarded map[string]bool) error {
+	c := &checker{pass: pass, guarded: guarded}
+	for _, f := range pass.Files {
+		c.walk(f)
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	guarded map[string]bool
+	stack   []ast.Node // enclosing nodes, innermost last
+}
+
+func (c *checker) walk(n ast.Node) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if node == nil {
+			c.stack = c.stack[:len(c.stack)-1]
+			return false
+		}
+		c.stack = append(c.stack, node)
+		switch n := node.(type) {
+		case *ast.AssignStmt:
+			c.assign(n)
+		case *ast.ValueSpec:
+			c.valueSpec(n)
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.ReturnStmt:
+			c.ret(n)
+		case *ast.CompositeLit:
+			c.composite(n)
+		}
+		return true
+	})
+}
+
+// guardedIface reports whether t is one of the protected interfaces.
+func (c *checker) guardedIface(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || !types.IsInterface(t) {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return c.guarded[obj.Pkg().Path()+"."+obj.Name()]
+}
+
+// nillableConcrete reports whether t is a concrete type whose zero
+// value is nil and which therefore produces a typed-nil interface.
+func nillableConcrete(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// convert checks one src-expression-into-dst-type conversion.
+func (c *checker) convert(dst types.Type, src ast.Expr) {
+	if dst == nil || !c.guardedIface(dst) {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[src]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return // untyped nil: an honest nil interface
+	}
+	if !nillableConcrete(tv.Type) {
+		return
+	}
+	if c.allowed(src) {
+		return
+	}
+	name := exprString(src)
+	if name == "" {
+		name = "the value"
+	}
+	c.pass.Reportf(src.Pos(),
+		"possibly-nil %s stored into %s: a typed-nil pointer makes the interface != nil; guard with `if %s != nil` or store a freshly constructed value",
+		types.TypeString(tv.Type, types.RelativeTo(c.pass.Pkg)),
+		types.TypeString(dst, types.RelativeTo(c.pass.Pkg)),
+		name)
+}
+
+// allowed reports whether src is provably non-nil at its use.
+func (c *checker) allowed(src ast.Expr) bool {
+	switch e := ast.Unparen(src).(type) {
+	case *ast.CallExpr:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return true
+		}
+	case *ast.CompositeLit:
+		return true // map/func literals are non-nil
+	}
+	name := exprString(src)
+	if name == "" {
+		return false
+	}
+	if c.nilGuarded(name, src.Pos()) {
+		return true
+	}
+	if c.nilNormalized(name, src.Pos()) {
+		return true
+	}
+	return c.provablyInitialized(src)
+}
+
+// nilGuarded reports whether the use at pos sits inside the non-nil arm
+// of an enclosing `if name != nil` / `if name == nil ... else`.
+func (c *checker) nilGuarded(name string, pos token.Pos) bool {
+	for i := len(c.stack) - 1; i >= 0; i-- {
+		ifs, ok := c.stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		inBody := ifs.Body != nil && ifs.Body.Pos() <= pos && pos < ifs.Body.End()
+		inElse := ifs.Else != nil && ifs.Else.Pos() <= pos && pos < ifs.Else.End()
+		if inBody && condChecksNil(ifs.Cond, name, token.NEQ) {
+			return true
+		}
+		if inElse && condChecksNil(ifs.Cond, name, token.EQL) {
+			return true
+		}
+	}
+	return false
+}
+
+// condChecksNil reports whether cond contains `name <op> nil` as a
+// conjunct (op is != or ==).
+func condChecksNil(cond ast.Expr, name string, op token.Token) bool {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if bin.Op == token.LAND || bin.Op == token.LOR {
+		return condChecksNil(bin.X, name, op) || condChecksNil(bin.Y, name, op)
+	}
+	if bin.Op != op {
+		return false
+	}
+	x, y := exprString(bin.X), exprString(bin.Y)
+	return (x == name && y == "nil") || (y == name && x == "nil")
+}
+
+// nilNormalized reports whether an earlier statement of the enclosing
+// function reads `if name == nil { name = <allowed> }` — the
+// normalize-then-use idiom.
+func (c *checker) nilNormalized(name string, pos token.Pos) bool {
+	body := c.outermostFuncBody()
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() >= pos {
+			return !found
+		}
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Body == nil || !condChecksNil(ifs.Cond, name, token.EQL) {
+			return true
+		}
+		for _, st := range ifs.Body.List {
+			as, ok := st.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				continue
+			}
+			if exprString(as.Lhs[0]) == name && nonNilExpr(as.Rhs[0]) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// provablyInitialized reports whether src is a local variable whose
+// every assignment in the enclosing function is a non-nil form.
+func (c *checker) provablyInitialized(src ast.Expr) bool {
+	id, ok := ast.Unparen(src).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.IsField() {
+		return false
+	}
+	body := c.outermostFuncBody()
+	if body == nil {
+		return false
+	}
+	assigns := 0
+	allNonNil := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				// Tuple assignment from a call: results of calls are
+				// trusted, same as direct call sources.
+				for _, l := range st.Lhs {
+					if c.identIs(l, obj) {
+						assigns++
+					}
+				}
+				return true
+			}
+			for i, l := range st.Lhs {
+				if c.identIs(l, obj) {
+					assigns++
+					if !nonNilExpr(st.Rhs[i]) {
+						allNonNil = false
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, nm := range st.Names {
+				if c.pass.TypesInfo.Defs[nm] != obj {
+					continue
+				}
+				assigns++
+				if i >= len(st.Values) || !nonNilExpr(st.Values[i]) {
+					allNonNil = false
+				}
+			}
+		}
+		return true
+	})
+	return assigns > 0 && allNonNil
+}
+
+// identIs reports whether e is an identifier bound to obj.
+func (c *checker) identIs(e ast.Expr, obj *types.Var) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return c.pass.TypesInfo.Defs[id] == obj || c.pass.TypesInfo.Uses[id] == obj
+}
+
+// nonNilExpr reports whether e is syntactically non-nil: a call, an
+// address expression, or a composite literal.
+func nonNilExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return true
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		return e.Op == token.AND
+	}
+	return false
+}
+
+// outermostFuncBody returns the outermost enclosing function body —
+// closures see (and may be fed by) their enclosing function's
+// assignments, so provenance scans cover the whole lexical context.
+func (c *checker) outermostFuncBody() *ast.BlockStmt {
+	for i := 0; i < len(c.stack); i++ {
+		switch f := c.stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// enclosingResults returns the innermost enclosing function's result
+// tuple.
+func (c *checker) enclosingResults() *types.Tuple {
+	for i := len(c.stack) - 1; i >= 0; i-- {
+		switch f := c.stack[i].(type) {
+		case *ast.FuncDecl:
+			if obj, ok := c.pass.TypesInfo.Defs[f.Name].(*types.Func); ok {
+				return obj.Type().(*types.Signature).Results()
+			}
+		case *ast.FuncLit:
+			if sig, ok := c.pass.TypesInfo.Types[f].Type.(*types.Signature); ok {
+				return sig.Results()
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) assign(n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		var dst types.Type
+		if n.Tok == token.DEFINE {
+			continue // := infers the concrete type, no conversion
+		}
+		dst = c.pass.TypesInfo.TypeOf(lhs)
+		c.convert(dst, n.Rhs[i])
+	}
+}
+
+func (c *checker) valueSpec(n *ast.ValueSpec) {
+	if n.Type == nil {
+		return
+	}
+	dst := c.pass.TypesInfo.TypeOf(n.Type)
+	for _, v := range n.Values {
+		c.convert(dst, v)
+	}
+}
+
+func (c *checker) call(n *ast.CallExpr) {
+	tv, ok := c.pass.TypesInfo.Types[n.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Explicit conversion Collector(x).
+		if len(n.Args) == 1 {
+			c.convert(tv.Type, n.Args[0])
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range n.Args {
+		var dst types.Type
+		switch {
+		case i < np-1 || (i == np-1 && !sig.Variadic()):
+			dst = sig.Params().At(i).Type()
+		case sig.Variadic() && n.Ellipsis == token.NoPos:
+			dst = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		}
+		c.convert(dst, arg)
+	}
+}
+
+func (c *checker) ret(n *ast.ReturnStmt) {
+	results := c.enclosingResults()
+	if results == nil || len(n.Results) != results.Len() {
+		return
+	}
+	for i, r := range n.Results {
+		c.convert(results.At(i).Type(), r)
+	}
+}
+
+func (c *checker) composite(n *ast.CompositeLit) {
+	t := c.pass.TypesInfo.TypeOf(n)
+	if t == nil {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i, elt := range n.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					if obj, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+						c.convert(obj.Type(), kv.Value)
+					}
+				}
+				continue
+			}
+			if i < u.NumFields() {
+				c.convert(u.Field(i).Type(), elt)
+			}
+		}
+	case *types.Slice:
+		for _, elt := range n.Elts {
+			c.convert(u.Elem(), value(elt))
+		}
+	case *types.Array:
+		for _, elt := range n.Elts {
+			c.convert(u.Elem(), value(elt))
+		}
+	case *types.Map:
+		for _, elt := range n.Elts {
+			c.convert(u.Elem(), value(elt))
+		}
+	}
+}
+
+// value unwraps a composite-literal element's key:value form.
+func value(elt ast.Expr) ast.Expr {
+	if kv, ok := elt.(*ast.KeyValueExpr); ok {
+		return kv.Value
+	}
+	return elt
+}
+
+// exprString renders an identifier or selector chain ("a.b.c"); other
+// expression forms return "".
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+			return ""
+		}
+		s := buf.String()
+		if strings.ContainsAny(s, "()[]{} ") {
+			return ""
+		}
+		return s
+	}
+	return ""
+}

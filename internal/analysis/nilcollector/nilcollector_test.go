@@ -1,0 +1,12 @@
+package nilcollector_test
+
+import (
+	"testing"
+
+	"ldplfs/internal/analysis/analysistest"
+	"ldplfs/internal/analysis/nilcollector"
+)
+
+func TestNilCollector(t *testing.T) {
+	analysistest.Run(t, "testdata", nilcollector.Analyzer, "a")
+}

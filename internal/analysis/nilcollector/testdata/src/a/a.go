@@ -1,0 +1,105 @@
+// Fixture for the nilcollector analyzer: stores of possibly-nil
+// pointers into the guarded interfaces iostats.Collector and posix.FS.
+package a
+
+import (
+	"ldplfs/internal/iostats"
+	"ldplfs/internal/posix"
+)
+
+type cfg struct {
+	Stats iostats.Collector
+}
+
+func use(c iostats.Collector) { _ = c }
+
+// Regression: the PR 6 bug. A *iostats.Plane of unknown provenance
+// wrapped into a Collector is != nil even when the pointer is nil, so
+// the telemetry-off path passed its guards and segfaulted.
+func typedNilPlane(plane *iostats.Plane) {
+	var c iostats.Collector
+	c = plane // want `possibly-nil \*ldplfs/internal/iostats\.Plane stored into ldplfs/internal/iostats\.Collector`
+	_ = c
+}
+
+func declAssign(plane *iostats.Plane) {
+	var c iostats.Collector = plane // want `possibly-nil \*ldplfs/internal/iostats\.Plane`
+	_ = c
+}
+
+func callArg(plane *iostats.Plane) {
+	use(plane) // want `possibly-nil \*ldplfs/internal/iostats\.Plane`
+}
+
+func returned(plane *iostats.Plane) iostats.Collector {
+	return plane // want `possibly-nil \*ldplfs/internal/iostats\.Plane`
+}
+
+func inLiteral(plane *iostats.Plane) cfg {
+	return cfg{Stats: plane} // want `possibly-nil \*ldplfs/internal/iostats\.Plane`
+}
+
+func explicitConversion(plane *iostats.Plane) {
+	use(iostats.Collector(plane)) // want `possibly-nil \*ldplfs/internal/iostats\.Plane`
+}
+
+func memFS(m *posix.MemFS) posix.FS {
+	return m // want `possibly-nil \*ldplfs/internal/posix\.MemFS stored into ldplfs/internal/posix\.FS`
+}
+
+// --- allowed forms ---------------------------------------------------------
+
+func honestNil() iostats.Collector {
+	return nil // a nil interface is what != nil checks are for
+}
+
+func constructed() iostats.Collector {
+	return iostats.NewPlane()
+}
+
+func addressOf() posix.FS {
+	return &posix.MemFS{}
+}
+
+func guarded(plane *iostats.Plane) {
+	if plane != nil {
+		use(plane)
+	}
+}
+
+func guardedElse(plane *iostats.Plane) {
+	if plane == nil {
+		use(iostats.NewPlane())
+	} else {
+		use(plane)
+	}
+}
+
+func guardedConjunct(plane *iostats.Plane, on bool) {
+	if on && plane != nil {
+		use(plane)
+	}
+}
+
+func normalized(plane *iostats.Plane) {
+	if plane == nil {
+		plane = iostats.NewPlane()
+	}
+	use(plane)
+}
+
+func provablyInitialized() {
+	p := iostats.NewPlane()
+	use(p)
+}
+
+func initializedInOuter() func() {
+	p := iostats.NewPlane()
+	return func() {
+		use(p) // assigned from a constructor in the enclosing function
+	}
+}
+
+func interfaceToInterface(c iostats.Collector) iostats.Collector {
+	return c // interface-to-interface carries no new typed-nil risk
+}

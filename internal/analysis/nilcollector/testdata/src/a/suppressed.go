@@ -1,0 +1,10 @@
+package a
+
+import "ldplfs/internal/iostats"
+
+// An inline ignore silences the finding (the driver additionally
+// demands an allowlist entry; analysistest pins only the suppression).
+func suppressed(plane *iostats.Plane) {
+	//plfslint:ignore nilcollector fixture pins that a justified ignore suppresses the finding
+	use(plane)
+}

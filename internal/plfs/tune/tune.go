@@ -40,6 +40,7 @@ type Clock interface {
 
 type wallClock struct{}
 
+//plfslint:ignore clockinject wallClock IS the injectable clock's real-time implementation; every other wall-time read must route through it
 func (wallClock) Now() time.Time { return time.Now() }
 
 // WallClock returns the real-time clock.

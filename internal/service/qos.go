@@ -349,5 +349,6 @@ func (q *qos) sleep(d time.Duration) {
 	if _, manual := q.clock.(*tune.ManualClock); manual {
 		return
 	}
+	//plfslint:ignore clockinject sleep is the QoS stage's one real-wall-time effect: paying bucket debt; the manual-clock branch above keeps tests deterministic
 	time.Sleep(d)
 }

@@ -118,7 +118,7 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		// that telemetry scopes through the gateway plane unless the
 		// tenant wired its own collector.
 		fsCfg := tc.Plfs
-		if fsCfg.Telemetry.Stats == nil {
+		if fsCfg.Telemetry.Stats == nil && g.plane != nil {
 			fsCfg.Telemetry.Stats = g.plane
 		}
 		g.fss[tc.Name] = plfs.New(cfg.Backend, fsCfg)
