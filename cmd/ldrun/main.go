@@ -33,6 +33,7 @@ func main() {
 	var remote flags.Remote
 	root := flag.String("root", ".", "host directory backing the tree (canonical backend)")
 	backends := flag.String("backends", "", "comma-separated extra host directories to stripe container droppings across (shadow backends)")
+	layoutDesc := flag.String("layout", "", "placement layout across the backends: mod-n (default) or replica-R")
 	preload := flag.Bool("preload", false, "preload LDPLFS into the symbol table")
 	mnt := flag.String("mnt", "/mnt/plfs=/backend", "mount spec (point=backend[,point=backend])")
 	pid := flag.Uint("pid", uint(os.Getpid()), "writer id passed to PLFS")
@@ -60,7 +61,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("ldrun: root %s: %v", *root, err)
 		}
-		fs, err := posix.NewStripedRoots(osfs, *backends)
+		fs, err := posix.NewStripedRootsLayout(osfs, *backends, *layoutDesc)
 		if err != nil {
 			log.Fatalf("ldrun: %v", err)
 		}

@@ -10,6 +10,7 @@
 //	plfsctl -root /tmp/store compact /backend/data  # merge droppings + write flattened index
 //	plfsctl -root /tmp/store doctor /backend/data   # openhosts + index health report
 //	plfsctl -root /tmp/store -backends /tmp/b1,/tmp/b2 -fix doctor /backend/data
+//	plfsctl -root /tmp/store -backends /tmp/b1,/tmp/b2 -layout replica-2 -fix doctor /backend/data
 //	plfsctl -root /tmp/store rm /backend/data
 //	plfsctl stats                                   # telemetry-plane snapshot demo
 //
@@ -18,6 +19,12 @@
 // container index health — raw dropping and entry counts, flattened
 // generation and staleness — and with -fix refreshes or removes a stale
 // flattened record (fresh records are always left alone).
+//
+// With -layout replica-R the backends serve R-way replicated droppings;
+// doctor then also scans every replica set, reports missing copies
+// (under-replication) and disagreeing copies (divergence), re-replicates
+// missing copies under -fix, and rebuilds diverged ones only under
+// -fix -force.
 //
 // stats runs one in-memory harness workload (the MPI-IO Test kernel over
 // the direct-PLFS method, 4 ranks) with the unified iostats telemetry
@@ -56,7 +63,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	root := fl.String("root", ".", "host directory backing the tree (canonical backend)")
 	backends := fl.String("backends", "", "comma-separated extra host directories the container's droppings are striped across")
 	hostdirs := fl.Int("hostdirs", 32, "hostdir buckets (must match the writer's setting)")
-	fix := fl.Bool("fix", false, "doctor: remove the stale openhosts records it finds")
+	layoutDesc := fl.String("layout", "", "placement layout across the backends: mod-n (default) or replica-R")
+	fix := fl.Bool("fix", false, "doctor: remove the stale openhosts records it finds and re-replicate missing copies")
+	force := fl.Bool("force", false, "doctor -fix: also rebuild diverged replica copies from the longest copy")
 	lint := fl.Bool("lint", false, "doctor: also note how to run the repository's static-analysis gate")
 	remote := fl.String("remote", "", "plfsd gateway address; stats and doctor run against the live daemon")
 	tenant := fl.String("tenant", "default", "tenant name for -remote connections")
@@ -64,6 +73,15 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	args := fl.Args()
+	// Accept flags after the subcommand too (plfsctl doctor -fix PATH):
+	// the stdlib parser stops at the first non-flag word, so re-parse the
+	// remainder once the subcommand is known.
+	if len(args) > 1 {
+		if err := fl.Parse(args[1:]); err != nil {
+			return 2
+		}
+		args = append(args[:1:1], fl.Args()...)
+	}
 	fail := func(format string, a ...any) int {
 		fmt.Fprintf(stderr, "plfsctl: "+format+"\n", a...)
 		return 1
@@ -83,7 +101,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail("root %s: %v", *root, err)
 	}
-	fs, err := posix.NewStripedRoots(osfs, *backends)
+	fs, err := posix.NewStripedRootsLayout(osfs, *backends, *layoutDesc)
 	if err != nil {
 		return fail("%v", err)
 	}
@@ -118,6 +136,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		if spread, err := p.ContainerSpread(path); err == nil && len(spread) > 1 {
 			fmt.Fprintf(stdout, "backends:     %d (droppings per backend: %v)\n", len(spread), spread)
+		}
+		if desc, err := p.ContainerLayout(path); err != nil {
+			fmt.Fprintf(stdout, "layout:       DAMAGED descriptor (%v)\n", err)
+		} else if desc != "" {
+			fmt.Fprintf(stdout, "layout:       %s\n", desc)
 		}
 	case "index":
 		entries, _, err := loadIndex(fs, path)
@@ -250,6 +273,62 @@ func run(argv []string, stdout, stderr io.Writer) int {
 					}
 					fmt.Fprintf(stdout, "removed %d stale flattened record(s); writers are live, re-run compact after they close\n", removed)
 				}
+			}
+		}
+		// Replication health: only meaningful when this invocation runs a
+		// replica layout over the backends (-layout replica-R). Missing
+		// copies re-replicate under -fix; diverged copies — replicas that
+		// disagree, a backend death mid-write — are refused without
+		// -force, because overwriting one destroys forensic state.
+		rh, err := p.ReplicationHealth(path)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if rh.Width > 1 {
+			fmt.Fprintf(stdout, "replication: %s, %d files, %d under-replicated, %d diverged\n",
+				rh.Configured, rh.Files, rh.UnderReplicated, rh.Diverged)
+			if rh.DescriptorErr != "" {
+				fmt.Fprintf(stdout, "layout descriptor DAMAGED: %s\n", rh.DescriptorErr)
+			} else if rh.Descriptor != "" && rh.Descriptor != rh.Configured {
+				fmt.Fprintf(stdout, "layout descriptor mismatch: container records %s, running %s\n",
+					rh.Descriptor, rh.Configured)
+			}
+			for _, prob := range rh.Problems {
+				state := "under-replicated"
+				if prob.Diverged {
+					state = "DIVERGED"
+				}
+				fmt.Fprintf(stdout, "  %s: %s (want %d copies:", prob.Path, state, prob.Want)
+				for _, c := range prob.Copies {
+					if c.Missing {
+						fmt.Fprintf(stdout, " b%d=missing", c.Backend)
+					} else {
+						fmt.Fprintf(stdout, " b%d=%d", c.Backend, c.Size)
+					}
+				}
+				fmt.Fprintln(stdout, ")")
+			}
+			if !rh.Clean() {
+				if !*fix {
+					fmt.Fprintln(stdout, "re-run with -fix to re-replicate missing copies")
+					return 1
+				}
+				rep, err := p.RepairReplication(path, *force)
+				if err != nil {
+					return fail("re-replicate: %v", err)
+				}
+				fmt.Fprintf(stdout, "re-replicated %d cop(ies), skipped %d diverged file(s)\n", rep.Repaired, rep.Skipped)
+				if rep.Skipped > 0 {
+					fmt.Fprintln(stdout, "diverged copies left untouched; re-run with -fix -force to rebuild them from the longest copy")
+					return 1
+				}
+				if rh, err = p.ReplicationHealth(path); err != nil {
+					return fail("%v", err)
+				}
+				if !rh.Clean() {
+					return fail("container still unhealthy after repair")
+				}
+				fmt.Fprintln(stdout, "replication restored: every file at full copy count")
 			}
 		}
 	case "rm":

@@ -380,3 +380,185 @@ func TestDoctorFixOrdersOpenhostsBeforeFlattened(t *testing.T) {
 		t.Fatalf("post-fix doctor exit %d:\n%s", code, out)
 	}
 }
+
+// replicaPlfs builds a plfs instance over the given host roots under a
+// replica-2 layout — the writer side of the doctor replication tests.
+func replicaPlfs(t *testing.T, roots []string) *plfs.FS {
+	t.Helper()
+	backends := make([]posix.FS, len(roots))
+	for i, r := range roots {
+		osfs, err := posix.NewOSFS(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends[i] = osfs
+	}
+	layout, err := posix.LayoutFor("replica-2", len(roots))
+	if err != nil {
+		t.Fatal(err)
+	}
+	striped := posix.NewLayoutFS(layout, posix.ReplicaOptions{}, backends...)
+	return plfs.New(striped, plfs.Options{NumHostdirs: 6})
+}
+
+// findReplicatedDropping walks the host roots for a data dropping that
+// exists on exactly two of them, returning its container-relative path
+// and the roots holding a copy.
+func findReplicatedDropping(t *testing.T, roots []string, container string) (string, []string) {
+	t.Helper()
+	copies := map[string][]string{}
+	for _, root := range roots {
+		matches, err := filepath.Glob(filepath.Join(root, container, "hostdir.*", "dropping.data.*"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range matches {
+			rel, err := filepath.Rel(filepath.Join(root, container), m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			copies[rel] = append(copies[rel], root)
+		}
+	}
+	for rel, owners := range copies {
+		if len(owners) == 2 {
+			return rel, owners
+		}
+	}
+	t.Fatal("no 2-copy data dropping found")
+	return "", nil
+}
+
+// TestDoctorReplication drives the replication side of doctor end to
+// end over real directory trees: a healthy replica-2 container reports
+// clean; a deleted copy is reported as under-replicated and doctor
+// exits 1 without -fix; -fix re-replicates and a re-run is clean (and
+// idempotent); a truncated copy is DIVERGED, refused by plain -fix
+// (exit 1), and rebuilt only under -fix -force.
+func TestDoctorReplication(t *testing.T) {
+	roots := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+	flags := []string{
+		"-root", roots[0],
+		"-backends", roots[1] + "," + roots[2],
+		"-layout", "replica-2",
+		"-hostdirs", "6",
+	}
+
+	p := replicaPlfs(t, roots)
+	f, err := p.Open("/data", posix.O_CREAT|posix.O_RDWR, 0, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid := uint32(0); pid < 3; pid++ {
+		if _, err := f.Write(bytes.Repeat([]byte{byte(pid + 1)}, 512), int64(pid)*512, pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pid := uint32(0); pid < 3; pid++ {
+		if err := f.Close(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// info reports the persisted layout; remember the healthy summary.
+	code, out := exec(t, append(flags, "info", "/data")...)
+	if code != 0 || !strings.Contains(out, "layout:       replica-2") {
+		t.Fatalf("info exit %d:\n%s", code, out)
+	}
+	healthySize := out
+
+	// Healthy container: doctor is clean and exits 0.
+	code, out = exec(t, append(flags, "doctor", "/data")...)
+	if code != 0 {
+		t.Fatalf("doctor on healthy container exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "replication: replica-2") ||
+		!strings.Contains(out, "0 under-replicated, 0 diverged") {
+		t.Fatalf("healthy replication report wrong:\n%s", out)
+	}
+
+	// Delete one copy: under-replication, doctor refuses silently fixing.
+	rel, owners := findReplicatedDropping(t, roots, "data")
+	if err := os.Remove(filepath.Join(owners[1], "data", rel)); err != nil {
+		t.Fatal(err)
+	}
+	code, out = exec(t, append(flags, "doctor", "/data")...)
+	if code != 1 {
+		t.Fatalf("doctor on under-replicated container exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "1 under-replicated") ||
+		!strings.Contains(out, "under-replicated (want 2 copies:") ||
+		!strings.Contains(out, "re-run with -fix") {
+		t.Fatalf("under-replication report wrong:\n%s", out)
+	}
+
+	// -fix re-replicates and restores full redundancy. Flags are also
+	// accepted after the subcommand — the order a user naturally types.
+	code, out = exec(t, append(flags, "doctor", "-fix", "/data")...)
+	if code != 0 || !strings.Contains(out, "replication restored") {
+		t.Fatalf("doctor -fix exit %d:\n%s", code, out)
+	}
+	if _, err := os.Stat(filepath.Join(owners[1], "data", rel)); err != nil {
+		t.Fatalf("copy not rebuilt: %v", err)
+	}
+	// Idempotence: a second -fix pass has nothing to repair.
+	code, out = exec(t, append(flags, "-fix", "doctor", "/data")...)
+	if code != 0 || !strings.Contains(out, "0 under-replicated, 0 diverged") {
+		t.Fatalf("doctor -fix not idempotent, exit %d:\n%s", code, out)
+	}
+
+	// Divergence: truncate one copy. Plain -fix must refuse it.
+	full := filepath.Join(owners[0], "data", rel)
+	st, err := os.Stat(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(full, st.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	code, out = exec(t, append(flags, "-fix", "doctor", "/data")...)
+	if code != 1 {
+		t.Fatalf("doctor -fix on diverged container exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "DIVERGED") || !strings.Contains(out, "skipped 1 diverged") ||
+		!strings.Contains(out, "-fix -force") {
+		t.Fatalf("divergence report wrong:\n%s", out)
+	}
+	if got, err := os.Stat(full); err != nil || got.Size() != st.Size()/2 {
+		t.Fatalf("plain -fix touched a diverged copy: %v, %v", got, err)
+	}
+
+	// -fix -force rebuilds the short copy from the longest one.
+	code, out = exec(t, append(flags, "doctor", "-fix", "-force", "/data")...)
+	if code != 0 || !strings.Contains(out, "replication restored") {
+		t.Fatalf("doctor -fix -force exit %d:\n%s", code, out)
+	}
+	if got, err := os.Stat(full); err != nil || got.Size() != st.Size() {
+		t.Fatalf("forced repair did not rebuild the copy: %v, %v", got, err)
+	}
+
+	// The logical container is unchanged by the whole heal cycle.
+	code, out = exec(t, append(flags, "info", "/data")...)
+	if code != 0 || out != healthySize {
+		t.Fatalf("info changed across heal cycle (exit %d):\n-- before --\n%s\n-- after --\n%s", code, healthySize, out)
+	}
+}
+
+// TestDoctorLayoutFlagValidation pins the CLI-side layout validation:
+// a replica layout without backends, or wider than the backend list,
+// is a usage error before any filesystem work happens.
+func TestDoctorLayoutFlagValidation(t *testing.T) {
+	root := t.TempDir()
+	code, out := exec(t, "-root", root, "-layout", "replica-2", "doctor", "/data")
+	if code != 1 || !strings.Contains(out, "needs 2 backends") {
+		t.Fatalf("replica layout without backends: exit %d\n%s", code, out)
+	}
+	code, out = exec(t, "-root", root, "-backends", t.TempDir(), "-layout", "replica-3", "doctor", "/data")
+	if code != 1 || !strings.Contains(out, "needs 3 backends, have 2") {
+		t.Fatalf("replica-3 over 2 backends: exit %d\n%s", code, out)
+	}
+	code, out = exec(t, "-root", root, "-backends", t.TempDir(), "-layout", "bogus", "doctor", "/data")
+	if code != 1 || !strings.Contains(out, "unknown layout") {
+		t.Fatalf("bogus layout: exit %d\n%s", code, out)
+	}
+}

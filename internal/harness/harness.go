@@ -45,14 +45,28 @@ func NewStore() *posix.MemFS {
 // n, while backend 0 holds the canonical metadata. n <= 1 degenerates to
 // a single plain MemFS.
 func NewStoreN(n int) posix.FS {
-	if n <= 1 {
+	return NewStoreLayout(n, "")
+}
+
+// NewStoreLayout prepares a backing store striped over n in-memory
+// backends under the named placement layout ("" or "mod-n" for classic
+// striping, "replica-R" for R-way replicated droppings — the -layout
+// flag of the workload CLIs). n <= 1 with the default layout degenerates
+// to a single plain MemFS. An invalid descriptor panics: the CLIs
+// validate flags before building stores.
+func NewStoreLayout(n int, desc string) posix.FS {
+	if n <= 1 && desc == "" {
 		return NewStore()
+	}
+	layout, err := posix.LayoutFor(desc, n)
+	if err != nil {
+		panic("harness: " + err.Error())
 	}
 	backends := make([]posix.FS, n)
 	for i := range backends {
 		backends[i] = posix.NewMemFS()
 	}
-	striped := posix.NewStripedFS(backends...)
+	striped := posix.NewLayoutFS(layout, posix.ReplicaOptions{}, backends...)
 	if err := PrepareStore(striped); err != nil {
 		panic(err.Error())
 	}

@@ -30,7 +30,23 @@ const (
 	goldenContainer   = "container.v1"
 	goldenContainerV2 = "container.v2"
 	goldenExpectV2    = "expect.v2.txt"
+	goldenContainerV3 = "container.v3"
+	goldenExpectV3    = "expect.v3.txt"
 )
+
+// goldenV3Rig builds the v3 fixture's store: a replica-2 layout over
+// three backends. The fixture freezes the replicated on-disk shape —
+// per-backend trees b0/b1/b2, each dropping present on exactly its two
+// owners, plus the checksummed layout.desc record.
+func goldenV3Rig(tb testing.TB, backends ...posix.FS) *FS {
+	tb.Helper()
+	layout, err := posix.LayoutFor("replica-2", len(backends))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	striped := posix.NewLayoutFS(layout, posix.ReplicaOptions{}, backends...)
+	return New(striped, Options{NumHostdirs: 4})
+}
 
 // goldenWriteScript produces the fixture container: multiple writers on
 // colliding hostdirs, overlapping rewrites (last-writer-wins), a
@@ -188,7 +204,29 @@ func regenerateGolden(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(goldenDir, goldenExpectV2), []byte(expect2), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("regenerated %s:\nv1:\n%s\nv2:\n%s", goldenDir, expect, expect2)
+	// container.v3 is the same write history under a replica-2 layout
+	// over three backends: the fixture checks in each backend's physical
+	// tree (b0/b1/b2) so the replicated placement itself is frozen.
+	mems3 := make([]posix.FS, 3)
+	for i := range mems3 {
+		mems3[i] = posix.NewMemFS()
+	}
+	p3 := goldenV3Rig(t, mems3...)
+	goldenWriteScript(t, p3, goldenContainerV3)
+	for i, m := range mems3 {
+		if _, err := m.Stat("/" + goldenContainerV3); err != nil {
+			continue // a backend owning nothing has no tree to dump
+		}
+		// Each b<i> directory is that backend's root: the container dir
+		// sits inside it, exactly as OSFS will serve it back.
+		dumpTree(t, m, "/"+goldenContainerV3,
+			filepath.Join(goldenDir, goldenContainerV3, fmt.Sprintf("b%d", i), goldenContainerV3))
+	}
+	expect3 := describeContainer(t, p3, "/"+goldenContainerV3)
+	if err := os.WriteFile(filepath.Join(goldenDir, goldenExpectV3), []byte(expect3), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("regenerated %s:\nv1:\n%s\nv2:\n%s\nv3:\n%s", goldenDir, expect, expect2, expect3)
 }
 
 // TestGoldenContainerFormat reads the checked-in fixture through the
@@ -354,5 +392,118 @@ func TestGoldenContainerV2(t *testing.T) {
 	goldenWriteScript(t, fresh, goldenContainerV2)
 	if regen := describeContainer(t, fresh, "/"+goldenContainerV2); regen != string(wantBytes) {
 		t.Fatalf("write path no longer reproduces the v2 container.\n-- want --\n%s\n-- got --\n%s", wantBytes, regen)
+	}
+}
+
+// TestGoldenContainerV3 freezes the replicated container format: the
+// v1/v2 write history under a replica-2 layout over three backends,
+// checked in as per-backend physical trees. The fixture must read
+// byte-identically to the v2 logical interpretation (replication never
+// changes what the application sees), keep reading identically with a
+// backend dark, and carry a parseable, canonical layout descriptor.
+func TestGoldenContainerV3(t *testing.T) {
+	if *updateGolden {
+		t.Skip("fixtures regenerated by TestGoldenContainerFormat")
+	}
+
+	// Pin the descriptor record constants the fixture bytes embody.
+	if posix.LayoutMagic != 0x504c46534c595431 {
+		t.Fatalf("layout descriptor magic changed to %#x: the record format is frozen", uint64(posix.LayoutMagic))
+	}
+	if posix.LayoutVersion != 1 {
+		t.Fatalf("layout descriptor version changed to %d", posix.LayoutVersion)
+	}
+
+	work := t.TempDir()
+	if err := os.CopyFS(work, os.DirFS(filepath.Join(goldenDir, goldenContainerV3))); err != nil {
+		t.Fatal(err)
+	}
+	openRig := func() (*FS, []*posix.FaultFS) {
+		var faults []*posix.FaultFS
+		backends := make([]posix.FS, 3)
+		for i := range backends {
+			root := filepath.Join(work, fmt.Sprintf("b%d", i))
+			if err := os.MkdirAll(root, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			osfs, err := posix.NewOSFS(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ff := posix.NewFaultFS(osfs)
+			faults = append(faults, ff)
+			backends[i] = ff
+		}
+		return goldenV3Rig(t, backends...), faults
+	}
+
+	wantBytes, err := os.ReadFile(filepath.Join(goldenDir, goldenExpectV3))
+	if err != nil {
+		t.Fatalf("missing v3 expectations (run: go test ./internal/plfs -run Golden -update-golden): %v", err)
+	}
+
+	p, _ := openRig()
+	if !p.IsContainer("/" + goldenContainerV3) {
+		t.Fatal("v3 fixture is not recognised as a container")
+	}
+	if got := describeContainer(t, p, "/"+goldenContainerV3); got != string(wantBytes) {
+		t.Fatalf("v3 container no longer reads identically.\n-- want --\n%s\n-- got --\n%s", wantBytes, got)
+	}
+	if desc, err := p.ContainerLayout("/" + goldenContainerV3); err != nil || desc != "replica-2" {
+		t.Fatalf("v3 ContainerLayout = %q, %v", desc, err)
+	}
+	h, err := p.ReplicationHealth("/" + goldenContainerV3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Clean() || h.Files == 0 {
+		t.Fatalf("checked-in v3 fixture is not fully replicated: %+v", h)
+	}
+
+	// The raw descriptor record on disk is the canonical marshalling.
+	raw, err := os.ReadFile(filepath.Join(work, "b0", goldenContainerV3, "layout.desc"))
+	if err != nil {
+		t.Fatalf("fixture lacks its layout descriptor: %v", err)
+	}
+	if desc, err := posix.UnmarshalLayoutDescriptor(raw); err != nil || desc != "replica-2" {
+		t.Fatalf("fixture descriptor = %q, %v", desc, err)
+	}
+	if want := posix.MarshalLayoutDescriptor("replica-2"); string(raw) != string(want) {
+		t.Fatalf("fixture descriptor is not canonical: %x != %x", raw, want)
+	}
+
+	// The v3 interpretation is the v2 interpretation: replication must
+	// not perturb size, hash, extents, dropping names or the flattened
+	// record — only the physical copy count.
+	wantV2, err := os.ReadFile(filepath.Join(goldenDir, goldenExpectV2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := strings.ReplaceAll(string(wantBytes), goldenContainerV3, goldenContainerV2)
+	if norm != string(wantV2) {
+		t.Fatalf("v3 logical contract diverged from v2.\n-- v2 --\n%s\n-- v3 --\n%s", wantV2, norm)
+	}
+
+	// Degraded read: with one backend dark the fixture must still read
+	// byte-for-byte (each dropping has a surviving owner).
+	for kill := 0; kill < 3; kill++ {
+		pk, faults := openRig()
+		faults[kill].Kill()
+		if got := describeContainer(t, pk, "/"+goldenContainerV3); got != string(wantBytes) {
+			t.Fatalf("v3 container reads differently with backend %d dark.\n-- want --\n%s\n-- got --\n%s",
+				kill, wantBytes, got)
+		}
+	}
+
+	// Replay determinism: the write script on a fresh replica-2 rig must
+	// reproduce the recorded description today.
+	mems := make([]posix.FS, 3)
+	for i := range mems {
+		mems[i] = posix.NewMemFS()
+	}
+	fresh := goldenV3Rig(t, mems...)
+	goldenWriteScript(t, fresh, goldenContainerV3)
+	if regen := describeContainer(t, fresh, "/"+goldenContainerV3); regen != string(wantBytes) {
+		t.Fatalf("write path no longer reproduces the v3 container.\n-- want --\n%s\n-- got --\n%s", wantBytes, regen)
 	}
 }

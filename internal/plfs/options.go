@@ -21,6 +21,8 @@
 package plfs
 
 import (
+	"time"
+
 	"ldplfs/internal/iostats"
 	"ldplfs/internal/plfs/tune"
 	"ldplfs/internal/posix"
@@ -144,6 +146,34 @@ type TuneOptions struct {
 // applyOption implements Option.
 func (o TuneOptions) applyOption(c *Config) { c.Tune = o }
 
+// LayoutOptions groups the multi-backend placement policy: which layout
+// the striped composite runs (see posix.Layout) and how its replica
+// read path behaves. It only takes effect together with Config.Backends.
+type LayoutOptions struct {
+	// Layout is the placement descriptor: "mod-n" (the default, single
+	// copy, classic striping) or "replica-R" (each dropping fans out to
+	// R of the N backends on write; reads fail over across replicas).
+	// New panics on a descriptor that does not parse or that needs more
+	// replicas than there are backends — the layout is part of the
+	// container's on-disk identity, so a misconfiguration must not
+	// silently degrade. Empty means "mod-n".
+	Layout string
+
+	// HedgeDeadline, under a replicated layout, races a read against
+	// the next replica when the primary has not answered within the
+	// deadline (tail-latency hedging). Zero disables hedging; reads
+	// then fail over only on error. Size it from the backends' service
+	// time — a small multiple of the expected per-op latency.
+	HedgeDeadline time.Duration
+
+	// HedgeTimer injects the hedge trigger for deterministic tests
+	// (nil = wall timer). See posix.ReplicaOptions.HedgeTimer.
+	HedgeTimer func(time.Duration) <-chan time.Time
+}
+
+// applyOption implements Option.
+func (o LayoutOptions) applyOption(c *Config) { c.Layout = o }
+
 // Config is the resolved configuration of an instance: the four groups
 // plus the backend stripe set. A Config is itself an Option (it
 // replaces everything), which is how the per-tenant service
@@ -153,6 +183,7 @@ type Config struct {
 	Index     IndexOptions
 	Telemetry TelemetryOptions
 	Tune      TuneOptions
+	Layout    LayoutOptions
 
 	// Backends stripes the instance across multiple stores: the canonical
 	// container metadata (access marker, version, meta/, openhosts/)
@@ -193,6 +224,12 @@ func WithStats(stats iostats.Collector) Option {
 	return optionFunc(func(c *Config) { c.Telemetry.Stats = stats })
 }
 
+// WithLayout selects the multi-backend placement descriptor (see
+// LayoutOptions.Layout).
+func WithLayout(descriptor string) Option {
+	return optionFunc(func(c *Config) { c.Layout.Layout = descriptor })
+}
+
 // Options is the pre-redesign flat configuration surface.
 //
 // Deprecated: use the grouped option structs (EngineOptions,
@@ -219,6 +256,10 @@ type Options struct {
 	TuneWindowBytes       int64             // see TuneOptions.WindowBytes
 	TuneClock             tune.Clock        // see TuneOptions.Clock
 	Backends              []posix.FS        // see Config.Backends
+
+	Layout        string                               // see LayoutOptions.Layout
+	HedgeDeadline time.Duration                        // see LayoutOptions.HedgeDeadline
+	HedgeTimer    func(time.Duration) <-chan time.Time // see LayoutOptions.HedgeTimer
 }
 
 // Grouped translates the flat fields onto the grouped Config — the
@@ -246,6 +287,11 @@ func (o Options) Grouped() Config {
 			Enable:      o.AutoTune,
 			WindowBytes: o.TuneWindowBytes,
 			Clock:       o.TuneClock,
+		},
+		Layout: LayoutOptions{
+			Layout:        o.Layout,
+			HedgeDeadline: o.HedgeDeadline,
+			HedgeTimer:    o.HedgeTimer,
 		},
 		Backends: o.Backends,
 	}

@@ -46,6 +46,9 @@ func TestOptionsGroupedCoversEveryField(t *testing.T) {
 		TuneWindowBytes:       1 << 20,
 		TuneClock:             nil,
 		Backends:              []posix.FS{mem},
+		Layout:                "replica-2",
+		HedgeDeadline:         19,
+		HedgeTimer:            nil, // func field checked structurally below
 	}
 	got := flat.Grouped()
 	want := Config{
@@ -59,6 +62,7 @@ func TestOptionsGroupedCoversEveryField(t *testing.T) {
 			MergeChunkRecords: 17,
 		},
 		Tune:     TuneOptions{Enable: true, WindowBytes: 1 << 20},
+		Layout:   LayoutOptions{Layout: "replica-2", HedgeDeadline: 19},
 		Backends: []posix.FS{mem},
 	}
 	if !reflect.DeepEqual(got, want) {
@@ -73,6 +77,7 @@ func TestOptionsGroupedCoversEveryField(t *testing.T) {
 		reflect.TypeOf(IndexOptions{}).NumField() +
 		reflect.TypeOf(TelemetryOptions{}).NumField() +
 		reflect.TypeOf(TuneOptions{}).NumField() +
+		reflect.TypeOf(LayoutOptions{}).NumField() +
 		1 // Config.Backends
 	if flatN != groupedN {
 		t.Fatalf("flat Options has %d fields, grouped surface has %d — update Options.Grouped()", flatN, groupedN)

@@ -44,6 +44,7 @@ const (
 	versionFile  = "version"
 	metaDir      = "meta"
 	openhostsDir = "openhosts"
+	layoutFile   = "layout.desc"
 	versionText  = "ldplfs-go plfs container v1\n"
 )
 
@@ -113,7 +114,18 @@ func New(backend posix.FS, opts ...Option) *FS {
 		cfg.Engine.NumHostdirs = 32
 	}
 	if len(cfg.Backends) > 0 {
-		backend = posix.NewStripedFS(cfg.Backends...)
+		layout, err := posix.LayoutFor(cfg.Layout.Layout, len(cfg.Backends))
+		if err != nil {
+			// The layout is part of the container's on-disk identity;
+			// silently degrading a misconfigured one would scatter data
+			// under the wrong placement rule.
+			panic("plfs: " + err.Error())
+		}
+		backend = posix.NewLayoutFS(layout, posix.ReplicaOptions{
+			HedgeDeadline: cfg.Layout.HedgeDeadline,
+			HedgeTimer:    cfg.Layout.HedgeTimer,
+			Stats:         cfg.Telemetry.Stats,
+		}, cfg.Backends...)
 	}
 	p := &FS{
 		backend: backend,
@@ -305,7 +317,49 @@ func (p *FS) CreateContainer(path string, mode uint32) error {
 	if err := p.backend.Mkdir(path+"/"+openhostsDir, 0o755); err != nil && !errors.Is(err, posix.EEXIST) {
 		return fmt.Errorf("plfs: create openhosts dir: %w", err)
 	}
+	// A non-default layout is part of the container's identity: persist
+	// its descriptor (versioned, checksummed) so doctor and later mounts
+	// can verify the container is opened under the layout it was written
+	// with. Default mod-N containers stay byte-identical to history.
+	if s := p.stripedBackend(); s != nil && s.LayoutWidth() > 1 {
+		if fd, err := p.backend.Open(path+"/"+layoutFile, posix.O_CREAT|posix.O_EXCL|posix.O_WRONLY, 0o644); err == nil {
+			p.backend.Write(fd, posix.MarshalLayoutDescriptor(s.Layout().Descriptor()))
+			p.backend.Close(fd)
+		}
+	}
 	return nil
+}
+
+// ContainerLayout reads the layout descriptor persisted in the
+// container at path. It returns "" with a nil error when no descriptor
+// is recorded (a default mod-N container) and an error when a record
+// exists but fails validation — a truncated or corrupt descriptor must
+// surface loudly, not be mistaken for mod-N.
+func (p *FS) ContainerLayout(path string) (string, error) {
+	fd, err := p.backend.Open(path+"/"+layoutFile, posix.O_RDONLY, 0)
+	if err != nil {
+		if errors.Is(err, posix.ENOENT) {
+			return "", nil
+		}
+		return "", fmt.Errorf("plfs: open layout descriptor: %w", err)
+	}
+	defer p.backend.Close(fd)
+	st, err := p.backend.Fstat(fd)
+	if err != nil {
+		return "", fmt.Errorf("plfs: stat layout descriptor: %w", err)
+	}
+	if st.Size > 1<<16 {
+		return "", fmt.Errorf("plfs: layout descriptor implausibly large (%d bytes)", st.Size)
+	}
+	buf := make([]byte, st.Size)
+	if err := posix.ReadFull(p.backend, fd, buf, 0); err != nil {
+		return "", fmt.Errorf("plfs: read layout descriptor: %w", err)
+	}
+	desc, err := posix.UnmarshalLayoutDescriptor(buf)
+	if err != nil {
+		return "", fmt.Errorf("plfs: container %s: %w", path, err)
+	}
+	return desc, nil
 }
 
 // markOpen drops an openhosts record for pid — PLFS's signal that a

@@ -118,14 +118,21 @@ func TestStripedDifferentialScript(t *testing.T) {
 				name   string
 				n      int
 				faulty bool
+				layout string
 			}{
-				{"single", 1, false},
-				{"single-fault", 1, true},
-				{"striped2", 2, false},
-				{"striped3", 3, false},
-				{"striped3-fault", 3, true},
+				{"single", 1, false, ""},
+				{"single-fault", 1, true, ""},
+				{"striped2", 2, false, ""},
+				{"striped3", 3, false, ""},
+				{"striped3-fault", 3, true, ""},
+				{"replica2", 3, false, "replica-2"},
+				{"replica2-fault", 3, true, "replica-2"},
+				{"replica3", 3, false, "replica-3"},
+				{"replica3-fault", 3, true, "replica-3"},
 			} {
-				p, _ := newStripedFS(t, cfg.n, cfg.faulty, opts)
+				o := opts
+				o.Layout = cfg.layout
+				p, _ := newStripedFS(t, cfg.n, cfg.faulty, o)
 				f, err := p.Open("/backend/diff", posix.O_CREAT|posix.O_RDWR, 0, 0o644)
 				if err != nil {
 					t.Fatal(err)

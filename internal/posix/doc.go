@@ -1,0 +1,46 @@
+// Package posix defines a POSIX-like virtual file system layer: the FS
+// interface (open/read/write/lseek/... operating on integer file
+// descriptors), a set of interchangeable backends (OSFS, MemFS, NullFS), and
+// the Dispatch symbol table through which every "application" in this
+// repository issues its file operations.
+//
+// Dispatch is the Go analogue of the libc dynamic symbol table: LDPLFS
+// (internal/core) interposes itself by swapping Dispatch entries, exactly as
+// the Linux loader swaps open/read/write symbols when LD_PRELOAD names a
+// shim library.
+//
+// # Composite backends and layouts
+//
+// StripedFS composes N backends into one FS. Which backends hold a path
+// is decided by a Layout — a pure function of (path, N), so every
+// instance over the same backend list agrees on placement without any
+// coordination, exactly as PLFS mounts agree on hostdir placement.
+// Layouts are registered by name (RegisterLayout) and selected by
+// descriptor string, the form persisted inside a container:
+//
+//   - "mod-n" (default): hostdir.K lives on backend K mod N; canonical
+//     paths (container markers, meta/, openhosts/) live on backend 0.
+//     One copy of everything — the classic bandwidth-aggregation
+//     layout, byte-identical to the pre-layout StripedFS.
+//   - "replica-R": each path lives on R consecutive backends starting
+//     at its mod-N primary; canonical paths live on backends 0..R-1.
+//     Writes fan out to every live replica, reads serve from the
+//     primary and fail over on error — or race a second replica after
+//     a hedge deadline (ReplicaOptions) — and plfsctl doctor re-
+//     replicates whatever a dead backend missed.
+//
+// The layout contract, pinned by the table tests in layout_test.go:
+// Replicas(path, n) returns 1..Width() distinct indices in [0, n),
+// primary first; the primary always equals the mod-N owner (so data
+// written under one layout is found under another and migration never
+// moves the authoritative copy); placement is deterministic, and every
+// path below one hostdir shares that hostdir's replica set. LayoutFor
+// rejects a descriptor whose Width exceeds the backend count.
+//
+// FaultFS wraps any FS with programmable fault injection — per-op error
+// rules, service-time modelling (global and per-path slots), whole-
+// backend Kill/Revive, and deterministic fault schedules driven by
+// operation counts or an injected clock — the substrate for the chaos
+// tests that prove the replica data path survives a backend dying
+// mid-write.
+package posix

@@ -12,17 +12,36 @@ import (
 // system, flaky metadata server, torn writes) — and, via SetServiceTime,
 // models a backend with a finite service rate, the substrate for the
 // multi-backend aggregation benchmarks.
+//
+// Beyond per-operation rules, a FaultFS models whole-backend failure:
+// Kill fails every subsequent operation (except Close) with EIO until
+// Revive, and Schedule arms a deterministic sequence of kill/revive/
+// slow transitions triggered by operation counts or by an injected
+// clock — no wall-clock sleeps, so chaos tests replay identically
+// under -race.
 type FaultFS struct {
 	inner FS
 
-	mu    sync.Mutex
-	rules []*FaultRule
-	fds   map[int]string // open path per fd, so fd-based ops match PathContains
+	mu     sync.Mutex
+	rules  []*FaultRule
+	fds    map[int]string // open path per fd, so fd-based ops match PathContains
+	killed bool
 
-	svcOp FaultOp       // operation class the service time applies to
-	svcD  time.Duration // per-op service time (0 = disabled)
-	svcMu sync.Mutex    // the backend's single service slot
+	sched    []*FaultStep
+	clock    Clock
+	schedAt  time.Time       // clock reading when Schedule armed
+	opsAny   int             // matching-op counter for schedules
+	opsClass map[FaultOp]int // per-class counters for schedules
+
+	svcOp    FaultOp       // operation class the global service time applies to
+	svcD     time.Duration // per-op service time (0 = disabled)
+	svcMu    sync.Mutex    // the backend's single (global) service slot
+	svcRules []*serviceSlot
 }
+
+// Clock is the injectable time source for scheduled faults; tune.Clock
+// satisfies it (tests drive tune.ManualClock).
+type Clock interface{ Now() time.Time }
 
 // FaultOp names an operation class a rule can target.
 type FaultOp string
@@ -54,16 +73,59 @@ type FaultRule struct {
 	// inner FS before the error fires — the kernel's short-write-then-
 	// error shape (e.g. ENOSPC after a page). Zero fails the whole op.
 	Partial int
+	// Gate, when non-nil, blocks a firing operation until the channel
+	// is closed (or receives) — a deterministic stall, used to hold a
+	// replica's read in flight while a hedged read races past it. A
+	// rule with a Gate and a nil Err stalls and then proceeds normally.
+	Gate <-chan struct{}
 
 	matched int
 	fired   int
+}
+
+// FaultStep is one transition of a deterministic fault schedule: when
+// its trigger is reached the step fires exactly once, in order of
+// arming. Triggers are operation counts (AfterOps matching operations
+// of class Op, FaultAny when empty) or, with a clock injected via
+// Schedule, elapsed injected time (After since Schedule).
+type FaultStep struct {
+	// AfterOps fires the step once the backend has seen this many
+	// operations of class Op (counted from Schedule; Close and Lseek
+	// are exempt, as everywhere in FaultFS).
+	AfterOps int
+	// Op is the operation class AfterOps counts (default FaultAny).
+	Op FaultOp
+	// After fires the step once the injected clock has advanced this
+	// far past the Schedule call. Ignored without a clock.
+	After time.Duration
+
+	// Kill fails all subsequent operations with EIO; Revive undoes it.
+	Kill   bool
+	Revive bool
+	// SetService, when true, installs ServiceOp/Service as the global
+	// service time (a backend turning into a straggler mid-run).
+	SetService bool
+	ServiceOp  FaultOp
+	Service    time.Duration
+
+	done bool
+}
+
+// serviceSlot is one per-rule service time with its own slot, so
+// differently-scoped rules (per backend directory, per op class)
+// serialize independently instead of behind the global slot.
+type serviceSlot struct {
+	op           FaultOp
+	pathContains string
+	d            time.Duration
+	mu           sync.Mutex
 }
 
 // NewFaultFS wraps inner with no rules (transparent until Inject).
 // FaultFS carries no operation counters of its own: observe it by
 // wrapping in an InstrumentFS attached to a collector.
 func NewFaultFS(inner FS) *FaultFS {
-	return &FaultFS{inner: inner, fds: make(map[int]string)}
+	return &FaultFS{inner: inner, fds: make(map[int]string), opsClass: make(map[FaultOp]int)}
 }
 
 // pathOf returns the path fd was opened under ("" if unknown).
@@ -80,11 +142,119 @@ func (f *FaultFS) Inject(r *FaultRule) {
 	f.rules = append(f.rules, r)
 }
 
-// Clear removes all rules.
+// Clear removes all rules, schedules and per-rule service times, and
+// revives a killed backend.
 func (f *FaultFS) Clear() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.rules = nil
+	f.sched = nil
+	f.killed = false
+	f.svcRules = nil
+}
+
+// Kill fails every subsequent operation (except Close) with EIO — the
+// whole backend going dark, as distinct from per-op rules. Idempotent.
+func (f *FaultFS) Kill() {
+	f.mu.Lock()
+	f.killed = true
+	f.mu.Unlock()
+}
+
+// Revive brings a killed backend back. Data written before the kill is
+// intact (the inner FS never saw the failed operations); data the
+// composite wrote elsewhere while this backend was dark is missing
+// until re-replication heals it.
+func (f *FaultFS) Revive() {
+	f.mu.Lock()
+	f.killed = false
+	f.mu.Unlock()
+}
+
+// Killed reports whether the backend is currently dark.
+func (f *FaultFS) Killed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.killed
+}
+
+// Schedule arms a deterministic fault schedule. Operation counting
+// starts at zero now; clock triggers are measured from now on the
+// injected clock (nil clock disables clock triggers). Steps fire in
+// order as their triggers are reached, atomically with the operation
+// that reaches them: an AfterOps=N kill step means operation N+1 and
+// later fail.
+func (f *FaultFS) Schedule(clock Clock, steps ...*FaultStep) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sched = steps
+	f.clock = clock
+	f.opsAny = 0
+	f.opsClass = make(map[FaultOp]int)
+	if clock != nil {
+		f.schedAt = clock.Now()
+	}
+}
+
+// step advances the fault schedule by one operation of class op and
+// applies every newly-triggered step. Called with f.mu held.
+func (f *FaultFS) stepLocked(op FaultOp) {
+	if len(f.sched) == 0 {
+		return
+	}
+	f.opsAny++
+	f.opsClass[op]++
+	var now time.Time
+	if f.clock != nil {
+		now = f.clock.Now()
+	}
+	for _, st := range f.sched {
+		if st.done {
+			continue
+		}
+		trig := false
+		if st.AfterOps > 0 {
+			cls := st.Op
+			if cls == "" {
+				cls = FaultAny
+			}
+			n := f.opsAny
+			if cls != FaultAny {
+				n = f.opsClass[cls]
+			}
+			trig = n >= st.AfterOps
+		} else if st.After > 0 && f.clock != nil {
+			trig = !now.Before(f.schedAt.Add(st.After))
+		}
+		if !trig {
+			continue
+		}
+		st.done = true
+		if st.Kill {
+			f.killed = true
+		}
+		if st.Revive {
+			f.killed = false
+		}
+		if st.SetService {
+			f.svcOp, f.svcD = st.ServiceOp, st.Service
+		}
+	}
+}
+
+// enter runs the common prologue of every faultable operation: advance
+// the schedule, fail if the backend is dark, then occupy the matching
+// service slots. It returns EIO for a killed backend.
+func (f *FaultFS) enter(op FaultOp, path string) error {
+	f.mu.Lock()
+	f.stepLocked(op)
+	killed := f.killed
+	f.mu.Unlock()
+	if killed {
+		return EIO
+	}
+	f.service(op, path)
+	return nil
 }
 
 // SetServiceTime models the backend's service rate: every operation of
@@ -101,19 +271,51 @@ func (f *FaultFS) SetServiceTime(op FaultOp, d time.Duration) {
 	f.mu.Unlock()
 }
 
-// service occupies the backend's service slot for the configured time,
-// if op matches.
-func (f *FaultFS) service(op FaultOp) {
+// SetServiceTimeRule adds a scoped service time: operations of class op
+// whose path contains pathContains occupy this rule's own slot for d.
+// Unlike the global SetServiceTime slot, each rule serializes
+// independently — so one FaultFS standing in for several stores (or one
+// store with independent queues) can give each path family its own
+// service rate without the families serializing behind each other.
+// The global slot, when also set, still applies; keep it unset to model
+// fully independent queues.
+func (f *FaultFS) SetServiceTimeRule(op FaultOp, pathContains string, d time.Duration) {
+	f.mu.Lock()
+	f.svcRules = append(f.svcRules, &serviceSlot{op: op, pathContains: pathContains, d: d})
+	f.mu.Unlock()
+}
+
+// service occupies the matching service slots for the configured times:
+// first the backend's global slot, then every matching scoped rule's
+// own slot.
+func (f *FaultFS) service(op FaultOp, path string) {
 	f.mu.Lock()
 	d := f.svcD
 	match := f.svcOp == FaultAny || f.svcOp == op
-	f.mu.Unlock()
-	if d <= 0 || !match {
-		return
+	var scoped []*serviceSlot
+	for _, r := range f.svcRules {
+		if r.d <= 0 {
+			continue
+		}
+		if r.op != FaultAny && r.op != op {
+			continue
+		}
+		if r.pathContains != "" && !strings.Contains(path, r.pathContains) {
+			continue
+		}
+		scoped = append(scoped, r)
 	}
-	f.svcMu.Lock()
-	time.Sleep(d)
-	f.svcMu.Unlock()
+	f.mu.Unlock()
+	if d > 0 && match {
+		f.svcMu.Lock()
+		time.Sleep(d)
+		f.svcMu.Unlock()
+	}
+	for _, r := range scoped {
+		r.mu.Lock()
+		time.Sleep(r.d)
+		r.mu.Unlock()
+	}
 }
 
 // Fired reports how many times any rule has fired.
@@ -134,10 +336,12 @@ func (f *FaultFS) check(op FaultOp, path string) error {
 }
 
 // checkPartial is check plus the firing rule's Partial byte budget, for
-// the write paths that can honor a short-write-then-error injection.
+// the write paths that can honor a short-write-then-error injection. A
+// firing rule's Gate (if any) is waited on outside the lock, so a
+// gated operation stalls without blocking the rest of the backend.
 func (f *FaultFS) checkPartial(op FaultOp, path string) (error, int) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	var fired *FaultRule
 	for _, r := range f.rules {
 		if r.Op != FaultAny && r.Op != op {
 			continue
@@ -153,14 +357,24 @@ func (f *FaultFS) checkPartial(op FaultOp, path string) (error, int) {
 			continue
 		}
 		r.fired++
-		return r.Err, r.Partial
+		fired = r
+		break
 	}
-	return nil, 0
+	f.mu.Unlock()
+	if fired == nil {
+		return nil, 0
+	}
+	if fired.Gate != nil {
+		<-fired.Gate
+	}
+	return fired.Err, fired.Partial
 }
 
 // Open implements FS.
 func (f *FaultFS) Open(path string, flags int, mode uint32) (int, error) {
-	f.service(FaultOpen)
+	if err := f.enter(FaultOpen, path); err != nil {
+		return -1, err
+	}
 	if err := f.check(FaultOpen, path); err != nil {
 		return -1, err
 	}
@@ -173,8 +387,8 @@ func (f *FaultFS) Open(path string, flags int, mode uint32) (int, error) {
 	return fd, err
 }
 
-// Close implements FS (never injected: close must stay reliable so tests
-// can clean up).
+// Close implements FS (never injected, and exempt from kill: close must
+// stay reliable so tests can clean up).
 func (f *FaultFS) Close(fd int) error {
 	f.mu.Lock()
 	delete(f.fds, fd)
@@ -184,7 +398,9 @@ func (f *FaultFS) Close(fd int) error {
 
 // Read implements FS.
 func (f *FaultFS) Read(fd int, p []byte) (int, error) {
-	f.service(FaultRead)
+	if err := f.enter(FaultRead, f.pathOf(fd)); err != nil {
+		return 0, err
+	}
 	if err := f.check(FaultRead, f.pathOf(fd)); err != nil {
 		return 0, err
 	}
@@ -209,7 +425,9 @@ func injectPartial(p []byte, partial int, injected error, write func([]byte) (in
 // Write implements FS. A firing rule with Partial > 0 lets that many
 // bytes (clamped to the request) through before surfacing the error.
 func (f *FaultFS) Write(fd int, p []byte) (int, error) {
-	f.service(FaultWrite)
+	if err := f.enter(FaultWrite, f.pathOf(fd)); err != nil {
+		return 0, err
+	}
 	if err, partial := f.checkPartial(FaultWrite, f.pathOf(fd)); err != nil {
 		return injectPartial(p, partial, err, func(q []byte) (int, error) {
 			return f.inner.Write(fd, q)
@@ -220,7 +438,9 @@ func (f *FaultFS) Write(fd int, p []byte) (int, error) {
 
 // Pread implements FS.
 func (f *FaultFS) Pread(fd int, p []byte, off int64) (int, error) {
-	f.service(FaultRead)
+	if err := f.enter(FaultRead, f.pathOf(fd)); err != nil {
+		return 0, err
+	}
 	if err := f.check(FaultRead, f.pathOf(fd)); err != nil {
 		return 0, err
 	}
@@ -229,7 +449,9 @@ func (f *FaultFS) Pread(fd int, p []byte, off int64) (int, error) {
 
 // Pwrite implements FS. Partial rules behave as in Write.
 func (f *FaultFS) Pwrite(fd int, p []byte, off int64) (int, error) {
-	f.service(FaultWrite)
+	if err := f.enter(FaultWrite, f.pathOf(fd)); err != nil {
+		return 0, err
+	}
 	if err, partial := f.checkPartial(FaultWrite, f.pathOf(fd)); err != nil {
 		return injectPartial(p, partial, err, func(q []byte) (int, error) {
 			return f.inner.Pwrite(fd, q, off)
@@ -238,14 +460,17 @@ func (f *FaultFS) Pwrite(fd int, p []byte, off int64) (int, error) {
 	return f.inner.Pwrite(fd, p, off)
 }
 
-// Lseek implements FS.
+// Lseek implements FS (exempt from faults, service and kill — a pure
+// pointer move).
 func (f *FaultFS) Lseek(fd int, offset int64, whence int) (int64, error) {
 	return f.inner.Lseek(fd, offset, whence)
 }
 
 // Fsync implements FS.
 func (f *FaultFS) Fsync(fd int) error {
-	f.service(FaultSync)
+	if err := f.enter(FaultSync, f.pathOf(fd)); err != nil {
+		return err
+	}
 	if err := f.check(FaultSync, f.pathOf(fd)); err != nil {
 		return err
 	}
@@ -254,7 +479,9 @@ func (f *FaultFS) Fsync(fd int) error {
 
 // Ftruncate implements FS.
 func (f *FaultFS) Ftruncate(fd int, size int64) error {
-	f.service(FaultMeta)
+	if err := f.enter(FaultMeta, f.pathOf(fd)); err != nil {
+		return err
+	}
 	if err := f.check(FaultMeta, f.pathOf(fd)); err != nil {
 		return err
 	}
@@ -263,7 +490,9 @@ func (f *FaultFS) Ftruncate(fd int, size int64) error {
 
 // Fstat implements FS.
 func (f *FaultFS) Fstat(fd int) (Stat, error) {
-	f.service(FaultMeta)
+	if err := f.enter(FaultMeta, f.pathOf(fd)); err != nil {
+		return Stat{}, err
+	}
 	if err := f.check(FaultMeta, f.pathOf(fd)); err != nil {
 		return Stat{}, err
 	}
@@ -272,7 +501,9 @@ func (f *FaultFS) Fstat(fd int) (Stat, error) {
 
 // Stat implements FS.
 func (f *FaultFS) Stat(path string) (Stat, error) {
-	f.service(FaultMeta)
+	if err := f.enter(FaultMeta, path); err != nil {
+		return Stat{}, err
+	}
 	if err := f.check(FaultMeta, path); err != nil {
 		return Stat{}, err
 	}
@@ -281,7 +512,9 @@ func (f *FaultFS) Stat(path string) (Stat, error) {
 
 // Truncate implements FS.
 func (f *FaultFS) Truncate(path string, size int64) error {
-	f.service(FaultMeta)
+	if err := f.enter(FaultMeta, path); err != nil {
+		return err
+	}
 	if err := f.check(FaultMeta, path); err != nil {
 		return err
 	}
@@ -290,7 +523,9 @@ func (f *FaultFS) Truncate(path string, size int64) error {
 
 // Unlink implements FS.
 func (f *FaultFS) Unlink(path string) error {
-	f.service(FaultMeta)
+	if err := f.enter(FaultMeta, path); err != nil {
+		return err
+	}
 	if err := f.check(FaultMeta, path); err != nil {
 		return err
 	}
@@ -299,7 +534,9 @@ func (f *FaultFS) Unlink(path string) error {
 
 // Mkdir implements FS.
 func (f *FaultFS) Mkdir(path string, mode uint32) error {
-	f.service(FaultMeta)
+	if err := f.enter(FaultMeta, path); err != nil {
+		return err
+	}
 	if err := f.check(FaultMeta, path); err != nil {
 		return err
 	}
@@ -308,7 +545,9 @@ func (f *FaultFS) Mkdir(path string, mode uint32) error {
 
 // Rmdir implements FS.
 func (f *FaultFS) Rmdir(path string) error {
-	f.service(FaultMeta)
+	if err := f.enter(FaultMeta, path); err != nil {
+		return err
+	}
 	if err := f.check(FaultMeta, path); err != nil {
 		return err
 	}
@@ -317,7 +556,9 @@ func (f *FaultFS) Rmdir(path string) error {
 
 // Readdir implements FS.
 func (f *FaultFS) Readdir(path string) ([]DirEntry, error) {
-	f.service(FaultMeta)
+	if err := f.enter(FaultMeta, path); err != nil {
+		return nil, err
+	}
 	if err := f.check(FaultMeta, path); err != nil {
 		return nil, err
 	}
@@ -326,7 +567,9 @@ func (f *FaultFS) Readdir(path string) ([]DirEntry, error) {
 
 // Rename implements FS.
 func (f *FaultFS) Rename(oldpath, newpath string) error {
-	f.service(FaultMeta)
+	if err := f.enter(FaultMeta, oldpath); err != nil {
+		return err
+	}
 	if err := f.check(FaultMeta, oldpath); err != nil {
 		return err
 	}
@@ -335,7 +578,9 @@ func (f *FaultFS) Rename(oldpath, newpath string) error {
 
 // Access implements FS.
 func (f *FaultFS) Access(path string, mode int) error {
-	f.service(FaultMeta)
+	if err := f.enter(FaultMeta, path); err != nil {
+		return err
+	}
 	if err := f.check(FaultMeta, path); err != nil {
 		return err
 	}

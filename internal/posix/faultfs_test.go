@@ -205,3 +205,298 @@ func TestFaultFSServiceTimeSerializes(t *testing.T) {
 	}
 	f.Close(fd)
 }
+
+// TestFaultFSKillRevive pins whole-backend failure: every op (except
+// Close) fails with EIO while killed, and Revive restores service with
+// pre-kill data intact.
+func TestFaultFSKillRevive(t *testing.T) {
+	f := NewFaultFS(NewMemFS())
+	fd, err := f.Open("/x", O_CREAT|O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Pwrite(fd, []byte("before"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Kill()
+	if !f.Killed() {
+		t.Fatal("Killed() false after Kill")
+	}
+	if _, err := f.Pread(fd, make([]byte, 1), 0); !errors.Is(err, EIO) {
+		t.Fatalf("pread on killed backend = %v, want EIO", err)
+	}
+	if _, err := f.Open("/y", O_CREAT|O_WRONLY, 0o644); !errors.Is(err, EIO) {
+		t.Fatalf("open on killed backend = %v, want EIO", err)
+	}
+	if _, err := f.Stat("/x"); !errors.Is(err, EIO) {
+		t.Fatalf("stat on killed backend = %v, want EIO", err)
+	}
+	if err := f.Close(fd); err != nil {
+		t.Fatalf("close must survive a kill: %v", err)
+	}
+	f.Revive()
+	buf := make([]byte, 6)
+	fd2, err := f.Open("/x", O_RDONLY, 0)
+	if err != nil {
+		t.Fatalf("open after revive: %v", err)
+	}
+	if err := ReadFull(f, fd2, buf, 0); err != nil || string(buf) != "before" {
+		t.Fatalf("pre-kill data lost: %q, %v", buf, err)
+	}
+	f.Close(fd2)
+}
+
+// TestFaultFSScheduleOps pins the deterministic op-count schedule: a
+// kill fires exactly after the configured operation, a later step
+// revives, and replaying the same op sequence reproduces the same
+// failure pattern (no wall clock involved).
+func TestFaultFSScheduleOps(t *testing.T) {
+	run := func() []bool {
+		f := NewFaultFS(NewMemFS())
+		fd, err := f.Open("/x", O_CREAT|O_RDWR, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Schedule(nil,
+			&FaultStep{AfterOps: 3, Op: FaultWrite, Kill: true},
+			&FaultStep{AfterOps: 5, Op: FaultWrite, Revive: true},
+		)
+		var outcomes []bool
+		for i := 0; i < 7; i++ {
+			_, err := f.Pwrite(fd, []byte{byte(i)}, int64(i))
+			outcomes = append(outcomes, err == nil)
+		}
+		f.Close(fd)
+		return outcomes
+	}
+	got := run()
+	// Writes 1-2 succeed; write 3 reaches the threshold and is the first
+	// casualty (the step fires atomically with the op that reaches it);
+	// write 5 reaches the revive threshold and completes; 6-7 succeed.
+	want := []bool{true, true, false, false, true, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d: ok=%v, want %v (all: %v)", i+1, got[i], want[i], got)
+		}
+	}
+	again := run()
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("schedule not deterministic across runs: %v vs %v", got, again)
+		}
+	}
+}
+
+// TestFaultFSScheduleClock pins clock-triggered steps: with an injected
+// manual clock, a kill fires only once the clock passes the deadline —
+// no wall-clock sleeps anywhere.
+func TestFaultFSScheduleClock(t *testing.T) {
+	clk := &manualClock{}
+	f := NewFaultFS(NewMemFS())
+	fd, err := f.Open("/x", O_CREAT|O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Schedule(clk, &FaultStep{After: 10 * time.Second, Kill: true})
+	if _, err := f.Pwrite(fd, []byte("a"), 0); err != nil {
+		t.Fatalf("write before deadline: %v", err)
+	}
+	clk.advance(9 * time.Second)
+	if _, err := f.Pwrite(fd, []byte("b"), 1); err != nil {
+		t.Fatalf("write at t=9s: %v", err)
+	}
+	clk.advance(2 * time.Second)
+	if _, err := f.Pwrite(fd, []byte("c"), 2); !errors.Is(err, EIO) {
+		t.Fatalf("write at t=11s = %v, want EIO", err)
+	}
+	f.Close(fd)
+}
+
+// manualClock is a test clock (tune.ManualClock lives above posix in
+// the dependency order, so the test carries its own).
+type manualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// TestFaultFSServiceSlotsCompose pins the straggler fix: scoped service
+// rules get their own slots, so a long operation in one path family
+// does not serialize operations in another — while two operations in
+// the same family still queue behind each other.
+func TestFaultFSServiceSlotsCompose(t *testing.T) {
+	f := NewFaultFS(NewMemFS())
+	if err := f.Mkdir("/a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Mkdir("/b", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	fda, err := f.Open("/a/f", O_CREAT|O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fdb, err := f.Open("/b/f", O_CREAT|O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Pwrite(fda, []byte("x"), 0)
+	f.Pwrite(fdb, []byte("x"), 0)
+
+	// Same slot serializes: two concurrent /a reads take >= 2d. A lower
+	// bound cannot flake on a slow machine.
+	f.SetServiceTimeRule(FaultRead, "/a/", 30*time.Millisecond)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.Pread(fda, make([]byte, 1), 0)
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("same-family ops did not serialize: %v", elapsed)
+	}
+
+	// Different slots compose: while a long /a operation holds its slot,
+	// a burst of /b operations drains without waiting for it.
+	f.Clear()
+	f.SetServiceTimeRule(FaultRead, "/a/", 300*time.Millisecond)
+	f.SetServiceTimeRule(FaultRead, "/b/", time.Millisecond)
+	slowDone := make(chan struct{})
+	go func() {
+		f.Pread(fda, make([]byte, 1), 0) // occupies the /a slot for 300ms
+		close(slowDone)
+	}()
+	// Wait until the slow op is in service (its slot is held), then time
+	// the /b burst.
+	time.Sleep(20 * time.Millisecond)
+	start = time.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := f.Pread(fdb, make([]byte, 1), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	burst := time.Since(start)
+	<-slowDone
+	if burst >= 250*time.Millisecond {
+		t.Fatalf("/b burst waited for the /a slot: %v", burst)
+	}
+	f.Close(fda)
+	f.Close(fdb)
+}
+
+// TestFaultFSClearRevives pins that Clear resets kill state, schedules
+// and scoped service rules.
+func TestFaultFSClearRevives(t *testing.T) {
+	f := NewFaultFS(NewMemFS())
+	f.Kill()
+	f.Schedule(nil, &FaultStep{AfterOps: 1, Kill: true})
+	f.SetServiceTimeRule(FaultAny, "", time.Hour)
+	f.Clear()
+	if f.Killed() {
+		t.Fatal("Clear did not revive")
+	}
+	if _, err := f.Open("/x", O_CREAT|O_WRONLY, 0o644); err != nil {
+		t.Fatalf("op after Clear: %v", err)
+	}
+}
+
+// TestFaultFSPartialWriteRules pins the short-write-then-error shape:
+// a write rule with Partial lets the first Partial bytes land in the
+// inner FS before the injected error surfaces, clamped to the request,
+// on both the streaming and positional write paths.
+func TestFaultFSPartialWriteRules(t *testing.T) {
+	f := NewFaultFS(NewMemFS())
+	fd, err := f.Open("/p", O_CREAT|O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f.Inject(&FaultRule{Op: FaultWrite, Err: ENOSPC, Partial: 3, Times: 1})
+	if n, err := f.Write(fd, []byte("abcdef")); n != 3 || !errors.Is(err, ENOSPC) {
+		t.Fatalf("partial Write = %d, %v; want 3, ENOSPC", n, err)
+	}
+
+	// Partial larger than the request clamps to the request.
+	f.Inject(&FaultRule{Op: FaultWrite, Err: ENOSPC, Partial: 100, Times: 1})
+	if n, err := f.Pwrite(fd, []byte("XY"), 0); n != 2 || !errors.Is(err, ENOSPC) {
+		t.Fatalf("clamped Pwrite = %d, %v; want 2, ENOSPC", n, err)
+	}
+
+	// Zero Partial fails the whole op: nothing lands.
+	f.Inject(&FaultRule{Op: FaultWrite, Err: EIO, Times: 1})
+	if n, err := f.Pwrite(fd, []byte("ZZZZ"), 0); n != 0 || !errors.Is(err, EIO) {
+		t.Fatalf("whole-op Pwrite = %d, %v; want 0, EIO", n, err)
+	}
+
+	// The surviving bytes are exactly the partial prefixes: "XYc".
+	got := make([]byte, 8)
+	n, err := f.Pread(fd, got, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:n]) != "XYc" {
+		t.Fatalf("file contents after partial writes = %q, want %q", got[:n], "XYc")
+	}
+	if err := f.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultFSOpClassRules drives a rule through every fd-based op class —
+// read, sync and meta — pinning which class each method checks.
+func TestFaultFSOpClassRules(t *testing.T) {
+	f := NewFaultFS(NewMemFS())
+	fd, err := f.Open("/cls", O_CREAT|O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(fd, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+
+	f.Inject(&FaultRule{Op: FaultRead, Err: EIO, Times: 1})
+	if _, err := f.Read(fd, make([]byte, 4)); !errors.Is(err, EIO) {
+		t.Fatalf("Read under read rule = %v, want EIO", err)
+	}
+	f.Inject(&FaultRule{Op: FaultSync, Err: EIO, Times: 1})
+	if err := f.Fsync(fd); !errors.Is(err, EIO) {
+		t.Fatalf("Fsync under sync rule = %v, want EIO", err)
+	}
+	f.Inject(&FaultRule{Op: FaultMeta, Err: EIO, Times: 2})
+	if err := f.Ftruncate(fd, 2); !errors.Is(err, EIO) {
+		t.Fatalf("Ftruncate under meta rule = %v, want EIO", err)
+	}
+	if _, err := f.Fstat(fd); !errors.Is(err, EIO) {
+		t.Fatalf("Fstat under meta rule = %v, want EIO", err)
+	}
+
+	// Rules exhausted: every op recovers, and the streaming pointer
+	// never advanced on the failed Read.
+	if off, err := f.Lseek(fd, 0, SEEK_CUR); err != nil || off != 4 {
+		t.Fatalf("Lseek after failed read = %d, %v; want 4", off, err)
+	}
+	if err := f.Fsync(fd); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := f.Fstat(fd); err != nil || st.Size != 4 {
+		t.Fatalf("Fstat after rules drained = %+v, %v", st, err)
+	}
+	if err := f.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+}

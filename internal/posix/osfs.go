@@ -55,7 +55,18 @@ func (o *OSFS) Root() string { return o.root }
 // interprets a backend list identically (the list is part of a striped
 // container's identity). An empty spec returns canonical unchanged.
 func NewStripedRoots(canonical FS, shadowSpec string) (FS, error) {
+	return NewStripedRootsLayout(canonical, shadowSpec, "")
+}
+
+// NewStripedRootsLayout is NewStripedRoots under a named placement
+// layout ("" or "mod-n" for classic striping, "replica-R" for R-way
+// replicated droppings). A replica layout needs the shadow spec: with no
+// shadow backends there is nowhere to put a second copy.
+func NewStripedRootsLayout(canonical FS, shadowSpec, layoutDesc string) (FS, error) {
 	if shadowSpec == "" {
+		if _, err := LayoutFor(layoutDesc, 1); err != nil {
+			return nil, err
+		}
 		return canonical, nil
 	}
 	all := []FS{canonical}
@@ -66,7 +77,11 @@ func NewStripedRoots(canonical FS, shadowSpec string) (FS, error) {
 		}
 		all = append(all, shadow)
 	}
-	return NewStripedFS(all...), nil
+	layout, err := LayoutFor(layoutDesc, len(all))
+	if err != nil {
+		return nil, err
+	}
+	return NewLayoutFS(layout, ReplicaOptions{}, all...), nil
 }
 
 func (o *OSFS) host(path string) string {

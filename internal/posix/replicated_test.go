@@ -1,0 +1,348 @@
+package posix
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"ldplfs/internal/iostats"
+)
+
+// newReplicaFS builds a replica-r composite over n MemFS backends, each
+// wrapped in a FaultFS so tests can kill or stall individual backends.
+func newReplicaFS(t *testing.T, n, r int, stats iostats.Collector, hedge time.Duration, timer func(time.Duration) <-chan time.Time) (*StripedFS, []*FaultFS) {
+	t.Helper()
+	faults := make([]*FaultFS, n)
+	backends := make([]FS, n)
+	for i := range backends {
+		faults[i] = NewFaultFS(NewMemFS())
+		backends[i] = faults[i]
+	}
+	layout, err := LayoutFor(replicaDesc(r), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLayoutFS(layout, ReplicaOptions{
+		HedgeDeadline: hedge,
+		HedgeTimer:    timer,
+		Stats:         stats,
+	}, backends...), faults
+}
+
+func replicaDesc(r int) string {
+	if r == 1 {
+		return "mod-n"
+	}
+	return "replica-" + string(rune('0'+r))
+}
+
+// mustWriteFile writes content to path via fs at offset 0.
+func mustWriteFile(t *testing.T, fs FS, path string, content []byte) {
+	t.Helper()
+	fd, err := fs.Open(path, O_CREAT|O_WRONLY|O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	if err := WriteFull(fs, fd, content, 0); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	if err := fs.Close(fd); err != nil {
+		t.Fatalf("close %s: %v", path, err)
+	}
+}
+
+// mustReadFile reads the whole file at path via fs.
+func mustReadFile(t *testing.T, fs FS, path string) []byte {
+	t.Helper()
+	fd, err := fs.Open(path, O_RDONLY, 0)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer fs.Close(fd)
+	st, err := fs.Fstat(fd)
+	if err != nil {
+		t.Fatalf("fstat %s: %v", path, err)
+	}
+	buf := make([]byte, st.Size)
+	if err := ReadFull(fs, fd, buf, 0); err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return buf
+}
+
+// TestReplicaWriteFansOut pins the core replica invariant: a routed
+// write lands byte-identically on every owner backend, and a canonical
+// write lands on backends 0..R-1.
+func TestReplicaWriteFansOut(t *testing.T) {
+	s, _ := newReplicaFS(t, 3, 2, nil, 0, nil)
+	if err := MkdirAll(s, "/c/hostdir.1", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("replicated dropping bytes")
+	mustWriteFile(t, s, "/c/hostdir.1/dropping.data.7", payload)
+	mustWriteFile(t, s, "/c/canonical.file", []byte("canonical"))
+
+	owners := s.ReplicasFor("/c/hostdir.1/dropping.data.7")
+	if len(owners) != 2 || owners[0] != 1 || owners[1] != 2 {
+		t.Fatalf("owners = %v, want [1 2]", owners)
+	}
+	for _, b := range owners {
+		got := mustReadFile(t, s.Backends()[b], "/c/hostdir.1/dropping.data.7")
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("backend %d copy diverges: %q", b, got)
+		}
+	}
+	for _, b := range []int{0, 1} {
+		got := mustReadFile(t, s.Backends()[b], "/c/canonical.file")
+		if !bytes.Equal(got, []byte("canonical")) {
+			t.Fatalf("backend %d canonical copy diverges: %q", b, got)
+		}
+	}
+	// The non-owner backend holds no copy.
+	if _, err := s.Backends()[0].Stat("/c/hostdir.1/dropping.data.7"); !errors.Is(err, ENOENT) {
+		t.Fatalf("non-owner backend 0 has a copy (err=%v)", err)
+	}
+}
+
+// TestReplicaReadFailover pins the failover read path: after the
+// primary owner dies, reads are served byte-correct from the surviving
+// replica and the failover counter ticks.
+func TestReplicaReadFailover(t *testing.T) {
+	plane := iostats.NewPlane()
+	s, faults := newReplicaFS(t, 3, 2, plane, 0, nil)
+	if err := MkdirAll(s, "/c/hostdir.1", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("survives a backend dying")
+	mustWriteFile(t, s, "/c/hostdir.1/dropping.data.1", payload)
+
+	faults[1].Kill() // primary owner of hostdir.1
+	got := mustReadFile(t, s, "/c/hostdir.1/dropping.data.1")
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("failover read diverges: %q", got)
+	}
+	layer := plane.Layer("posix")
+	if n := layer.Counter("replica_read_failover").Load(); n == 0 {
+		t.Fatal("failover reads not counted")
+	}
+
+	// A healthy primary serves without failover.
+	faults[1].Revive()
+	mustWriteFile(t, s, "/c/hostdir.4/dropping.data.2", payload) // owners [1 2]
+	before := layer.Counter("replica_read_primary").Load()
+	_ = mustReadFile(t, s, "/c/hostdir.4/dropping.data.2")
+	if layer.Counter("replica_read_primary").Load() == before {
+		t.Fatal("primary reads not counted")
+	}
+}
+
+// TestReplicaWriteDegraded pins the degraded-write path: with one owner
+// dark, writes succeed on the survivor, the degraded counter ticks, and
+// the dark backend simply misses the copy (under-replication, healed by
+// the doctor) rather than failing the write.
+func TestReplicaWriteDegraded(t *testing.T) {
+	plane := iostats.NewPlane()
+	s, faults := newReplicaFS(t, 3, 2, plane, 0, nil)
+	if err := MkdirAll(s, "/c/hostdir.1", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	faults[2].Kill() // secondary owner of hostdir.1
+	payload := []byte("written while degraded")
+	mustWriteFile(t, s, "/c/hostdir.1/dropping.data.9", payload)
+	faults[2].Revive()
+
+	got := mustReadFile(t, s.Backends()[1], "/c/hostdir.1/dropping.data.9")
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("surviving copy diverges: %q", got)
+	}
+	if _, err := s.Backends()[2].Stat("/c/hostdir.1/dropping.data.9"); !errors.Is(err, ENOENT) {
+		t.Fatalf("dark backend unexpectedly has a copy (err=%v)", err)
+	}
+	if n := plane.Layer("posix").Counter("replica_write_degraded").Load(); n == 0 {
+		t.Fatal("degraded writes not counted")
+	}
+}
+
+// TestReplicaAllOwnersDead pins the total-loss error path: with every
+// owner dark, reads and writes fail rather than hanging or lying.
+func TestReplicaAllOwnersDead(t *testing.T) {
+	s, faults := newReplicaFS(t, 3, 2, nil, 0, nil)
+	if err := MkdirAll(s, "/c/hostdir.1", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	mustWriteFile(t, s, "/c/hostdir.1/dropping.data.1", []byte("x"))
+	fd, err := s.Open("/c/hostdir.1/dropping.data.1", O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults[1].Kill()
+	faults[2].Kill()
+	if _, err := s.Pread(fd, make([]byte, 1), 0); err == nil {
+		t.Fatal("pread with all owners dead succeeded")
+	}
+	if err := s.Close(fd); err != nil {
+		t.Fatalf("close after total loss: %v", err)
+	}
+	if _, err := s.Open("/c/hostdir.1/dropping.data.1", O_RDONLY, 0); err == nil {
+		t.Fatal("open with all owners dead succeeded")
+	}
+}
+
+// TestReplicaHedgedRead pins the hedge path deterministically: the
+// primary's read stalls behind a gate, the injected hedge timer fires
+// immediately, and the read completes byte-correct from the secondary
+// while the primary is still stuck. No wall-clock sleeps.
+func TestReplicaHedgedRead(t *testing.T) {
+	plane := iostats.NewPlane()
+	hedgeNow := make(chan time.Time, 1)
+	hedgeNow <- time.Time{} // the hedge timer fires as soon as selected
+	timer := func(time.Duration) <-chan time.Time { return hedgeNow }
+	s, faults := newReplicaFS(t, 3, 2, plane, time.Millisecond, timer)
+	if err := MkdirAll(s, "/c/hostdir.1", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("hedged read wins on the secondary")
+	mustWriteFile(t, s, "/c/hostdir.1/dropping.data.1", payload)
+
+	gate := make(chan struct{})
+	faults[1].Inject(&FaultRule{Op: FaultRead, PathContains: "dropping.data.1", Gate: gate})
+
+	got := mustReadFile(t, s, "/c/hostdir.1/dropping.data.1")
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("hedged read diverges: %q", got)
+	}
+	close(gate) // release the stalled primary read
+	layer := plane.Layer("posix")
+	if n := layer.Counter("replica_read_hedged").Load(); n == 0 {
+		t.Fatal("hedge launches not counted")
+	}
+	if n := layer.Counter("replica_read_failover").Load(); n == 0 {
+		t.Fatal("hedge win not counted as a non-primary serve")
+	}
+}
+
+// TestReplicaPointerIO pins that multi-replica pointer reads/writes and
+// lseek keep the replica descriptors interchangeable.
+func TestReplicaPointerIO(t *testing.T) {
+	s, faults := newReplicaFS(t, 3, 2, nil, 0, nil)
+	if err := MkdirAll(s, "/c/hostdir.2", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := s.Open("/c/hostdir.2/log", O_CREAT|O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write(fd, []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write(fd, []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Lseek(fd, 0, SEEK_SET); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 9)
+	if _, err := s.Read(fd, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "alphabeta" {
+		t.Fatalf("pointer read = %q", buf)
+	}
+	// Kill the primary owner mid-stream: the pointer ops keep working on
+	// the survivor because the file pointers were kept in sync.
+	faults[2].Kill() // hostdir.2 owners are [2 0]
+	if _, err := s.Write(fd, []byte("gamma")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Lseek(fd, 0, SEEK_SET); err != nil {
+		t.Fatal(err)
+	}
+	buf = make([]byte, 14)
+	if _, err := s.Read(fd, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "alphabetagamma" {
+		t.Fatalf("post-kill pointer read = %q", buf)
+	}
+	if err := s.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplicaCanonicalMetaSurvivesBackend0 pins the reason canonical
+// paths are replicated to backends 0..R-1: container metadata stays
+// readable after the canonical backend dies.
+func TestReplicaCanonicalMetaSurvivesBackend0(t *testing.T) {
+	s, faults := newReplicaFS(t, 3, 2, nil, 0, nil)
+	if err := s.Mkdir("/c", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	mustWriteFile(t, s, "/c/.plfsaccess", []byte("marker"))
+	faults[0].Kill()
+	if _, err := s.Stat("/c/.plfsaccess"); err != nil {
+		t.Fatalf("canonical marker lost with backend 0: %v", err)
+	}
+	got := mustReadFile(t, s, "/c/.plfsaccess")
+	if string(got) != "marker" {
+		t.Fatalf("canonical marker diverges: %q", got)
+	}
+	if _, err := s.Readdir("/c"); err != nil {
+		t.Fatalf("canonical listing lost with backend 0: %v", err)
+	}
+}
+
+// TestModNUnchangedByLayoutFS pins that an explicit mod-n LayoutFS
+// behaves exactly like the classic constructor: single copies, EXDEV
+// across hostdirs, canonical files only on backend 0.
+func TestModNUnchangedByLayoutFS(t *testing.T) {
+	layout, err := LayoutFor("mod-n", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := []FS{NewMemFS(), NewMemFS(), NewMemFS()}
+	s := NewLayoutFS(layout, ReplicaOptions{}, backends...)
+	if err := MkdirAll(s, "/c/hostdir.1", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	mustWriteFile(t, s, "/c/hostdir.1/d", []byte("x"))
+	mustWriteFile(t, s, "/c/f", []byte("y"))
+	if _, err := backends[1].Stat("/c/hostdir.1/d"); err != nil {
+		t.Fatalf("owner copy missing: %v", err)
+	}
+	for _, b := range []int{0, 2} {
+		if _, err := backends[b].Stat("/c/hostdir.1/d"); !errors.Is(err, ENOENT) {
+			t.Fatalf("mod-n replicated to backend %d (err=%v)", b, err)
+		}
+	}
+	if _, err := backends[0].Stat("/c/f"); err != nil {
+		t.Fatalf("canonical copy missing: %v", err)
+	}
+	if _, err := backends[1].Stat("/c/f"); !errors.Is(err, ENOENT) {
+		t.Fatalf("mod-n canonical file mirrored (err=%v)", err)
+	}
+	if err := s.Rename("/c/hostdir.1/d", "/c/hostdir.2/d"); !errors.Is(err, EXDEV) {
+		t.Fatalf("cross-hostdir rename = %v, want EXDEV", err)
+	}
+}
+
+// TestReplicaRenameWithinSet pins that renames inside one replica set
+// apply to every owner, and renames across sets are refused.
+func TestReplicaRenameWithinSet(t *testing.T) {
+	s, _ := newReplicaFS(t, 3, 2, nil, 0, nil)
+	if err := MkdirAll(s, "/c/hostdir.1", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	mustWriteFile(t, s, "/c/hostdir.1/a", []byte("x"))
+	if err := s.Rename("/c/hostdir.1/a", "/c/hostdir.1/b"); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range s.ReplicasFor("/c/hostdir.1/b") {
+		if _, err := s.Backends()[b].Stat("/c/hostdir.1/b"); err != nil {
+			t.Fatalf("renamed copy missing on backend %d: %v", b, err)
+		}
+	}
+	if err := s.Rename("/c/hostdir.1/b", "/c/hostdir.2/b"); !errors.Is(err, EXDEV) {
+		t.Fatalf("cross-set rename = %v, want EXDEV", err)
+	}
+}

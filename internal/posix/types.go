@@ -1,13 +1,3 @@
-// Package posix defines a POSIX-like virtual file system layer: the FS
-// interface (open/read/write/lseek/... operating on integer file
-// descriptors), a set of interchangeable backends (OSFS, MemFS, NullFS), and
-// the Dispatch symbol table through which every "application" in this
-// repository issues its file operations.
-//
-// Dispatch is the Go analogue of the libc dynamic symbol table: LDPLFS
-// (internal/core) interposes itself by swapping Dispatch entries, exactly as
-// the Linux loader swaps open/read/write symbols when LD_PRELOAD names a
-// shim library.
 package posix
 
 import "fmt"

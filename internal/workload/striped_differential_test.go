@@ -27,11 +27,26 @@ func stripedStores(t *testing.T) map[string]posix.FS {
 	if err := harness.PrepareStore(stripedFault); err != nil {
 		t.Fatal(err)
 	}
+	replicaFaulty := make([]posix.FS, 3)
+	for i := range replicaFaulty {
+		replicaFaulty[i] = posix.NewFaultFS(posix.NewMemFS())
+	}
+	r2, err := posix.LayoutFor("replica-2", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicaFault := posix.NewLayoutFS(r2, posix.ReplicaOptions{}, replicaFaulty...)
+	if err := harness.PrepareStore(replicaFault); err != nil {
+		t.Fatal(err)
+	}
 	return map[string]posix.FS{
 		"single":         harness.NewStore(),
 		"striped2":       harness.NewStoreN(2),
 		"striped3":       harness.NewStoreN(3),
 		"striped3-fault": stripedFault,
+		"replica2":       harness.NewStoreLayout(3, "replica-2"),
+		"replica3":       harness.NewStoreLayout(3, "replica-3"),
+		"replica2-fault": replicaFault,
 	}
 }
 
@@ -100,7 +115,7 @@ func diffAcrossStores(t *testing.T, outputs []string, run func(store posix.FS)) 
 	want := map[string]digest{} // per output file, from the single-backend run
 
 	stores := stripedStores(t)
-	cfgs := []string{"single", "striped2", "striped3", "striped3-fault"}
+	cfgs := []string{"single", "striped2", "striped3", "striped3-fault", "replica2", "replica3", "replica2-fault"}
 	for _, cfg := range cfgs {
 		store := stores[cfg]
 		run(store)
