@@ -1,0 +1,12 @@
+package bufpool_test
+
+import (
+	"testing"
+
+	"ldplfs/internal/analysis/analysistest"
+	"ldplfs/internal/analysis/bufpool"
+)
+
+func TestBufPool(t *testing.T) {
+	analysistest.Run(t, "testdata", bufpool.Analyzer, "a")
+}

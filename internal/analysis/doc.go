@@ -78,6 +78,22 @@
 // write, read under the lock all writers hold) is the legitimate
 // exception; suppress it inline.
 //
+// # bufpool — pooled buffers return to their pool; hot paths don't allocate
+//
+// Invariant: in ldplfs/internal/plfs, every (*sync.Pool).Get is paired
+// in the same function with a Put — deferred directly or through a
+// releasing helper that contains the Put (the plan.release idiom) —
+// and the engine's hot functions (scatterGather, planBatches,
+// readBatch, failBatch, writeV, writeData, pwriteAll) never
+// make([]byte, ...) per call.
+//
+// History: the PR 9 zero-alloc rework moved the warm read/write paths
+// onto pooled plans and buffers, asserted by allocs-per-op budgets in
+// CI. Those budgets only watch the benchmarked paths; a leaked Get or
+// a fresh buffer on an unbenchmarked branch silently degrades pooling
+// back to per-call heap churn. The analyzer is the rule's durable
+// form; the alloc budget is its spot check.
+//
 // # Running and suppressing
 //
 // Run the multichecker exactly as CI does:

@@ -1,4 +1,4 @@
-// Package plfslint wires the five project analyzers into the scoped
+// Package plfslint wires the six project analyzers into the scoped
 // suite that cmd/plfslint and CI run. The scopes pin each invariant to
 // the packages where it is a contract rather than a style preference:
 //
@@ -8,7 +8,9 @@
 //   - errnopreserve: the wire-protocol path (service, its client, the
 //     posix layer whose errnos it transports, and the daemon),
 //   - clockinject: the autotune controller and the QoS/gateway stage,
-//     which promise deterministic tests via injectable clocks.
+//     which promise deterministic tests via injectable clocks,
+//   - bufpool: the engine package, whose warm read/write paths carry
+//     a zero-alloc budget and pooled-buffer hygiene rules.
 package plfslint
 
 import (
@@ -16,6 +18,7 @@ import (
 
 	"ldplfs/internal/analysis"
 	"ldplfs/internal/analysis/atomicfield"
+	"ldplfs/internal/analysis/bufpool"
 	"ldplfs/internal/analysis/clockinject"
 	"ldplfs/internal/analysis/errnopreserve"
 	"ldplfs/internal/analysis/lockorder"
@@ -42,10 +45,13 @@ func Checks() []analysis.Check {
 			"ldplfs/internal/plfs/tune",
 			"ldplfs/internal/service",
 		}},
+		{Analyzer: bufpool.Analyzer, Packages: []string{
+			"ldplfs/internal/plfs",
+		}},
 	}
 }
 
-// Analyzers returns the five analyzers without scoping (for -list and
+// Analyzers returns the six analyzers without scoping (for -list and
 // for running everything against a fixture).
 func Analyzers() []*analysis.Analyzer {
 	var out []*analysis.Analyzer

@@ -39,6 +39,8 @@ func TestKnownBadTripsEveryAnalyzer(t *testing.T) {
 	assertFinding(t, findings, "error wrapped with %v drops its errno chain")
 	assertFinding(t, findings, "time.Now bypasses the injected tune.Clock")
 	assertFinding(t, findings, "plain access of gen")
+	assertFinding(t, findings, "sync.Pool Get without a matching Put")
+	assertFinding(t, findings, "make([]byte, ...) in engine hot-path scatterGather")
 	// Suppression hygiene is findings too.
 	assertFinding(t, findings, "stale plfslint:ignore comment")
 	assertFinding(t, findings, "has no allowlist entry for nilcollector")
@@ -72,6 +74,7 @@ func TestScopes(t *testing.T) {
 	for name, needle := range map[string]string{
 		"errnopreserve": "ldplfs/internal/service/...",
 		"clockinject":   "ldplfs/internal/plfs/tune",
+		"bufpool":       "ldplfs/internal/plfs",
 	} {
 		found := false
 		for _, s := range scopeOf[name] {

@@ -46,6 +46,19 @@ func now() time.Time {
 	return time.Now()
 }
 
+// bufpool: the PR 9 hot-path shapes — an engine hot function that
+// leaks its pooled entry and allocates a payload buffer per call.
+var scratch = sync.Pool{New: func() any {
+	b := make([]byte, 64)
+	return &b
+}}
+
+func scatterGather(n int) []byte {
+	b := scratch.Get().(*[]byte)
+	_ = b
+	return make([]byte, n)
+}
+
 // atomicfield: mixed atomic/plain access of one variable.
 var gen int64
 

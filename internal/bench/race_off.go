@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is active. The alloc
+// floor in TestWarmReadAllocs is meaningless under -race: detector
+// instrumentation allocates on its own account.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is active. See
+// race_off.go.
+const raceEnabled = true

@@ -422,15 +422,22 @@ func (idx *Index) Extend(size int64) {
 // gaps. Ranges beyond EOF are clipped; a query entirely past EOF returns
 // nil.
 func (idx *Index) Query(off, length int64) []Extent {
+	return idx.QueryInto(nil, off, length)
+}
+
+// QueryInto is Query appending into dst — the allocation-free form the
+// read engine's pooled plans use: pass a recycled slice truncated to
+// zero length and the warm path never grows it.
+func (idx *Index) QueryInto(dst []Extent, off, length int64) []Extent {
 	if off < 0 || length <= 0 || off >= idx.size {
-		return nil
+		return dst
 	}
 	if off+length > idx.size {
 		length = idx.size - off
 	}
 	lo, hi := off, off+length
 
-	var out []Extent
+	out := dst
 	ci := idx.findChunk(lo)
 	cur := lo
 	var ei int

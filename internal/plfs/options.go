@@ -51,6 +51,15 @@ type EngineOptions struct {
 	// writes segments serially.
 	WriteWorkers int
 
+	// BatchDepth bounds how many physically-contiguous extents the
+	// engines coalesce into one vectored backend submission: the read
+	// engine groups a scatter-gather's extents by data dropping and
+	// issues up to BatchDepth segments per preadv, and WriteV coalesces
+	// up to BatchDepth segments per pwritev. 0 picks DefaultBatchDepth;
+	// 1 disables coalescing (one backend op per extent, the pre-vector
+	// behavior — the baseline the batched benches compare against).
+	BatchDepth int
+
 	// IndexBatch is the group-flush threshold of the per-writer index
 	// buffer, in records: once a writer has buffered this many index
 	// records they are appended to its index dropping in one backend
@@ -246,6 +255,7 @@ type Options struct {
 	MaxCachedIndexes      int               // see IndexOptions.MaxCachedIndexes
 	DisableIndexCache     bool              // see IndexOptions.DisableCache
 	WriteWorkers          int               // see EngineOptions.WriteWorkers
+	BatchDepth            int               // see EngineOptions.BatchDepth
 	IndexBatch            int               // see EngineOptions.IndexBatch
 	DisableWriteSharding  bool              // see EngineOptions.DisableWriteSharding
 	DisableAutoFlatten    bool              // see IndexOptions.DisableAutoFlatten
@@ -271,6 +281,7 @@ func (o Options) Grouped() Config {
 			ReadWorkers:          o.ReadWorkers,
 			IndexWorkers:         o.IndexWorkers,
 			WriteWorkers:         o.WriteWorkers,
+			BatchDepth:           o.BatchDepth,
 			IndexBatch:           o.IndexBatch,
 			DisableWriteSharding: o.DisableWriteSharding,
 		},

@@ -54,6 +54,14 @@ const (
 // enough that a crashed writer loses at most a modest index tail.
 const DefaultIndexBatch = 512
 
+// DefaultBatchDepth is the vectored-submission bound used when
+// EngineOptions.BatchDepth is zero: up to 64 physically-contiguous
+// extents coalesce into one preadv/pwritev. 64 segments of the common
+// 64 KiB strided block is a 4 MiB submission — large enough to collapse
+// a wide N-1 read to one backend op per dropping, small enough to keep
+// partial-failure blast radius and per-batch latency modest.
+const DefaultBatchDepth = 64
+
 // FS is a PLFS library instance bound to a backing store. It is safe for
 // concurrent use by multiple goroutines (ranks).
 type FS struct {
@@ -98,6 +106,7 @@ type FS struct {
 	knobReadWorkers  atomic.Int32
 	knobWriteWorkers atomic.Int32
 	knobIndexBatch   atomic.Int32
+	knobBatchDepth   atomic.Int32
 }
 
 // New returns a PLFS instance over backend, configured by the supplied
@@ -351,7 +360,12 @@ func (p *FS) ContainerLayout(path string) (string, error) {
 	if st.Size > 1<<16 {
 		return "", fmt.Errorf("plfs: layout descriptor implausibly large (%d bytes)", st.Size)
 	}
-	buf := make([]byte, st.Size)
+	// The descriptor is capped well under one pooled chunk, and
+	// UnmarshalLayoutDescriptor copies what it keeps (string conversion)
+	// — the scratch buffer can go straight back to the pool.
+	b := copyBufPool.Get().(*[]byte)
+	defer copyBufPool.Put(b)
+	buf := (*b)[:st.Size]
 	if err := posix.ReadFull(p.backend, fd, buf, 0); err != nil {
 		return "", fmt.Errorf("plfs: read layout descriptor: %w", err)
 	}
@@ -540,6 +554,18 @@ type File struct {
 	index    *idx.Index // private index, used only with DisableIndexCache
 	indexGen uint64     // wgen value the private index was built at
 	refs     int
+
+	// dpaths caches pid → data-dropping path so warm reads skip the
+	// two per-batch Sprintf calls. Guarded by dmu, not f.mu: path
+	// resolution happens inside the read engine where f.mu may be held
+	// shared by many readers.
+	dmu    sync.RWMutex
+	dpaths map[uint32]string
+
+	// sigFn/loadFn are the shared index-cache callbacks, bound once at
+	// open so a warm readIndex allocates no closures.
+	sigFn  func() (readcache.Signature, error)
+	loadFn func() (*idx.Index, readcache.Signature, readcache.BuildKind, error)
 }
 
 // Open opens (and with O_CREAT, creates) the container at path, returning
@@ -572,8 +598,11 @@ func (p *FS) open(path string, flags int, pid uint32, mode uint32) (*File, error
 		path:    path,
 		flags:   flags,
 		writers: make(map[uint32]*writer),
+		dpaths:  make(map[uint32]string),
 		refs:    1,
 	}
+	f.sigFn = func() (readcache.Signature, error) { return p.indexSignature(f.path) }
+	f.loadFn = func() (*idx.Index, readcache.Signature, readcache.BuildKind, error) { return p.buildIndex(f.path) }
 	if flags&posix.O_TRUNC != 0 && flags&posix.O_ACCMODE != posix.O_RDONLY {
 		// Shared truncate: handles already open on this container must
 		// have their writers retired, not left appending to unlinked
@@ -597,6 +626,23 @@ func (f *File) Ref() {
 
 // Path returns the container path this handle refers to.
 func (f *File) Path() string { return f.path }
+
+// dataPath resolves pid's data-dropping path through the handle's
+// cache: the hostdir/dropping formatting runs once per pid per handle,
+// warm lookups are a shared-lock map hit.
+func (f *File) dataPath(pid uint32) string {
+	f.dmu.RLock()
+	path, ok := f.dpaths[pid]
+	f.dmu.RUnlock()
+	if ok {
+		return path
+	}
+	path = dataDropping(f.fs.hostdir(f.path, pid), pid)
+	f.dmu.Lock()
+	f.dpaths[pid] = path
+	f.dmu.Unlock()
+	return path
+}
 
 // getWriterLocked returns (creating if needed) pid's writer. Caller
 // holds f.mu exclusive.
@@ -750,9 +796,7 @@ func (f *File) readIndex() (*idx.Index, error) {
 	} else {
 		f.mu.RUnlock()
 	}
-	index, _, err := f.fs.cache.Get(f.path, !f.validated.Load(),
-		func() (readcache.Signature, error) { return f.fs.indexSignature(f.path) },
-		func() (*idx.Index, readcache.Signature, readcache.BuildKind, error) { return f.fs.buildIndex(f.path) })
+	index, _, err := f.fs.cache.Get(f.path, !f.validated.Load(), f.sigFn, f.loadFn)
 	if err != nil {
 		return nil, err
 	}
@@ -798,13 +842,13 @@ func (f *File) read(buf []byte, off int64) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		return f.fs.scatterGather(f.path, buf, off, index.Query(off, int64(len(buf))))
+		return f.fs.scatterGather(f, buf, off, index)
 	}
 	index, err := f.readIndex()
 	if err != nil {
 		return 0, err
 	}
-	return f.fs.scatterGather(f.path, buf, off, index.Query(off, int64(len(buf))))
+	return f.fs.scatterGather(f, buf, off, index)
 }
 
 // Size returns the logical file size.
@@ -1394,8 +1438,13 @@ func (p *FS) Flatten(path, dst string) error {
 		return err
 	}
 	defer p.backend.Close(out)
-	const chunk = 4 << 20
-	buf := make([]byte, chunk)
+	// One pooled chunk instead of a private 4 MiB buffer per call: the
+	// copy loop just runs more iterations, and repeated Flattens (auto-
+	// flatten after compaction, plfsctl) stop churning the heap.
+	b := copyBufPool.Get().(*[]byte)
+	defer copyBufPool.Put(b)
+	buf := *b
+	const chunk = copyBufChunk
 	for off := int64(0); off < size; {
 		n := chunk
 		if rem := size - off; rem < int64(n) {

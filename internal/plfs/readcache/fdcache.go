@@ -49,24 +49,62 @@ func NewFDCache(fs posix.FS, max int) *FDCache {
 	return &FDCache{fs: fs, max: max, entries: make(map[string]*fdEntry)}
 }
 
+// Ref is an outstanding reference to a cached descriptor, returned by
+// AcquireRef. It is a plain value — acquiring and releasing through it
+// allocates nothing, which is why the read engine's warm path uses it
+// instead of Acquire's closure. Release exactly once; the zero Ref
+// releases as a no-op.
+type Ref struct {
+	c *FDCache
+	e *fdEntry
+}
+
+// Release drops the reference. Unlike Acquire's closure it is not
+// idempotent: releasing the same Ref twice corrupts the refcount.
+func (r Ref) Release() {
+	if r.c == nil {
+		return
+	}
+	r.c.mu.Lock()
+	r.e.refs--
+	closeNow := r.e.dead && r.e.refs == 0
+	r.c.mu.Unlock()
+	if closeNow {
+		r.c.fs.Close(r.e.fd)
+	}
+}
+
 // Acquire returns a read-only descriptor for path, opening it on first
 // use, and a release function that must be called when the caller's
 // pread is done. The descriptor stays valid until release is called even
-// if the entry is evicted or dropped concurrently.
+// if the entry is evicted or dropped concurrently. The release closure
+// is idempotent; callers on an allocation-sensitive path should use
+// AcquireRef instead.
 func (c *FDCache) Acquire(path string) (int, func(), error) {
+	fd, ref, err := c.AcquireRef(path)
+	if err != nil {
+		return -1, nil, err
+	}
+	var once sync.Once
+	return fd, func() { once.Do(ref.Release) }, nil
+}
+
+// AcquireRef is Acquire returning a value-type reference instead of a
+// release closure — zero allocations on a cache hit.
+func (c *FDCache) AcquireRef(path string) (int, Ref, error) {
 	c.mu.Lock()
 	if e := c.entries[path]; e != nil && !e.dead {
 		c.tick++
 		e.refs++
 		e.lastUse = c.tick
 		c.mu.Unlock()
-		return e.fd, c.releaseFunc(e), nil
+		return e.fd, Ref{c, e}, nil
 	}
 	c.mu.Unlock()
 
 	fd, err := c.fs.Open(path, posix.O_RDONLY, 0)
 	if err != nil {
-		return -1, nil, err
+		return -1, Ref{}, err
 	}
 
 	c.mu.Lock()
@@ -78,7 +116,7 @@ func (c *FDCache) Acquire(path string) (int, func(), error) {
 		e.lastUse = c.tick
 		c.mu.Unlock()
 		c.fs.Close(fd)
-		return e.fd, c.releaseFunc(e), nil
+		return e.fd, Ref{c, e}, nil
 	}
 	c.tick++
 	e := &fdEntry{path: path, fd: fd, refs: 1, lastUse: c.tick}
@@ -89,23 +127,7 @@ func (c *FDCache) Acquire(path string) (int, func(), error) {
 	for _, v := range victims {
 		c.fs.Close(v)
 	}
-	return e.fd, c.releaseFunc(e), nil
-}
-
-// releaseFunc returns the (idempotent) release closure for e.
-func (c *FDCache) releaseFunc(e *fdEntry) func() {
-	var once sync.Once
-	return func() {
-		once.Do(func() {
-			c.mu.Lock()
-			e.refs--
-			closeNow := e.dead && e.refs == 0
-			c.mu.Unlock()
-			if closeNow {
-				c.fs.Close(e.fd)
-			}
-		})
-	}
+	return e.fd, Ref{c, e}, nil
 }
 
 // evictLocked enforces the cap: unreferenced entries are removed

@@ -305,20 +305,128 @@ func (p *FS) buildIndex(path string) (*idx.Index, readcache.Signature, readcache
 	return index, sig, readcache.BuildMerge, nil
 }
 
-// scatterGather fills buf (whose logical origin is off) from the
-// resolved extents: holes zero-fill inline, data extents pread from
-// their droppings — concurrently when more than one extent and the
-// configured fan-out allow. Returns the number of bytes of the
+// batchDepth resolves the vectored-submission bound: the runtime
+// override (autotune / SetBatchDepth) wins over the static Options
+// value. 1 disables coalescing.
+func (p *FS) batchDepth() int {
+	if n := p.knobBatchDepth.Load(); n > 0 {
+		return int(n)
+	}
+	if p.cfg.Engine.BatchDepth > 0 {
+		return p.cfg.Engine.BatchDepth
+	}
+	return DefaultBatchDepth
+}
+
+// readJob is one non-hole extent of a scatter-gather and the slice of
+// the caller's buffer it fills.
+type readJob struct {
+	x   idx.Extent
+	dst []byte
+}
+
+// readBatch is one coalesced backend submission: n physically-
+// contiguous segments of one dropping, occupying slots
+// [off, off+n) of the plan's buffer vector.
+type readBatch struct {
+	pid   uint32
+	phys  int64 // physical start offset in the dropping
+	total int64 // byte span of the batch
+	off   int   // first slot in plan.bufs / plan.slotJob
+	n     int   // segment count
+}
+
+// readPlan is the reusable scratch of one scatter-gather: extents,
+// jobs, batch layout and per-batch error state. Plans are pooled so a
+// warm read allocates nothing; every slice keeps its capacity across
+// uses and buffer references are cleared on release so pooled plans
+// never pin caller memory.
+type readPlan struct {
+	extents  []idx.Extent
+	jobs     []readJob
+	jobBatch []int // batch index per job
+	batches  []readBatch
+	bufs     [][]byte // batch-contiguous segment buffers
+	slotJob  []int    // job index per buffer slot
+	fill     []int    // per-batch slot cursor during layout
+	errs     []error  // per-batch error (nil = batch succeeded)
+	errOffs  []int64  // per-batch lowest failing logical offset
+	open     map[uint32]int
+}
+
+var readPlanPool = sync.Pool{New: func() any { return new(readPlan) }}
+
+// release clears buffer references (so the pool never retains caller
+// buffers) and returns the plan to the pool.
+func (plan *readPlan) release() {
+	for i := range plan.bufs {
+		plan.bufs[i] = nil
+	}
+	for i := range plan.jobs {
+		plan.jobs[i].dst = nil
+	}
+	for i := range plan.errs {
+		plan.errs[i] = nil
+	}
+	plan.extents = plan.extents[:0]
+	plan.jobs = plan.jobs[:0]
+	plan.jobBatch = plan.jobBatch[:0]
+	plan.batches = plan.batches[:0]
+	plan.bufs = plan.bufs[:0]
+	plan.slotJob = plan.slotJob[:0]
+	readPlanPool.Put(plan)
+}
+
+// growInts resizes s to n zeroed elements, reusing its capacity.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// growInt64s resizes s to n zeroed elements, reusing its capacity.
+func growInt64s(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// growErrs resizes s to n nil elements, reusing its capacity.
+func growErrs(s []error, n int) []error {
+	if cap(s) < n {
+		return make([]error, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+// scatterGather fills buf (whose logical origin is off) from the index:
+// holes zero-fill inline, data extents are grouped by dropping into
+// physically-contiguous batches of at most batchDepth segments, and
+// each batch is one vectored pread — concurrently across batches when
+// the configured fan-out allows. Returns the number of bytes of the
 // contiguous error-free prefix and the error of the lowest failing
 // extent, per File.Read's short-read contract.
-func (p *FS) scatterGather(container string, buf []byte, off int64, extents []idx.Extent) (int, error) {
+func (p *FS) scatterGather(f *File, buf []byte, off int64, index *idx.Index) (int, error) {
+	plan := readPlanPool.Get().(*readPlan)
+	defer plan.release()
+	plan.extents = index.QueryInto(plan.extents[:0], off, int64(len(buf)))
+
 	covered := 0
-	type job struct {
-		x   idx.Extent
-		dst []byte
-	}
-	var jobs []job
-	for _, x := range extents {
+	for _, x := range plan.extents {
 		dst := buf[x.LogicalOffset-off : x.LogicalOffset-off+x.Length]
 		covered += len(dst)
 		if x.Hole {
@@ -327,55 +435,139 @@ func (p *FS) scatterGather(container string, buf []byte, off int64, extents []id
 			}
 			continue
 		}
-		jobs = append(jobs, job{x, dst})
+		plan.jobs = append(plan.jobs, readJob{x, dst})
 	}
-	if len(jobs) == 0 {
+	if len(plan.jobs) == 0 {
 		return covered, nil
 	}
 
+	p.planBatches(plan)
+
+	nb := len(plan.batches)
 	workers := p.readWorkers()
-	if workers <= 1 || len(jobs) == 1 {
-		for _, j := range jobs {
-			if err := p.preadExtent(container, j.x, j.dst); err != nil {
-				return int(j.x.LogicalOffset - off), err
-			}
+	if workers <= 1 || nb == 1 {
+		for bi := range plan.batches {
+			p.readBatch(f, plan, bi)
 		}
-		return covered, nil
+	} else {
+		runParallel(nb, workers, func(bi int) { p.readBatch(f, plan, bi) })
 	}
 
-	errOffs := make([]int64, len(jobs))
-	errs := make([]error, len(jobs))
-	runParallel(len(jobs), workers, func(i int) {
-		if err := p.preadExtent(container, jobs[i].x, jobs[i].dst); err != nil {
-			errOffs[i], errs[i] = jobs[i].x.LogicalOffset, err
-		}
-	})
-	firstErr := -1
-	for i := range jobs {
-		if errs[i] != nil && (firstErr < 0 || errOffs[i] < errOffs[firstErr]) {
-			firstErr = i
+	first := -1
+	for bi := range plan.batches {
+		if plan.errs[bi] != nil && (first < 0 || plan.errOffs[bi] < plan.errOffs[first]) {
+			first = bi
 		}
 	}
-	if firstErr >= 0 {
+	if first >= 0 {
 		// Every data extent below the failing offset succeeded (it would
-		// otherwise be the lower failing extent), and holes were filled
-		// inline — the prefix is intact.
-		return int(errOffs[firstErr] - off), errs[firstErr]
+		// otherwise be a lower failing segment of its own batch), and
+		// holes were filled inline — the prefix is intact.
+		return int(plan.errOffs[first] - off), plan.errs[first]
 	}
 	return covered, nil
 }
 
-// preadExtent reads one resolved extent from its data dropping through
-// the shared read-fd cache.
-func (p *FS) preadExtent(container string, x idx.Extent, dst []byte) error {
-	path := dataDropping(p.hostdir(container, x.Pid), x.Pid)
-	fd, release, err := p.fds.Acquire(path)
+// planBatches groups the plan's jobs into coalesced submissions: a
+// job extends a dropping's open batch while it continues that batch's
+// physical run and the batch is under the depth bound, and starts a
+// fresh batch otherwise. A second pass lays the segments out batch-
+// contiguously in the shared buffer vector so every batch's slice is
+// ready for one Preadv.
+func (p *FS) planBatches(plan *readPlan) {
+	depth := p.batchDepth()
+	if plan.open == nil {
+		plan.open = make(map[uint32]int, 16)
+	}
+	clear(plan.open)
+	for _, j := range plan.jobs {
+		if bi, ok := plan.open[j.x.Pid]; ok && depth > 1 {
+			b := &plan.batches[bi]
+			if b.n < depth && b.phys+b.total == j.x.PhysicalOffset {
+				b.n++
+				b.total += j.x.Length
+				plan.jobBatch = append(plan.jobBatch, bi)
+				continue
+			}
+		}
+		bi := len(plan.batches)
+		plan.batches = append(plan.batches, readBatch{
+			pid: j.x.Pid, phys: j.x.PhysicalOffset, total: j.x.Length, n: 1,
+		})
+		plan.open[j.x.Pid] = bi
+		plan.jobBatch = append(plan.jobBatch, bi)
+	}
+
+	slots := 0
+	for bi := range plan.batches {
+		plan.batches[bi].off = slots
+		slots += plan.batches[bi].n
+	}
+	if cap(plan.bufs) < slots {
+		plan.bufs = make([][]byte, slots)
+	}
+	plan.bufs = plan.bufs[:slots]
+	plan.slotJob = growInts(plan.slotJob, slots)
+	plan.fill = growInts(plan.fill, len(plan.batches))
+	plan.errs = growErrs(plan.errs, len(plan.batches))
+	plan.errOffs = growInt64s(plan.errOffs, len(plan.batches))
+	for ji, j := range plan.jobs {
+		bi := plan.jobBatch[ji]
+		slot := plan.batches[bi].off + plan.fill[bi]
+		plan.fill[bi]++
+		plan.bufs[slot] = j.dst
+		plan.slotJob[slot] = ji
+	}
+}
+
+// readBatch issues one batch through the shared read-fd cache: a lone
+// segment as a scalar pread (byte- and op-identical to the pre-batch
+// engine), a multi-segment batch as one vectored pread.
+func (p *FS) readBatch(f *File, plan *readPlan, bi int) {
+	b := plan.batches[bi]
+	fd, ref, err := p.fds.AcquireRef(f.dataPath(b.pid))
 	if err != nil {
-		return fmt.Errorf("plfs: open data dropping for read: %w", err)
+		plan.failBatch(bi, 0, fmt.Errorf("plfs: open data dropping for read: %w", err))
+		return
 	}
-	defer release()
-	if err := posix.ReadFull(p.backend, fd, dst, x.PhysicalOffset); err != nil {
-		return fmt.Errorf("plfs: read dropping (pid %d): %w", x.Pid, err)
+	if b.n == 1 {
+		err = posix.ReadFull(p.backend, fd, plan.bufs[b.off], b.phys)
+		ref.Release()
+		if err != nil {
+			plan.failBatch(bi, 0, fmt.Errorf("plfs: read dropping (pid %d): %w", b.pid, err))
+		}
+		return
 	}
-	return nil
+	n, err := posix.Preadv(p.backend, fd, plan.bufs[b.off:b.off+b.n], b.phys)
+	ref.Release()
+	if err == nil && n < b.total {
+		err = fmt.Errorf("short read: want %d got %d", b.total, n)
+	}
+	if err != nil {
+		plan.failBatch(bi, n, fmt.Errorf("plfs: read dropping (pid %d): %w", b.pid, err))
+	}
+}
+
+// failBatch records a batch failure: n bytes landed in slot order, so
+// the first incompletely-filled segment — lowest logical offset among
+// the batch's casualties, since slots are laid out in logical order —
+// anchors the error, mirroring the per-extent engine's contract that a
+// failing extent contributes no bytes to the readable prefix.
+func (plan *readPlan) failBatch(bi int, n int64, err error) {
+	b := plan.batches[bi]
+	rem := n
+	for k := 0; k < b.n; k++ {
+		l := int64(len(plan.bufs[b.off+k]))
+		if rem >= l {
+			rem -= l
+			continue
+		}
+		plan.errOffs[bi] = plan.jobs[plan.slotJob[b.off+k]].x.LogicalOffset
+		plan.errs[bi] = err
+		return
+	}
+	// Defensive: an error with a full transfer still fails the batch's
+	// last segment rather than vanishing.
+	plan.errOffs[bi] = plan.jobs[plan.slotJob[b.off+b.n-1]].x.LogicalOffset
+	plan.errs[bi] = err
 }

@@ -255,7 +255,9 @@ func copyReplica(backends []posix.FS, from, to int, path string) error {
 		return fmt.Errorf("plfs: repair destination %s: %w", path, err)
 	}
 	defer backends[to].Close(dfd)
-	buf := make([]byte, 1<<20)
+	b := copyBufPool.Get().(*[]byte)
+	defer copyBufPool.Put(b)
+	buf := *b
 	var off int64
 	for {
 		n, err := backends[from].Pread(sfd, buf, off)

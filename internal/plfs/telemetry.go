@@ -8,7 +8,7 @@
 //
 // Tuning: with Options.AutoTune set, an IOPathTune-style feedback
 // controller (internal/plfs/tune) hill-climbs the engine knobs —
-// ReadWorkers, WriteWorkers, IndexBatch — from observed throughput
+// ReadWorkers, WriteWorkers, IndexBatch, BatchDepth — from observed throughput
 // alone, within the hard bounds of the ladders below. The knobs it
 // steers are runtime overrides (atomics consulted by the engines ahead
 // of Options), so the controller adapts a live instance without a
@@ -26,11 +26,12 @@ import (
 // Autotune ladders: the candidate values the controller may apply.
 // The first and last rungs are the hard bounds it never leaves. To pin
 // a knob statically, leave AutoTune off and set the Options field (or
-// call the Set* override); AutoTune manages all three knobs.
+// call the Set* override); AutoTune manages all four knobs.
 var (
 	readWorkersLadder  = []int{1, 2, 4, 8, 16}
 	writeWorkersLadder = []int{1, 2, 4, 8, 16}
 	indexBatchLadder   = []int{1, 8, 64, 512, 4096}
+	batchDepthLadder   = []int{1, 4, 16, 64, 256}
 )
 
 // initTelemetry wires the stats layers and (optionally) the tuner.
@@ -62,6 +63,8 @@ func (p *FS) initTelemetry() {
 			Start: p.writeWorkers(), Apply: p.SetWriteWorkers},
 		tune.Knob{Name: "index-batch", Ladder: indexBatchLadder,
 			Start: batchStart, Apply: p.SetIndexBatch},
+		tune.Knob{Name: "batch-depth", Ladder: batchDepthLadder,
+			Start: p.batchDepth(), Apply: p.SetBatchDepth},
 	)
 }
 
@@ -97,6 +100,12 @@ func (p *FS) SetReadWorkers(n int) { p.knobReadWorkers.Store(int32(n)) }
 
 // SetWriteWorkers is SetReadWorkers for the vectored-write fan-out.
 func (p *FS) SetWriteWorkers(n int) { p.knobWriteWorkers.Store(int32(n)) }
+
+// SetBatchDepth overrides EngineOptions.BatchDepth on the live
+// instance: subsequent reads and vectored writes coalesce up to n
+// contiguous extents per backend submission (1 disables coalescing).
+// n <= 0 removes the override, restoring the configured value.
+func (p *FS) SetBatchDepth(n int) { p.knobBatchDepth.Store(int32(n)) }
 
 // SetIndexBatch overrides Options.IndexBatch on the live instance:
 // subsequent writes group-flush their index records every n records.

@@ -16,6 +16,7 @@ package plfs
 
 import (
 	"fmt"
+	"sync"
 
 	"ldplfs/internal/iostats"
 	idx "ldplfs/internal/plfs/index"
@@ -174,15 +175,43 @@ type WriteSeg struct {
 //
 // Partial-failure semantics mirror Read's short-read contract: every
 // byte that reached the dropping is indexed — including a failing
-// segment's durable prefix and any segments past the failure — so the
+// chunk's durable prefix and any chunks past the failure — so the
 // logical file always reflects exactly the durable data. The returned
 // count is the length of the contiguous error-free prefix of the vector,
-// and the error describes the first failing segment.
+// and the error describes the first failing segment. A chunk that fails
+// mid-vector leaves its remaining segments unwritten and unindexed;
+// EngineOptions.BatchDepth = 1 restores the pre-vectored engine's fully
+// independent per-segment durability.
 func (f *File) WriteV(segs []WriteSeg, pid uint32) (int64, error) {
 	start := f.fs.opStart()
 	n, err := f.writeV(segs, pid)
 	f.fs.observeOp(iostats.Write, n, start, err)
 	return n, err
+}
+
+// writePlan is the reusable scratch of one vectored write: per-segment
+// physical offsets, durable counts and buffer references plus per-chunk
+// errors. Pooled so a warm WriteV allocates only its worker closures.
+type writePlan struct {
+	offs []int64  // per-segment physical offset in the dropping
+	ns   []int    // per-segment durable byte count
+	bufs [][]byte // per-segment payload references
+	errs []error  // per-chunk error
+}
+
+var writePlanPool = sync.Pool{New: func() any { return new(writePlan) }}
+
+// release clears payload references (so the pool never retains caller
+// buffers) and returns the plan to the pool.
+func (plan *writePlan) release() {
+	for i := range plan.bufs {
+		plan.bufs[i] = nil
+	}
+	for i := range plan.errs {
+		plan.errs[i] = nil
+	}
+	plan.bufs = plan.bufs[:0]
+	writePlanPool.Put(plan)
 }
 
 func (f *File) writeV(segs []WriteSeg, pid uint32) (int64, error) {
@@ -205,30 +234,79 @@ func (f *File) writeV(segs []WriteSeg, pid uint32) (int64, error) {
 	}
 	defer unlock()
 
+	depth := f.fs.batchDepth()
+	if depth <= 0 {
+		depth = 1
+	}
+	nchunks := (len(segs) + depth - 1) / depth
+
+	plan := writePlanPool.Get().(*writePlan)
+	defer plan.release()
+	plan.offs = growInt64s(plan.offs, len(segs))
+	plan.ns = growInts(plan.ns, len(segs))
+	plan.errs = growErrs(plan.errs, nchunks)
+	if cap(plan.bufs) < len(segs) {
+		plan.bufs = make([][]byte, len(segs))
+	}
+	plan.bufs = plan.bufs[:len(segs)]
+
 	// Reserve [base, base+total) in the dropping: each segment's
 	// physical home is fixed before any byte moves, which is what makes
-	// the fan-out safe. The cursor advances by the full reservation even
-	// on error — a failed segment leaves an unreferenced gap, never a
-	// desynchronized cursor.
+	// the fan-out safe — and what makes each chunk of BatchDepth
+	// consecutive segments physically contiguous, i.e. one pwritev. The
+	// cursor advances by the full reservation even on error — a failed
+	// chunk leaves an unreferenced gap, never a desynchronized cursor.
 	base := w.physOff
-	offs := make([]int64, len(segs))
 	cursor := base
 	for i, s := range segs {
-		offs[i] = cursor
+		plan.offs[i] = cursor
+		plan.bufs[i] = s.Data
 		cursor += int64(len(s.Data))
 	}
 
-	ns := make([]int, len(segs))
-	errs := make([]error, len(segs))
-	runParallel(len(segs), f.fs.writeWorkers(), func(i int) {
-		ns[i], errs[i] = pwriteAll(f.fs.backend, w.dataFD, segs[i].Data, offs[i])
-	})
+	issue := func(ci int) {
+		lo := ci * depth
+		hi := lo + depth
+		if hi > len(segs) {
+			hi = len(segs)
+		}
+		if hi-lo == 1 {
+			// A lone segment goes through the scalar path — op-identical
+			// to the pre-vectored engine (BatchDepth 1 is the baseline).
+			plan.ns[lo], plan.errs[ci] = pwriteAll(f.fs.backend, w.dataFD, segs[lo].Data, plan.offs[lo])
+			return
+		}
+		span := plan.offs[hi-1] + int64(len(segs[hi-1].Data)) - plan.offs[lo]
+		n, err := posix.Pwritev(f.fs.backend, w.dataFD, plan.bufs[lo:hi], plan.offs[lo])
+		if err == nil && n < span {
+			err = fmt.Errorf("short write: want %d got %d", span, n)
+		}
+		// The durable prefix lands in segment order: credit it greedily.
+		rem := n
+		for i := lo; i < hi; i++ {
+			if l := int64(len(segs[i].Data)); rem >= l {
+				plan.ns[i] = int(l)
+				rem -= l
+			} else {
+				plan.ns[i] = int(rem)
+				rem = 0
+			}
+		}
+		plan.errs[ci] = err
+	}
+	if wk := f.fs.writeWorkers(); wk <= 1 || nchunks == 1 {
+		for ci := 0; ci < nchunks; ci++ {
+			issue(ci)
+		}
+	} else {
+		runParallel(nchunks, wk, issue)
+	}
 
 	for i, s := range segs {
-		if ns[i] == 0 {
+		if plan.ns[i] == 0 {
 			continue
 		}
-		f.appendEntryLocked(w, s.Off, int64(ns[i]), offs[i], pid)
+		f.appendEntryLocked(w, s.Off, int64(plan.ns[i]), plan.offs[i], pid)
 	}
 	w.physOff = base + total
 	f.wgen.Add(1)
@@ -236,9 +314,17 @@ func (f *File) writeV(segs []WriteSeg, pid uint32) (int64, error) {
 
 	var written int64
 	for i := range segs {
-		written += int64(ns[i])
-		if errs[i] != nil {
-			return written, fmt.Errorf("plfs: writev segment %d (logical %d): %w", i, segs[i].Off, errs[i])
+		written += int64(plan.ns[i])
+		if plan.errs[i/depth] != nil && plan.ns[i] < len(segs[i].Data) {
+			return written, fmt.Errorf("plfs: writev segment %d (logical %d): %w", i, segs[i].Off, plan.errs[i/depth])
+		}
+	}
+	// Defensive: a chunk error with every segment fully durable still
+	// surfaces, attributed to the chunk's first segment.
+	for ci := 0; ci < nchunks; ci++ {
+		if plan.errs[ci] != nil {
+			i := ci * depth
+			return written, fmt.Errorf("plfs: writev segment %d (logical %d): %w", i, segs[i].Off, plan.errs[ci])
 		}
 	}
 	return written, nil

@@ -161,7 +161,11 @@ func TestWriteVPartialFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	ffs := posix.NewFaultFS(mem)
-	p := New(ffs, Options{NumHostdirs: 2, WriteWorkers: 1})
+	// BatchDepth 1 pins the pre-vectored per-segment engine: this test
+	// asserts the independent-segment durability contract that
+	// coalescing intentionally trades away (see TestWriteVChunkFailure
+	// for the vectored contract).
+	p := New(ffs, Options{NumHostdirs: 2, WriteWorkers: 1, BatchDepth: 1})
 	f, err := p.Open("/backend/vfail", posix.O_CREAT|posix.O_RDWR, 1, 0o644)
 	if err != nil {
 		t.Fatal(err)
@@ -204,6 +208,68 @@ func TestWriteVPartialFailure(t *testing.T) {
 	wantTail := append(bytes.Repeat([]byte{'w'}, 100), bytes.Repeat([]byte{'q'}, 50)...)
 	if !bytes.Equal(tail, wantTail) {
 		t.Fatal("post-failure write clobbered reserved dropping space")
+	}
+	f.Close(1)
+}
+
+// TestWriteVChunkFailure pins the coalesced vector's failure contract:
+// with the default BatchDepth the whole vector is one pwritev, a
+// partial backend failure leaves a durable prefix that can end
+// mid-segment, exactly that prefix is indexed, and the cursor still
+// advances by the full reservation.
+func TestWriteVChunkFailure(t *testing.T) {
+	mem := posix.NewMemFS()
+	if err := mem.Mkdir("/backend", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ffs := posix.NewFaultFS(mem)
+	p := New(ffs, Options{NumHostdirs: 2, WriteWorkers: 1})
+	f, err := p.Open("/backend/vchunk", posix.O_CREAT|posix.O_RDWR, 1, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The three segments coalesce into one pwritev; 150 of its 300
+	// bytes land before the injected error.
+	ffs.Inject(&posix.FaultRule{Op: posix.FaultWrite, PathContains: "dropping.data", Partial: 150, Times: 1, Err: posix.EIO})
+	segs := []WriteSeg{
+		{Off: 0, Data: bytes.Repeat([]byte{'x'}, 100)},
+		{Off: 100, Data: bytes.Repeat([]byte{'y'}, 100)},
+		{Off: 200, Data: bytes.Repeat([]byte{'w'}, 100)},
+	}
+	n, err := f.WriteV(segs, 1)
+	if !errors.Is(err, posix.EIO) {
+		t.Fatalf("WriteV with partial chunk = %d, %v", n, err)
+	}
+	if n != 150 {
+		t.Fatalf("contiguous prefix = %d, want 150 (mid-segment durable prefix)", n)
+	}
+	ffs.Clear()
+	// Segment 0 and segment 1's first half are durable and indexed;
+	// nothing past the failure landed, so logical EOF sits at 150.
+	if size, err := f.Size(); err != nil || size != 150 {
+		t.Fatalf("size after chunk failure = %d, %v; want 150", size, err)
+	}
+	got := make([]byte, 150)
+	if rn, err := f.Read(got, 0); err != nil || rn != 150 {
+		t.Fatalf("read back: n=%d err=%v", rn, err)
+	}
+	want := append(bytes.Repeat([]byte{'x'}, 100), bytes.Repeat([]byte{'y'}, 50)...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("indexed extents diverge from the durable prefix")
+	}
+	// The cursor advanced by the full reservation: the next write must
+	// not overlap the failed chunk's gap, and the unindexed range reads
+	// as a hole.
+	if _, err := f.Write(bytes.Repeat([]byte{'q'}, 50), 300, 1); err != nil {
+		t.Fatal(err)
+	}
+	tail := make([]byte, 200)
+	if rn, err := f.Read(tail, 150); err != nil || rn != 200 {
+		t.Fatalf("tail read: n=%d err=%v", rn, err)
+	}
+	wantTail := append(make([]byte, 150), bytes.Repeat([]byte{'q'}, 50)...)
+	if !bytes.Equal(tail, wantTail) {
+		t.Fatal("post-failure write landed wrong or gap not a hole")
 	}
 	f.Close(1)
 }

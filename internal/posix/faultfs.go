@@ -447,6 +447,62 @@ func (f *FaultFS) Pread(fd int, p []byte, off int64) (int, error) {
 	return f.inner.Pread(fd, p, off)
 }
 
+// Preadv implements VectorFS. The whole vector is one faultable
+// operation: it advances schedules and matches rules once, like the
+// single backend submission it stands for — so batching reads changes
+// how often rules are consulted exactly as it changes the syscall
+// count.
+func (f *FaultFS) Preadv(fd int, bufs [][]byte, off int64) (int64, error) {
+	if err := f.enter(FaultRead, f.pathOf(fd)); err != nil {
+		return 0, err
+	}
+	if err := f.check(FaultRead, f.pathOf(fd)); err != nil {
+		return 0, err
+	}
+	return Preadv(f.inner, fd, bufs, off)
+}
+
+// Pwritev implements VectorFS. Rules match once per vector; a firing
+// rule's Partial budget is a byte prefix of the whole vector, spanning
+// buffer boundaries — the short-write-then-error shape of a failed
+// pwritev(2).
+func (f *FaultFS) Pwritev(fd int, bufs [][]byte, off int64) (int64, error) {
+	if err := f.enter(FaultWrite, f.pathOf(fd)); err != nil {
+		return 0, err
+	}
+	if err, partial := f.checkPartial(FaultWrite, f.pathOf(fd)); err != nil {
+		return f.injectPartialV(fd, bufs, off, partial, err)
+	}
+	return Pwritev(f.inner, fd, bufs, off)
+}
+
+// injectPartialV lands the first partial bytes of the vector (clamped,
+// spanning buffers) on the inner FS and returns the injected error with
+// the short count.
+func (f *FaultFS) injectPartialV(fd int, bufs [][]byte, off int64, partial int, injected error) (int64, error) {
+	var put int64
+	budget := int64(partial)
+	if max := vectorLen(bufs); budget > max {
+		budget = max
+	}
+	for _, b := range bufs {
+		if budget <= 0 {
+			break
+		}
+		q := b
+		if int64(len(q)) > budget {
+			q = q[:budget]
+		}
+		n, _ := f.inner.Pwrite(fd, q, off+put)
+		put += int64(n)
+		budget -= int64(n)
+		if n < len(q) {
+			break
+		}
+	}
+	return put, injected
+}
+
 // Pwrite implements FS. Partial rules behave as in Write.
 func (f *FaultFS) Pwrite(fd int, p []byte, off int64) (int, error) {
 	if err := f.enter(FaultWrite, f.pathOf(fd)); err != nil {
@@ -588,3 +644,4 @@ func (f *FaultFS) Access(path string, mode int) error {
 }
 
 var _ FS = (*FaultFS)(nil)
+var _ VectorFS = (*FaultFS)(nil)

@@ -57,6 +57,14 @@ type InstrumentFS struct {
 	obs       func(OpEvent)
 	layerName string
 
+	// Syscall-economy counters, cached at construction so the data path
+	// never takes the layer's registry lock: backendOps counts data
+	// operations issued to the inner FS's level (a vectored op is one),
+	// vectorSegments counts the logical segments they carried (a scalar
+	// op is one). segments/ops is the measured batching factor.
+	backendOps     *iostats.Counter
+	vectorSegments *iostats.Counter
+
 	mu  sync.Mutex
 	fds map[int]string // open path per fd, for event attribution
 }
@@ -72,6 +80,10 @@ func NewInstrumentFS(inner FS, c iostats.Collector, opts ...InstrumentOption) *I
 	if c != nil {
 		f.ls = c.Layer(f.layerName)
 	}
+	// Counter is nil-safe on a nil layer (returns a standalone counter),
+	// so the handles are always usable.
+	f.backendOps = f.ls.Counter("backend_ops")
+	f.vectorSegments = f.ls.Counter("vector_segments")
 	if f.obs != nil {
 		f.fds = make(map[int]string)
 	}
@@ -148,6 +160,8 @@ func (f *InstrumentFS) Read(fd int, p []byte) (int, error) {
 	start := f.ls.Start()
 	n, err := f.inner.Read(fd, p)
 	f.ls.End(iostats.Read, int64(n), start, err)
+	f.backendOps.Add(1)
+	f.vectorSegments.Add(1)
 	if n > 0 {
 		f.emit(OpEvent{Op: iostats.Read, Path: f.pathOf(fd), Bytes: int64(n)})
 	}
@@ -159,6 +173,8 @@ func (f *InstrumentFS) Write(fd int, p []byte) (int, error) {
 	start := f.ls.Start()
 	n, err := f.inner.Write(fd, p)
 	f.ls.End(iostats.Write, int64(n), start, err)
+	f.backendOps.Add(1)
+	f.vectorSegments.Add(1)
 	if n > 0 {
 		f.emit(OpEvent{Op: iostats.Write, Path: f.pathOf(fd), Bytes: int64(n)})
 	}
@@ -170,6 +186,8 @@ func (f *InstrumentFS) Pread(fd int, p []byte, off int64) (int, error) {
 	start := f.ls.Start()
 	n, err := f.inner.Pread(fd, p, off)
 	f.ls.End(iostats.Read, int64(n), start, err)
+	f.backendOps.Add(1)
+	f.vectorSegments.Add(1)
 	if n > 0 {
 		f.emit(OpEvent{Op: iostats.Read, Path: f.pathOf(fd), Bytes: int64(n)})
 	}
@@ -181,8 +199,37 @@ func (f *InstrumentFS) Pwrite(fd int, p []byte, off int64) (int, error) {
 	start := f.ls.Start()
 	n, err := f.inner.Pwrite(fd, p, off)
 	f.ls.End(iostats.Write, int64(n), start, err)
+	f.backendOps.Add(1)
+	f.vectorSegments.Add(1)
 	if n > 0 {
 		f.emit(OpEvent{Op: iostats.Write, Path: f.pathOf(fd), Bytes: int64(n)})
+	}
+	return n, err
+}
+
+// Preadv implements VectorFS: one backend operation carrying len(bufs)
+// segments — the counters record the batching the engine achieved.
+func (f *InstrumentFS) Preadv(fd int, bufs [][]byte, off int64) (int64, error) {
+	start := f.ls.Start()
+	n, err := Preadv(f.inner, fd, bufs, off)
+	f.ls.End(iostats.Read, n, start, err)
+	f.backendOps.Add(1)
+	f.vectorSegments.Add(int64(len(bufs)))
+	if n > 0 {
+		f.emit(OpEvent{Op: iostats.Read, Path: f.pathOf(fd), Bytes: n})
+	}
+	return n, err
+}
+
+// Pwritev implements VectorFS.
+func (f *InstrumentFS) Pwritev(fd int, bufs [][]byte, off int64) (int64, error) {
+	start := f.ls.Start()
+	n, err := Pwritev(f.inner, fd, bufs, off)
+	f.ls.End(iostats.Write, n, start, err)
+	f.backendOps.Add(1)
+	f.vectorSegments.Add(int64(len(bufs)))
+	if n > 0 {
+		f.emit(OpEvent{Op: iostats.Write, Path: f.pathOf(fd), Bytes: n})
 	}
 	return n, err
 }
@@ -294,3 +341,4 @@ func (f *InstrumentFS) Access(path string, mode int) error {
 }
 
 var _ FS = (*InstrumentFS)(nil)
+var _ VectorFS = (*InstrumentFS)(nil)

@@ -288,6 +288,33 @@ func (fs *MemFS) preadLocked(f *memFD, p []byte, off int64) (int, error) {
 	return copy(p, f.node.data[off:]), nil
 }
 
+// Preadv implements VectorFS: the whole vector is served under one
+// lock acquisition — MemFS's analogue of collapsing per-extent preads
+// into a single preadv(2).
+func (fs *MemFS) Preadv(fd int, bufs [][]byte, off int64) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, err := fs.fd(fd)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, b := range bufs {
+		if len(b) == 0 {
+			continue
+		}
+		n, err := fs.preadLocked(f, b, off+total)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+		if n < len(b) {
+			return total, nil // EOF
+		}
+	}
+	return total, nil
+}
+
 // Pwrite implements FS.
 func (fs *MemFS) Pwrite(fd int, p []byte, off int64) (int, error) {
 	fs.mu.Lock()
@@ -297,6 +324,29 @@ func (fs *MemFS) Pwrite(fd int, p []byte, off int64) (int, error) {
 		return 0, err
 	}
 	return fs.pwriteLocked(f, p, off)
+}
+
+// Pwritev implements VectorFS: every buffer lands under one lock
+// acquisition, in order, at contiguous offsets from off.
+func (fs *MemFS) Pwritev(fd int, bufs [][]byte, off int64) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, err := fs.fd(fd)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, b := range bufs {
+		if len(b) == 0 {
+			continue
+		}
+		n, err := fs.pwriteLocked(f, b, off+total)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 func (fs *MemFS) pwriteLocked(f *memFD, p []byte, off int64) (int, error) {
@@ -631,3 +681,4 @@ func (fs *MemFS) OpenFDs() int {
 }
 
 var _ FS = (*MemFS)(nil)
+var _ VectorFS = (*MemFS)(nil)

@@ -530,6 +530,61 @@ func (s *StripedFS) Pread(fd int, p []byte, off int64) (int, error) {
 	return 0, firstErr
 }
 
+// Preadv implements VectorFS. A single-owner descriptor delegates the
+// whole vector to its backend; a replica set serves the vector from the
+// primary and fails over in replica order, exactly like Pread. Under a
+// hedge deadline the vector degrades to per-buffer hedged reads — the
+// hedge races private buffers per request, and its deterministic tests
+// count those requests, so hedging keeps the scalar shape.
+func (s *StripedFS) Preadv(fd int, bufs [][]byte, off int64) (int64, error) {
+	e, err := s.entry(fd)
+	if err != nil {
+		return 0, err
+	}
+	if len(e.reps) == 1 {
+		return Preadv(s.backends[e.reps[0]], e.bfds[0], bufs, off)
+	}
+	if s.ropts.HedgeDeadline > 0 {
+		var total int64
+		for _, b := range bufs {
+			n, err := s.hedgedPread(e, b, off+total)
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+			if n < len(b) {
+				return total, nil // EOF
+			}
+		}
+		return total, nil
+	}
+	var firstErr error
+	for i := range e.reps {
+		bfd, err := s.ensureReadable(e, i)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		n, err := Preadv(s.backends[e.reps[i]], bfd, bufs, off)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			e.markDead(i)
+			continue
+		}
+		if i == 0 {
+			s.readPrimary.Add(1)
+		} else {
+			s.readFailover.Add(1)
+		}
+		return n, nil
+	}
+	return 0, firstErr
+}
+
 // hedgeTimer returns the channel that triggers a hedge after d.
 func (s *StripedFS) hedgeTimer(d time.Duration) <-chan time.Time {
 	if s.ropts.HedgeTimer != nil {
@@ -623,6 +678,49 @@ func (s *StripedFS) Pwrite(fd int, p []byte, off int64) (int, error) {
 		return s.backends[e.reps[0]].Pwrite(e.bfds[0], p, off)
 	}
 	return s.fanOut(e, func(b FS, bfd int) (int, error) { return b.Pwrite(bfd, p, off) })
+}
+
+// Pwritev implements VectorFS: a single-owner descriptor delegates, a
+// replica set fans the whole vector out to every live replica at the
+// same offset — one vectored submission per replica instead of one per
+// segment per replica.
+func (s *StripedFS) Pwritev(fd int, bufs [][]byte, off int64) (int64, error) {
+	e, err := s.entry(fd)
+	if err != nil {
+		return 0, err
+	}
+	if len(e.reps) == 1 {
+		return Pwritev(s.backends[e.reps[0]], e.bfds[0], bufs, off)
+	}
+	return s.fanOut64(e, func(b FS, bfd int) (int64, error) { return Pwritev(b, bfd, bufs, off) })
+}
+
+// fanOut64 is fanOut for int64-counted (vectored) operations.
+func (s *StripedFS) fanOut64(e *stripedFD, op func(b FS, bfd int) (int64, error)) (int64, error) {
+	live := e.live()
+	n := int64(-1)
+	var firstErr error
+	for _, i := range live {
+		wn, err := op(s.backends[e.reps[i]], e.bfds[i])
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			e.markDead(i)
+			s.writeDegraded.Add(1)
+			continue
+		}
+		if n < 0 {
+			n = wn
+		}
+	}
+	if n < 0 {
+		if firstErr == nil {
+			firstErr = EIO
+		}
+		return 0, firstErr
+	}
+	return n, nil
 }
 
 // Lseek implements FS: applied to every live replica so their file
@@ -1053,3 +1151,4 @@ func (s *StripedFS) Access(path string, mode int) error {
 }
 
 var _ FS = (*StripedFS)(nil)
+var _ VectorFS = (*StripedFS)(nil)

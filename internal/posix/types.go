@@ -135,6 +135,13 @@ type DirEntry struct {
 // Read/Write/Lseek, by contrast, share the descriptor's file pointer:
 // concurrent use on one fd races benignly (some interleaving wins) but
 // is not coordinated.
+//
+// Backends may additionally implement the optional VectorFS capability
+// (Preadv/Pwritev): one contiguous range moved against a buffer list in
+// a single operation. Callers batch through the package helpers Preadv
+// and Pwritev, which fall back to a scalar loop, so the capability is
+// purely a syscall-count optimisation — the bytes are identical either
+// way.
 type FS interface {
 	// Open opens path, honouring O_CREAT, O_EXCL, O_TRUNC, O_APPEND and the
 	// access mode, and returns a new file descriptor.

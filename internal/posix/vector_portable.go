@@ -1,0 +1,22 @@
+//go:build !linux
+
+package posix
+
+// Preadv implements VectorFS by scalar decomposition on platforms
+// without preadv(2) wired up — same bytes, one pread per buffer.
+func (o *OSFS) Preadv(fd int, bufs [][]byte, off int64) (int64, error) {
+	if _, err := o.fd(fd); err != nil {
+		return 0, err
+	}
+	return preadvFallback(o, fd, bufs, off)
+}
+
+// Pwritev implements VectorFS by scalar decomposition.
+func (o *OSFS) Pwritev(fd int, bufs [][]byte, off int64) (int64, error) {
+	if _, err := o.fd(fd); err != nil {
+		return 0, err
+	}
+	return pwritevFallback(o, fd, bufs, off)
+}
+
+var _ VectorFS = (*OSFS)(nil)
