@@ -17,16 +17,17 @@ import (
 	"ldplfs/internal/harness"
 	"ldplfs/internal/harness/flags"
 	"ldplfs/internal/mpi"
-	"ldplfs/internal/mpiio"
 	"ldplfs/internal/workload"
 )
 
 func main() {
 	var job flags.Job
 	var ptune flags.Plfs
+	var mio flags.MPIIO
 	var remote flags.Remote
 	job.Register(flag.CommandLine, 4, "ldplfs")
 	ptune.Register(flag.CommandLine)
+	mio.Register(flag.CommandLine)
 	remote.Register(flag.CommandLine)
 	grid := flag.Int("grid", 24, "grid points per dimension")
 	steps := flag.Int("steps", 5, "write timesteps")
@@ -35,7 +36,7 @@ func main() {
 
 	plane := ptune.NewPlane()
 	store := harness.NewStoreN(job.Backends)
-	cfg := workload.BTIOConfig{Grid: *grid, Steps: *steps, EPIO: *epio, Hints: mpiio.DefaultHints()}
+	cfg := workload.BTIOConfig{Grid: *grid, Steps: *steps, EPIO: *epio, Hints: mio.Hints()}
 	if plane != nil {
 		store = harness.Instrument(store, plane)
 		cfg.Hints.Collector = plane

@@ -17,16 +17,17 @@ import (
 	"ldplfs/internal/harness"
 	"ldplfs/internal/harness/flags"
 	"ldplfs/internal/mpi"
-	"ldplfs/internal/mpiio"
 	"ldplfs/internal/workload"
 )
 
 func main() {
 	var job flags.Job
 	var ptune flags.Plfs
+	var mio flags.MPIIO
 	var remote flags.Remote
 	job.Register(flag.CommandLine, 4, "ldplfs")
 	ptune.Register(flag.CommandLine)
+	mio.Register(flag.CommandLine)
 	remote.Register(flag.CommandLine)
 	nxb := flag.Int("nxb", 8, "cells per block dimension (paper: 24)")
 	nblocks := flag.Int("nblocks", 4, "blocks per process (FLASH default: 80)")
@@ -36,7 +37,7 @@ func main() {
 
 	plane := ptune.NewPlane()
 	store := harness.NewStoreN(job.Backends)
-	cfg := workload.FlashIOConfig{NXB: *nxb, NBlocks: *nblocks, NVars: *nvars, SplitFiles: *split, Hints: mpiio.DefaultHints()}
+	cfg := workload.FlashIOConfig{NXB: *nxb, NBlocks: *nblocks, NVars: *nvars, SplitFiles: *split, Hints: mio.Hints()}
 	fmt.Printf("flash-io: ~%.1f MB per process\n", float64(cfg.BytesPerProcess())/1e6)
 	if plane != nil {
 		store = harness.Instrument(store, plane)

@@ -20,16 +20,17 @@ import (
 	"ldplfs/internal/harness"
 	"ldplfs/internal/harness/flags"
 	"ldplfs/internal/mpi"
-	"ldplfs/internal/mpiio"
 	"ldplfs/internal/workload"
 )
 
 func main() {
 	var job flags.Job
 	var ptune flags.Plfs
+	var mio flags.MPIIO
 	var remote flags.Remote
 	job.Register(flag.CommandLine, 8, "ldplfs")
 	ptune.Register(flag.CommandLine)
+	mio.Register(flag.CommandLine)
 	remote.Register(flag.CommandLine)
 	size := flag.Int64("size", 8<<20, "bytes per process")
 	block := flag.Int64("block", 1<<20, "block size per collective call")
@@ -43,7 +44,7 @@ func main() {
 		BlockSize:    *block,
 		FilePerProc:  *nn,
 		Verify:       job.Verify,
-		Hints:        mpiio.DefaultHints(),
+		Hints:        mio.Hints(),
 	}
 	if plane != nil {
 		store = harness.Instrument(store, plane)

@@ -47,6 +47,7 @@ func Checks() []analysis.Check {
 		}},
 		{Analyzer: bufpool.Analyzer, Packages: []string{
 			"ldplfs/internal/plfs",
+			"ldplfs/internal/mpiio",
 		}},
 	}
 }

@@ -263,6 +263,41 @@ func (r *Rank) ReduceInt64(root int, value int64, op Op) int64 {
 	return res.(int64)
 }
 
+// Alltoall exchanges one arbitrary value per destination rank: send[i]
+// goes to rank i, and the result holds at index j the value rank j sent
+// to this rank. Nil entries are allowed and arrive as nil.
+//
+// Unlike Alltoallv, nothing is marshalled: the value itself — typically
+// a slice of descriptors referencing the sender's memory — crosses
+// ranks by reference, so large payloads move zero-copy. The rendezvous
+// gives the usual happens-before edge (everything a sender wrote before
+// entering the exchange is visible to receivers after it returns), and
+// a receiver holding references into a peer's memory keeps them valid
+// by construction as long as both sides still have a later collective
+// to meet at — the discipline the mpiio pipelined two-phase path is
+// built on, where the closing allreduce is that meeting point.
+func (r *Rank) Alltoall(send []any) []any {
+	if len(send) != r.comm.size {
+		panic(fmt.Sprintf("mpi: Alltoall send vector has %d entries for %d ranks", len(send), r.comm.size))
+	}
+	// The combiner must not retain the caller's slice: rendezvous slots
+	// are recycled, but send itself may be reused by the caller for the
+	// next round, so transpose out of it entirely.
+	res := r.rendezvous(send, func(in []any) []any {
+		n := len(in)
+		out := make([]any, n)
+		for dst := 0; dst < n; dst++ {
+			recv := make([]any, n)
+			for src := 0; src < n; src++ {
+				recv[src] = in[src].([]any)[dst]
+			}
+			out[dst] = recv
+		}
+		return out
+	})
+	return res.([]any)
+}
+
 // Alltoallv exchanges byte slices: send[i] goes to rank i; the return
 // value holds, at index j, the slice rank j sent to this rank. Nil slices
 // are allowed and arrive as nil.

@@ -91,6 +91,18 @@ type VectorWriter interface {
 	PwritevAt(segs []Segment, buf []byte) (int, error)
 }
 
+// VectorReader is the read-side twin: drivers that can gather a whole
+// flattened datatype in one call implement it, and the collective
+// aggregators hand them the coalesced run list instead of looping
+// preads. The PLFS driver maps it onto plfs.File.ReadV, which resolves
+// the index once and batches physically-contiguous extents across runs.
+type VectorReader interface {
+	// PreadvAt fills buf from segs (ascending, disjoint, covering
+	// exactly len(buf) bytes), zero-filling past EOF, and returns the
+	// bytes that lie below EOF.
+	PreadvAt(segs []Segment, buf []byte) (int, error)
+}
+
 // --- ufs: the POSIX ADIO driver -----------------------------------------
 
 // UFS routes through a posix.FS — typically a *posix.Dispatch, so that a
@@ -217,6 +229,20 @@ func (f *plfsFile) PwritevAt(segs []Segment, buf []byte) (int, error) {
 		cursor += s.Len
 	}
 	n, err := f.f.WriteV(vec, f.pid)
+	return int(n), err
+}
+
+// PreadvAt implements VectorReader over the PLFS read engine: the whole
+// run list becomes one ReadV — the index resolved once, every run's
+// extents joined into one batched plan.
+func (f *plfsFile) PreadvAt(segs []Segment, buf []byte) (int, error) {
+	vec := make([]plfs.ReadSeg, len(segs))
+	cursor := int64(0)
+	for i, s := range segs {
+		vec[i] = plfs.ReadSeg{Off: s.Off, Buf: buf[cursor : cursor+s.Len]}
+		cursor += s.Len
+	}
+	n, err := f.f.ReadV(vec)
 	return int(n), err
 }
 func (f *plfsFile) Truncate(size int64) error { return f.f.Trunc(size) }

@@ -2,11 +2,15 @@ package mpiio
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"sort"
+	"sync/atomic"
 
 	"ldplfs/internal/iostats"
 	"ldplfs/internal/mpi"
+	"ldplfs/internal/plfs/tune"
 )
 
 // Hints mirror the ROMIO info keys the paper leans on.
@@ -24,6 +28,24 @@ type Hints struct {
 	// SieveBufferSize is the sieving block (ind_rd_buffer_size, 4 MiB
 	// default).
 	SieveBufferSize int
+	// CBRounds pins the pipelined collective path's round count per
+	// aggregator domain. 0 (the default) derives the count from
+	// CBBufferSize: one round per staging-buffer's worth of domain.
+	CBRounds int
+	// CBAggregators is the number of aggregators per compute node
+	// (cb_nodes-style). 0 or 1 keeps the paper's default of one
+	// aggregator per distinct node; higher values fan aggregator I/O
+	// out across more ranks (capped at the node's PPN).
+	CBAggregators int
+	// DisablePipeline falls back to the one-shot two-phase path
+	// (shuffle everything, then flush) instead of the pipelined
+	// overlapped rounds. The one-shot path is kept as a differential
+	// baseline and escape hatch.
+	DisablePipeline bool
+	// AutoTune hill-climbs CBBufferSize/CBRounds/CBAggregators on the
+	// throughput ladder (rank 0 drives; committed values are broadcast
+	// with each collective).
+	AutoTune bool
 	// Collector attaches the MPI-IO layer to a telemetry plane: every
 	// collective and independent call reports count/bytes/latency to
 	// layer "mpiio" (plus collective_calls/independent_calls counters).
@@ -65,6 +87,23 @@ type File struct {
 	cbw  *iostats.Counter // bytes_written
 	cbr  *iostats.Counter // bytes_read
 	csr  *iostats.Counter // sieve_rmws
+	cshb *iostats.Counter // shuffle_bytes
+	cshp *iostats.Counter // shuffle_pieces
+	cago *iostats.Counter // agg_flush_ops
+	covl *iostats.Counter // round_overlap_ns
+
+	// srl serializes sieved read-modify-write cycles to overlapping
+	// ranges of this handle (disjoint spans proceed concurrently).
+	srl rangeLock
+
+	// Runtime knob overrides (SetCB*, or the autotune controller on
+	// rank 0). Zero means "use the hint"; only rank 0's committed
+	// values matter — they are broadcast with every collective.
+	knobStaging atomic.Int64
+	knobRounds  atomic.Int64
+	knobAggs    atomic.Int64
+	tuneBytes   atomic.Int64
+	tuner       *tune.Controller
 }
 
 // Layer is the handle's telemetry layer, shared by the whole
@@ -126,6 +165,11 @@ func Open(r *mpi.Rank, driver Driver, path string, amode int, hints Hints) (*Fil
 	f.cbw = f.ls.Counter("bytes_written")
 	f.cbr = f.ls.Counter("bytes_read")
 	f.csr = f.ls.Counter("sieve_rmws")
+	f.cshb = f.ls.Counter("shuffle_bytes")
+	f.cshp = f.ls.Counter("shuffle_pieces")
+	f.cago = f.ls.Counter("agg_flush_ops")
+	f.covl = f.ls.Counter("round_overlap_ns")
+	f.initTuner()
 	return f, nil
 }
 
@@ -238,12 +282,22 @@ func (f *File) writeStrided(segs []Segment, buf []byte) (int, error) {
 	}
 
 	// Data sieving: read [lo,hi), overlay the segments, write back once.
+	// The range lock serializes concurrent RMW cycles over overlapping
+	// spans — without it, two interleaved sieved writes would each read
+	// the block, patch their own segments, and the later write-back
+	// would silently undo the earlier one.
+	f.srl.lock(lo, hi)
+	defer f.srl.unlock(lo, hi)
 	f.csr.Add(1)
 	block := make([]byte, span)
 	f.cdr.Add(1)
-	if _, err := f.df.PreadAt(block, lo); err != nil {
+	if _, err := f.df.PreadAt(block, lo); err != nil && !errors.Is(err, io.EOF) {
 		return 0, err
 	}
+	// A short pre-read (the sieve span extends past EOF) is not an
+	// error: the tail beyond n is a hole the write is about to define,
+	// and block's zero fill is exactly its contents — the same partial-
+	// fill handling the read path applies.
 	cursor := 0
 	for _, s := range segs {
 		copy(block[s.Off-lo:s.Off-lo+s.Len], buf[cursor:cursor+int(s.Len)])
@@ -274,15 +328,20 @@ func (f *File) readStrided(segs []Segment, buf []byte) (int, error) {
 	if err := validateSegs(segs, buf); err != nil {
 		return 0, err
 	}
+	total := segsBytes(segs)
 	lo := segs[0].Off
 	hi := segs[len(segs)-1].Off + segs[len(segs)-1].Len
 	span := hi - lo
 
-	if f.hints.DataSieving && len(segs) > 1 && span <= int64(f.hints.SieveBufferSize) {
+	// Same density cutoff as the write path: sieving a span more than
+	// twice the useful bytes reads mostly holes, so sparse strided
+	// access falls through to per-segment reads.
+	if f.hints.DataSieving && len(segs) > 1 &&
+		span <= int64(f.hints.SieveBufferSize) && span < 2*total {
 		block := make([]byte, span)
 		f.cdr.Add(1)
 		n, err := f.df.PreadAt(block, lo)
-		if err != nil {
+		if err != nil && !errors.Is(err, io.EOF) {
 			return 0, err
 		}
 		got := 0
@@ -307,7 +366,7 @@ func (f *File) readStrided(segs []Segment, buf []byte) (int, error) {
 		f.cdr.Add(1)
 		n, err := f.df.PreadAt(buf[cursor:cursor+int(s.Len)], s.Off)
 		got += n
-		if err != nil {
+		if err != nil && !errors.Is(err, io.EOF) {
 			return got, err
 		}
 		cursor += int(s.Len)
@@ -462,6 +521,16 @@ func (f *File) writeAll(segs []Segment, buf []byte) (int, error) {
 		f.rank.Barrier()
 		return n, err
 	}
+	if f.hints.DisablePipeline {
+		return f.writeAllOneShot(segs, buf)
+	}
+	return f.writeAllPipelined(segs, buf)
+}
+
+// writeAllOneShot is the original one-shot two-phase write: shuffle the
+// whole access, then flush. Kept as the DisablePipeline baseline the
+// differential tests pin the pipelined path against.
+func (f *File) writeAllOneShot(segs []Segment, buf []byte) (int, error) {
 	lo, _, domain, aggs := f.exchangeExtent(segs)
 
 	// Phase 1: route every segment piece to its domain's aggregator.
@@ -575,6 +644,16 @@ func (f *File) readAll(segs []Segment, buf []byte) (int, error) {
 		f.rank.Barrier()
 		return n, err
 	}
+	if f.hints.DisablePipeline {
+		return f.readAllOneShot(segs, buf)
+	}
+	return f.readAllPipelined(segs, buf)
+}
+
+// readAllOneShot is the original one-shot two-phase read (request
+// shuffle, aggregator reads, reply shuffle, pieceMap reassembly) — the
+// DisablePipeline differential baseline.
+func (f *File) readAllOneShot(segs []Segment, buf []byte) (int, error) {
 	lo, _, domain, aggs := f.exchangeExtent(segs)
 
 	// Phase 1: send read requests to domain aggregators.

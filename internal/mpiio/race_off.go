@@ -1,0 +1,7 @@
+//go:build !race
+
+package mpiio
+
+// raceEnabled reports whether the race detector is active. See
+// race_on.go.
+const raceEnabled = false

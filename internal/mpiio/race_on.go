@@ -1,0 +1,7 @@
+//go:build race
+
+package mpiio
+
+// raceEnabled reports whether the race detector is active. The alloc
+// floors only hold on plain builds; see race_off.go.
+const raceEnabled = true

@@ -1,0 +1,53 @@
+package mpiio
+
+import "sync"
+
+// rangeLock serializes access to overlapping byte ranges of one file
+// handle. Data sieving's read-modify-write cycle must hold the sieve
+// span exclusively: two concurrent sieved writes over interleaved
+// segments would otherwise each read the block, patch their own
+// segments, and write back — the later write-back silently undoing the
+// earlier one. Disjoint spans proceed concurrently.
+type rangeLock struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	active [][2]int64 // held [lo, hi) spans
+}
+
+// lock blocks until no held span overlaps [lo, hi), then records the
+// span as held.
+func (rl *rangeLock) lock(lo, hi int64) {
+	rl.mu.Lock()
+	if rl.cond == nil {
+		rl.cond = sync.NewCond(&rl.mu)
+	}
+	for rl.overlaps(lo, hi) {
+		rl.cond.Wait()
+	}
+	rl.active = append(rl.active, [2]int64{lo, hi})
+	rl.mu.Unlock()
+}
+
+// unlock releases the span and wakes waiters.
+func (rl *rangeLock) unlock(lo, hi int64) {
+	rl.mu.Lock()
+	for i, s := range rl.active {
+		if s[0] == lo && s[1] == hi {
+			last := len(rl.active) - 1
+			rl.active[i] = rl.active[last]
+			rl.active = rl.active[:last]
+			break
+		}
+	}
+	rl.cond.Broadcast()
+	rl.mu.Unlock()
+}
+
+func (rl *rangeLock) overlaps(lo, hi int64) bool {
+	for _, s := range rl.active {
+		if lo < s[1] && s[0] < hi {
+			return true
+		}
+	}
+	return false
+}

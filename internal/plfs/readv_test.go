@@ -1,0 +1,87 @@
+package plfs
+
+import (
+	"bytes"
+	"testing"
+
+	"ldplfs/internal/posix"
+)
+
+// TestReadVMatchesScalarReads pins the vectored read against per-segment
+// scalar reads over a strided multi-writer container: same bytes, same
+// below-EOF count, zero-filled past-EOF tails.
+func TestReadVMatchesScalarReads(t *testing.T) {
+	mem := posix.NewMemFS()
+	p := New(mem, Options{NumHostdirs: 4})
+	f, err := p.Open("/v", posix.O_CREAT|posix.O_RDWR, 0, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const block = 1 << 10
+	const writers, blocks = 4, 8
+	for w := uint32(0); w < writers; w++ {
+		payload := bytes.Repeat([]byte{byte(w + 1)}, block)
+		for b := 0; b < blocks; b++ {
+			off := int64(b*writers+int(w)) * block
+			if _, err := f.Write(payload, off, w); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	size := int64(writers * blocks * block)
+
+	segs := []ReadSeg{
+		{Off: 0, Buf: make([]byte, block/2)},
+		{Off: block, Buf: make([]byte, 3*block)},        // spans writers
+		{Off: size - block, Buf: make([]byte, 2*block)}, // crosses EOF
+	}
+	want := int64(block/2 + 3*block + block) // below-EOF bytes only
+	n, err := f.ReadV(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != want {
+		t.Fatalf("ReadV = %d, want %d", n, want)
+	}
+	for _, s := range segs {
+		scalar := make([]byte, len(s.Buf))
+		sn, err := f.Read(scalar, s.Off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Scalar reads leave bytes past EOF unspecified; ReadV zero-fills
+		// them, so compare the below-EOF prefix byte-for-byte and demand
+		// zeros beyond it.
+		if !bytes.Equal(s.Buf[:sn], scalar[:sn]) {
+			t.Fatalf("ReadV bytes at %d differ from scalar read", s.Off)
+		}
+		for i := sn; i < len(s.Buf); i++ {
+			if s.Buf[i] != 0 {
+				t.Fatalf("ReadV past-EOF byte %d at seg off %d = %d, want 0", i, s.Off, s.Buf[i])
+			}
+		}
+	}
+}
+
+// TestReadVValidation rejects descending segment vectors.
+func TestReadVValidation(t *testing.T) {
+	mem := posix.NewMemFS()
+	p := New(mem, Options{NumHostdirs: 2})
+	f, err := p.Open("/vv", posix.O_CREAT|posix.O_RDWR, 0, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{1, 2, 3, 4}, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	segs := []ReadSeg{
+		{Off: 100, Buf: make([]byte, 4)},
+		{Off: 0, Buf: make([]byte, 4)},
+	}
+	if _, err := f.ReadV(segs); err == nil {
+		t.Fatal("descending ReadV vector accepted")
+	}
+	if n, err := f.ReadV(nil); n != 0 || err != nil {
+		t.Fatalf("empty ReadV = %d, %v", n, err)
+	}
+}
